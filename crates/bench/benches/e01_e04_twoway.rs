@@ -1,0 +1,78 @@
+//! Criterion wall-clock benches for the two-way join experiments
+//! (E01–E04). The paper's quantities (L, r, C) come from the `tables`
+//! binary; these measure the simulator's throughput on the same
+//! workloads so regressions in the implementations show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parqp::data::generate;
+use parqp::join::{baselines, twoway};
+use std::hint::black_box;
+
+fn bench_e01_regimes(c: &mut Criterion) {
+    let n = 20_000;
+    let p = 16;
+    let r = generate::key_unique_pairs(n, 1, 1 << 40, 1);
+    let s = generate::key_unique_pairs(n, 0, 1 << 40, 2);
+    let mut g = c.benchmark_group("e01_regimes");
+    g.bench_function("ideal_hash_join", |b| {
+        b.iter(|| black_box(twoway::hash_join(&r, 1, &s, 0, p, 42)))
+    });
+    g.bench_function("naive1_one_server", |b| {
+        b.iter(|| black_box(baselines::naive_one_server(&r, 1, &s, 0, p)))
+    });
+    g.bench_function("naive2_ring", |b| {
+        b.iter(|| black_box(baselines::naive_ring(&r, 1, &s, 0, p)))
+    });
+    g.finish();
+}
+
+fn bench_e02_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_skew_threshold");
+    for d in [1usize, 64, 4096] {
+        let rel = generate::uniform_degree_pairs(40_000, d, 0, 1 << 30, d as u64);
+        let probe = generate::key_unique_pairs(1, 0, 2, 1);
+        g.bench_with_input(BenchmarkId::new("hash_partition_degree", d), &d, |b, _| {
+            b.iter(|| black_box(twoway::hash_join(&rel, 0, &probe, 0, 16, 7)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e03_cartesian(c: &mut Criterion) {
+    let r = generate::uniform(1, 1000, 1 << 30, 1);
+    let s = generate::uniform(1, 1000, 1 << 30, 2);
+    let mut g = c.benchmark_group("e03_cartesian");
+    for p in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("grid", p), &p, |b, &p| {
+            b.iter(|| black_box(twoway::cartesian(&r, &s, p, 42)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e04_skew(c: &mut Criterion) {
+    let n = 20_000;
+    let p = 64;
+    let r = generate::zipf_pairs(n, n / 4, 1.2, 1, 5);
+    let s = generate::zipf_pairs(n, n / 4, 1.2, 0, 6);
+    let mut g = c.benchmark_group("e04_skew_join");
+    g.bench_function("hash_join_zipf", |b| {
+        b.iter(|| black_box(twoway::hash_join(&r, 1, &s, 0, p, 42)))
+    });
+    g.bench_function("skew_join_zipf", |b| {
+        b.iter(|| black_box(twoway::skew_join(&r, 1, &s, 0, p, 42)))
+    });
+    g.bench_function("sort_merge_join_zipf", |b| {
+        b.iter(|| black_box(twoway::sort_merge_join(&r, 1, &s, 0, p, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e01_regimes,
+    bench_e02_partitioning,
+    bench_e03_cartesian,
+    bench_e04_skew
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the multi-round experiments (E11–E12): GYM in
+//! both modes, generalized GHD execution, and the binary-join baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parqp::data::generate;
+use parqp::join::{gym, plans};
+use parqp::prelude::*;
+use parqp_data::Relation;
+use std::hint::black_box;
+
+fn chain_data(n: usize, tuples: usize) -> Vec<Relation> {
+    (0..n)
+        .map(|i| generate::key_unique_pairs(tuples, 1, tuples as u64, 90 + i as u64))
+        .collect()
+}
+
+fn bench_e11_crossover(c: &mut Criterion) {
+    let q = Query::chain(3);
+    let tree = Ghd::join_tree(&q).expect("acyclic");
+    let rels = chain_data(3, 20_000);
+    let mut grp = c.benchmark_group("e11_crossover");
+    grp.sample_size(10);
+    grp.bench_function("gym_chain3", |b| {
+        b.iter(|| black_box(gym::gym(&q, &rels, &tree, 64, 5, true)))
+    });
+    grp.bench_function("hypercube_chain3", |b| {
+        b.iter(|| black_box(parqp::join::multiway::hypercube(&q, &rels, 64, 5)))
+    });
+    grp.bench_function("binary_plan_chain3", |b| {
+        b.iter(|| black_box(plans::binary_join_plan(&q, &rels, 64, 5, None)))
+    });
+    grp.finish();
+}
+
+fn bench_e12_gym_modes(c: &mut Criterion) {
+    let q = Query::star(6);
+    let tree = Ghd::star_flat(&q);
+    let rels: Vec<Relation> = (0..6)
+        .map(|i| generate::key_unique_pairs(10_000, 0, 10_000, 80 + i as u64))
+        .collect();
+    let mut grp = c.benchmark_group("e12_gym");
+    grp.sample_size(10);
+    grp.bench_function("vanilla_star6", |b| {
+        b.iter(|| black_box(gym::gym(&q, &rels, &tree, 16, 5, false)))
+    });
+    grp.bench_function("optimized_star6", |b| {
+        b.iter(|| black_box(gym::gym(&q, &rels, &tree, 16, 5, true)))
+    });
+
+    // Small instance: the balanced GHD's disconnected bags materialize
+    // IN^w Cartesian products (see gym_ghd docs).
+    let n = 12;
+    let qc = Query::chain(n);
+    let rels = chain_data(n, 80);
+    for (name, ghd) in [
+        ("ghd_w1", Ghd::chain_blocks(n, 1)),
+        ("ghd_w3", Ghd::chain_blocks(n, 3)),
+        ("ghd_balanced", Ghd::chain_balanced(n)),
+    ] {
+        grp.bench_with_input(BenchmarkId::new("chain12", name), &ghd, |b, ghd| {
+            b.iter(|| black_box(gym::gym_ghd(&qc, &rels, ghd, 16, 7)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_e11_crossover, bench_e12_gym_modes);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the sorting experiments (E13): PSRS and the
+//! multi-round splitter-tree sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parqp::prelude::*;
+use parqp::sort::{multiround_sort, psrs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn items(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_psrs(c: &mut Criterion) {
+    let data = items(100_000, 3);
+    let mut grp = c.benchmark_group("e13_psrs");
+    grp.sample_size(10);
+    for p in [8usize, 64] {
+        grp.bench_with_input(BenchmarkId::new("psrs", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(p);
+                let local = cluster.scatter(data.clone());
+                black_box(psrs(&mut cluster, local))
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn bench_multiround(c: &mut Criterion) {
+    let data = items(50_000, 5);
+    let mut grp = c.benchmark_group("e13_multiround");
+    grp.sample_size(10);
+    for f in [2usize, 8] {
+        grp.bench_with_input(BenchmarkId::new("fanout", f), &f, |b, &f| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(64);
+                let local = cluster.scatter(data.clone());
+                black_box(multiround_sort(&mut cluster, local, f))
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_psrs, bench_multiround);
+criterion_main!(benches);

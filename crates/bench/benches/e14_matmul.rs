@@ -1,0 +1,35 @@
+//! Criterion benches for the matrix-multiplication experiments (E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parqp::matmul::{rect_block, sql_matmul, square_block, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = 64;
+    let a = Matrix::random(n, 1);
+    let b = Matrix::random(n, 2);
+    let mut grp = c.benchmark_group("e14_matmul");
+    grp.sample_size(10);
+    grp.bench_function("serial_oracle", |bch| {
+        bch.iter(|| black_box(a.multiply(&b)))
+    });
+    for t in [8usize, 16] {
+        grp.bench_with_input(BenchmarkId::new("rect_block", t), &t, |bch, &t| {
+            bch.iter(|| black_box(rect_block(&a, &b, t)))
+        });
+    }
+    for (h, p) in [(8usize, 64usize), (4, 16)] {
+        grp.bench_with_input(
+            BenchmarkId::new("square_block", format!("h{h}_p{p}")),
+            &(h, p),
+            |bch, &(h, p)| bch.iter(|| black_box(square_block(&a, &b, h, p))),
+        );
+    }
+    grp.bench_function("sql_matmul_p16", |bch| {
+        bch.iter(|| black_box(sql_matmul(&a, &b, 16, 5)))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

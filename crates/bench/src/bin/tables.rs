@@ -1,0 +1,56 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p parqp-bench --bin tables             # all experiments
+//! cargo run --release -p parqp-bench --bin tables -- e05 e08  # a subset
+//! cargo run --release -p parqp-bench --bin tables -- --csv results/
+//! ```
+//!
+//! With `--csv <dir>` each table is also written as a CSV file named
+//! `<experiment>_<index>.csv` under the directory.
+
+use parqp_bench::experiments;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            csv_dir = Some(it.next().unwrap_or_else(|| {
+                eprintln!("--csv requires a directory argument");
+                std::process::exit(2);
+            }));
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.is_empty() {
+        ids = experiments::ALL.iter().map(ToString::to_string).collect();
+    }
+    for id in &ids {
+        if !experiments::ALL.contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment id {id:?}; expected one of: {}",
+                experiments::ALL.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let tables = experiments::run(id);
+        for (i, t) in tables.iter().enumerate() {
+            writeln!(out, "{}", t.render()).expect("stdout");
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{dir}/{id}_{i}.csv");
+                std::fs::write(&path, t.to_csv()).expect("write csv");
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! ABL — ablations of this implementation's own design choices.
+//!
+//! Not a paper table; these justify decisions DESIGN.md calls out:
+//!
+//! 1. **Share rounding** — our greedy integer rounding (max-load primary,
+//!    total-load tiebreak) versus naive `⌊p^{eᵢ}⌋` rounding;
+//! 2. **Aggregation strategy** — raw hash shuffle vs combiner vs
+//!    reduction tree across a skew sweep;
+//! 3. **Semijoin style** — the request/reply semijoin (keys travel, data
+//!    stays) versus the co-hash binary plan on the slide 58 query under
+//!    skew;
+//! 4. **Sort oversampling** — splitter sample size vs final load balance
+//!    in the multi-round sort.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::{aggregate, hl, plans};
+use parqp::prelude::*;
+use parqp_lp::{optimal_share_exponents, predicted_load, Hypergraph};
+
+/// Naive rounding: `max(1, ⌊p^{eᵢ}⌋)`, then shrink the largest share
+/// until the product fits.
+fn naive_shares(h: &Hypergraph, p: usize, exponents: &[f64]) -> Vec<usize> {
+    let mut shares: Vec<usize> = exponents
+        .iter()
+        .map(|&e| ((p as f64).powf(e).floor() as usize).max(1))
+        .collect();
+    while shares.iter().product::<usize>() > p {
+        let i = (0..shares.len())
+            .max_by_key(|&i| shares[i])
+            .expect("nonempty");
+        shares[i] = (shares[i] - 1).max(1);
+        let _ = h;
+    }
+    shares
+}
+
+/// Run the ablation tables.
+pub fn run() -> Vec<Table> {
+    // 1. Share rounding.
+    let mut t1 = Table::new(
+        "ABL-1: integer share rounding — greedy (ours) vs naive floor",
+        &[
+            "query",
+            "p",
+            "greedy shares",
+            "greedy L",
+            "naive shares",
+            "naive L",
+        ],
+    );
+    for (name, h) in [
+        ("triangle", Hypergraph::triangle()),
+        ("chain-8", Hypergraph::chain(8)),
+        ("chain-20", Hypergraph::chain(20)),
+        ("cycle-5", Hypergraph::cycle(5)),
+    ] {
+        let sizes = vec![100_000u64; h.num_edges()];
+        for p in [17usize, 100, 1024] {
+            let (e, _) = optimal_share_exponents(&h, &sizes, p);
+            let greedy = parqp_lp::integer_shares(&h, &sizes, p, &e);
+            let naive = naive_shares(&h, p, &e);
+            t1.row(vec![
+                name.into(),
+                p.to_string(),
+                compact(&greedy),
+                fmt(predicted_load(&h, &sizes, &greedy)),
+                compact(&naive),
+                fmt(predicted_load(&h, &sizes, &naive)),
+            ]);
+        }
+    }
+
+    // 2. Aggregation strategies across skew.
+    let mut t2 = Table::new(
+        "ABL-2: GROUP BY strategies — L across a skew sweep (N = 40000, p = 32)",
+        &[
+            "zipf α",
+            "groups",
+            "hash L",
+            "combiner L",
+            "tree f=4 L",
+            "tree rounds",
+        ],
+    );
+    let n = 40_000;
+    let p = 32;
+    for alpha in [0.0, 1.0, 1.5] {
+        let rel = generate::zipf_pairs(n, 2000, alpha, 0, 7);
+        let groups = parqp::data::stats::distinct_count(&rel, 0);
+        let hash = aggregate::hash_group_sum(&rel, 0, 1, p, 3);
+        let comb = aggregate::combiner_group_sum(&rel, 0, 1, p, 3);
+        let tree = aggregate::tree_group_sum(&rel, 0, 1, p, 4);
+        t2.row(vec![
+            alpha.to_string(),
+            groups.to_string(),
+            hash.report.max_load_tuples().to_string(),
+            comb.report.max_load_tuples().to_string(),
+            tree.report.max_load_tuples().to_string(),
+            tree.report.num_rounds().to_string(),
+        ]);
+    }
+
+    // 4. Sort splitter oversampling: sample load vs final balance.
+    let mut t4 = Table::new(
+        "ABL-4: multi-round sort oversampling (N = 64000, p = 64, f = 4)",
+        &["oversample", "max final partition", "ideal N/p", "sort L"],
+    );
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 64_000usize;
+        let ps = 64usize;
+        let mut rng = StdRng::seed_from_u64(11);
+        let items: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        for oversample in [1usize, 2, 8, 32] {
+            let mut cluster = parqp::mpc::Cluster::new(ps);
+            let local = cluster.scatter(items.clone());
+            let parts =
+                parqp::sort::multiround_sort_with_oversample(&mut cluster, local, 4, oversample);
+            let max_part = parts.iter().map(Vec::len).max().unwrap_or(0);
+            t4.row(vec![
+                oversample.to_string(),
+                max_part.to_string(),
+                (n / ps).to_string(),
+                cluster.report().max_load_tuples().to_string(),
+            ]);
+        }
+    }
+
+    // 3. Semijoin style under skew (slide 58's query).
+    let mut t3 = Table::new(
+        "ABL-3: semijoin style on R(x)⋈S(x,y)⋈T(y), heavy x (N = 8000, p = 64)",
+        &["engine", "L", "rounds"],
+    );
+    let q = Query::semijoin_pair();
+    let r = generate::unary_range(10);
+    let s = generate::constant_key_pairs(8000, 5, 0);
+    let t = generate::unary_range(8000);
+    let rels = vec![r.clone(), s.clone(), t.clone()];
+    let reqrep = hl::semijoin_pair_hl(&r, &s, &t, 64, 7);
+    let cohash = plans::binary_join_plan(&q, &rels, 64, 7, None);
+    assert_eq!(reqrep.gathered().canonical(), cohash.gathered().canonical());
+    for (name, run) in [
+        ("request/reply semijoins", &reqrep),
+        ("co-hash binary plan", &cohash),
+    ] {
+        t3.row(vec![
+            name.into(),
+            run.report.max_load_tuples().to_string(),
+            run.report.num_rounds().to_string(),
+        ]);
+    }
+    vec![t1, t2, t3, t4]
+}
+
+fn compact(shares: &[usize]) -> String {
+    shares
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn greedy_never_worse_than_naive() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            let greedy: f64 = row[3].parse().expect("greedy L");
+            let naive: f64 = row[5].parse().expect("naive L");
+            assert!(
+                greedy <= naive * 1.0001,
+                "{} p={}: greedy {greedy} worse than naive {naive}",
+                row[0],
+                row[1]
+            );
+        }
+    }
+
+    #[test]
+    fn combiner_dominates_hash_under_heavy_skew() {
+        let tables = super::run();
+        let skewed = tables[1].rows.last().expect("rows");
+        let hash: f64 = skewed[2].parse().expect("hash L");
+        let comb: f64 = skewed[3].parse().expect("combiner L");
+        assert!(comb < hash, "combiner {comb} vs hash {hash}");
+    }
+
+    #[test]
+    fn request_reply_beats_cohash_under_skew() {
+        let tables = super::run();
+        let l_req: f64 = tables[2].rows[0][1].parse().expect("L");
+        let l_hash: f64 = tables[2].rows[1][1].parse().expect("L");
+        assert!(
+            l_req * 2.0 < l_hash,
+            "req/reply {l_req} vs co-hash {l_hash}"
+        );
+    }
+}

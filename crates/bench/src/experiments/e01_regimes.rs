@@ -1,0 +1,93 @@
+//! E01 — the MPC cost-regime table (slides 13–18).
+//!
+//! The tutorial opens with four reference points for a join of total
+//! input `IN` on `p` servers: the ideal (`L = IN/p`, one round), the
+//! practical (`L = IN/p^{1−ε}`, `O(1)` rounds), and the two naive
+//! strategies (`L = IN` in one round; `L = IN/p` over `p` rounds). We
+//! measure all four on the same skew-free two-way join.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::{baselines, twoway};
+
+/// Run E01.
+pub fn run() -> Vec<Table> {
+    let p = 16;
+    let n = 40_000;
+    let input = 2 * n;
+    let r = generate::key_unique_pairs(n, 1, 1 << 40, 1);
+    let s = generate::key_unique_pairs(n, 0, 1 << 40, 2);
+
+    let ideal = twoway::hash_join(&r, 1, &s, 0, p, 42);
+    // "Practical O(1) rounds at IN/p^{1−ε}": the 4-round sort join is the
+    // suite's representative of a constant-round, slightly-super-ideal-
+    // load algorithm.
+    let practical = twoway::sort_merge_join(&r, 1, &s, 0, p, 42);
+    let naive1 = baselines::naive_one_server(&r, 1, &s, 0, p);
+    let naive2 = baselines::naive_ring(&r, 1, &s, 0, p);
+
+    let mut t = Table::new(
+        format!("E01 (slides 13–18): cost regimes, IN = {input}, p = {p}"),
+        &[
+            "strategy",
+            "L (tuples)",
+            "rounds",
+            "C (tuples)",
+            "paper L",
+            "paper r",
+        ],
+    );
+    let rows = [
+        (
+            "ideal: hash join",
+            &ideal,
+            fmt(input as f64 / p as f64),
+            "1".to_string(),
+        ),
+        (
+            "practical: sort join",
+            &practical,
+            format!("~{}", fmt(input as f64 / p as f64)),
+            "O(1)".to_string(),
+        ),
+        (
+            "naive 1: one server",
+            &naive1,
+            fmt(input as f64),
+            "1".to_string(),
+        ),
+        (
+            "naive 2: ring",
+            &naive2,
+            fmt(input as f64 / p as f64),
+            format!("{p}"),
+        ),
+    ];
+    for (name, run, paper_l, paper_r) in rows {
+        t.row(vec![
+            name.to_string(),
+            run.report.max_load_tuples().to_string(),
+            run.report.num_rounds().to_string(),
+            run.report.total_tuples().to_string(),
+            paper_l,
+            paper_r,
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn regimes_ordered_as_the_paper_says() {
+        let t = &super::run()[0];
+        let l_of = |i: usize| t.rows[i][1].parse::<u64>().expect("load cell");
+        let r_of = |i: usize| t.rows[i][2].parse::<u64>().expect("round cell");
+        // naive1's load is ~p× the ideal's; naive2 matches ideal load but
+        // takes ~p rounds.
+        assert!(l_of(2) > 10 * l_of(0));
+        assert!(r_of(3) >= 15);
+        assert_eq!(r_of(0), 1);
+    }
+}

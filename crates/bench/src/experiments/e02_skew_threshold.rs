@@ -1,0 +1,79 @@
+//! E02 — the effect of skew on hash partitioning (slides 24–26).
+//!
+//! Two tables:
+//!
+//! 1. the slide 26 **figure**, computed at the paper's own scale
+//!    (`IN = 10¹¹`, 30% over the mean, 95% confidence): the largest
+//!    tolerable uniform degree `d` as a function of `p`;
+//! 2. an **empirical validation** at laptop scale: partition inputs of
+//!    increasing uniform degree and watch the measured max-load ratio
+//!    cross the predicted threshold.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::model;
+use parqp_mpc::HashFamily;
+
+/// Run E02.
+pub fn run() -> Vec<Table> {
+    // Table 1: the analytic curve of slide 26.
+    let mut fig = Table::new(
+        "E02a (slide 26 figure): degree threshold d vs p — IN = 1e11, ε = 0.3, δ = 0.05",
+        &["p", "d threshold", "d (millions)"],
+    );
+    for p in (50..=1000).step_by(50) {
+        let d = model::degree_threshold(1e11, f64::from(p), 0.3, 0.05);
+        fig.row(vec![p.to_string(), fmt(d), format!("{:.2}", d / 1e6)]);
+    }
+
+    // Table 2: empirical transition at laptop scale.
+    let input = 48_000usize;
+    let p = 16usize;
+    let eps = 0.3;
+    let threshold = model::degree_threshold(input as f64, p as f64, eps, 0.05);
+    let mut emp = Table::new(
+        format!(
+            "E02b: measured max-load ratio vs degree — IN = {input}, p = {p} \
+             (predicted threshold d ≈ {})",
+            fmt(threshold)
+        ),
+        &[
+            "degree d",
+            "L / (IN/p)",
+            "Chernoff bound on Pr[ratio ≥ 1.3]",
+        ],
+    );
+    for d in [1usize, 4, 16, 64, 256, 1024, 4096, 12_000] {
+        let rel = generate::uniform_degree_pairs(input, d, 0, 1 << 30, d as u64);
+        let h = HashFamily::new(7, 1);
+        let mut counts = vec![0u64; p];
+        for row in rel.iter() {
+            counts[h.hash(0, row[0], p)] += 1;
+        }
+        let ratio = *counts.iter().max().expect("p > 0") as f64 / (rel.len() as f64 / p as f64);
+        let bound = model::hash_partition_tail_bound(rel.len() as f64, p as f64, d as f64, eps);
+        emp.row(vec![d.to_string(), format!("{ratio:.3}"), fmt(bound)]);
+    }
+    vec![fig, emp]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn curve_decreases_and_transition_happens() {
+        let tables = super::run();
+        let fig = &tables[0];
+        let first: f64 = fig.rows.first().expect("rows")[1]
+            .parse()
+            .unwrap_or(f64::MAX);
+        let last: f64 = fig.rows.last().expect("rows")[1].parse().unwrap_or(0.0);
+        assert!(first > 10.0 * last, "threshold must fall steeply with p");
+
+        let emp = &tables[1];
+        let lo: f64 = emp.rows.first().expect("rows")[1].parse().expect("ratio");
+        let hi: f64 = emp.rows.last().expect("rows")[1].parse().expect("ratio");
+        assert!(lo < 1.5, "degree-1 partitioning is balanced: {lo}");
+        assert!(hi > 2.0, "extreme degrees overload one server: {hi}");
+    }
+}

@@ -1,0 +1,86 @@
+//! E03 — the Cartesian-product grid (slide 28).
+//!
+//! Measured load of the `p₁ × p₂` product algorithm against the paper's
+//! `L = 2√(|R|·|S|/p)`, sweeping `p` and the size ratio `|R|/|S|` —
+//! including the `|R| ≪ |S|` regime where the optimal grid degenerates
+//! into a broadcast of `R`.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::twoway;
+
+/// Run E03.
+pub fn run() -> Vec<Table> {
+    let mut sweep = Table::new(
+        "E03a (slide 28): Cartesian product, |R| = |S| = 2000 — L vs 2√(|R||S|/p)",
+        &["p", "grid", "measured L", "paper 2√(RS/p)", "ratio"],
+    );
+    let n = 2000;
+    let r = generate::uniform(1, n, 1 << 30, 1);
+    let s = generate::uniform(1, n, 1 << 30, 2);
+    for p in [4usize, 16, 64, 256] {
+        let run = twoway::cartesian(&r, &s, p, 42);
+        let (p1, p2) = twoway::product_grid(n, n, p);
+        let paper = 2.0 * ((n * n) as f64 / p as f64).sqrt();
+        let l = run.report.max_load_tuples() as f64;
+        sweep.row(vec![
+            p.to_string(),
+            format!("{p1}x{p2}"),
+            fmt(l),
+            fmt(paper),
+            format!("{:.2}", l / paper),
+        ]);
+        assert_eq!(run.output_size(), n * n, "product must be complete");
+    }
+
+    let mut ratio = Table::new(
+        "E03b (slides 28, 32): unequal sides at p = 64 — grid shifts toward broadcast",
+        &[
+            "|R|",
+            "|S|",
+            "grid",
+            "measured L",
+            "paper 2√(RS/p)",
+            "broadcast L = |R|+|S|/p",
+        ],
+    );
+    let p = 64;
+    for (nr, ns) in [(2000, 2000), (500, 8000), (100, 40_000), (16, 40_000)] {
+        let r = generate::uniform(1, nr, 1 << 30, 3);
+        let s = generate::uniform(1, ns, 1 << 30, 4);
+        let run = twoway::cartesian(&r, &s, p, 7);
+        let (p1, p2) = twoway::product_grid(nr, ns, p);
+        let paper = 2.0 * ((nr * ns) as f64 / p as f64).sqrt();
+        let bcast = nr as f64 + ns as f64 / p as f64;
+        ratio.row(vec![
+            nr.to_string(),
+            ns.to_string(),
+            format!("{p1}x{p2}"),
+            fmt(run.report.max_load_tuples() as f64),
+            fmt(paper),
+            fmt(bcast),
+        ]);
+    }
+    vec![sweep, ratio]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn load_tracks_square_root_law() {
+        let tables = super::run();
+        let sweep = &tables[0];
+        for row in &sweep.rows {
+            let ratio: f64 = row[4].parse().expect("ratio");
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "measured/paper ratio {ratio} out of band"
+            );
+        }
+        // 16× more servers ⇒ ~4× smaller load between first and last row.
+        let l4: f64 = sweep.rows[0][2].parse().expect("L");
+        let l256: f64 = sweep.rows[3][2].parse().expect("L");
+        assert!(l4 / l256 > 4.0, "√p scaling violated: {l4} vs {l256}");
+    }
+}

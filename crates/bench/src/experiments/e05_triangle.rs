@@ -1,0 +1,98 @@
+//! E05 — the triangle query in one round (slides 34–36).
+//!
+//! HyperCube load `Θ(N/p^{2/3})` versus the iterative binary-join plan,
+//! sweeping `p`. The log-log slope of load against `p` is the shape the
+//! theorem predicts: ≈ −2/3 for the HyperCube, ≈ −1-with-blowup for the
+//! plan (whose intermediate `R ⋈ S` can far exceed the input).
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::{multiway, plans};
+use parqp::prelude::*;
+
+/// Least-squares slope of `ln y` against `ln x`.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x.ln(), b + y.ln()));
+    let (sxx, sxy): (f64, f64) = points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| {
+        (a + x.ln() * x.ln(), b + x.ln() * y.ln())
+    });
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Run E05.
+pub fn run() -> Vec<Table> {
+    // A graph with real density: average degree ~20, so the binary plan's
+    // intermediate R ⋈ S (all length-2 paths ≈ Σ deg²) far exceeds IN —
+    // the blow-up the one-round algorithm avoids (slide 63).
+    let n = 30_000;
+    let g = generate::random_symmetric_graph(1500, n, 21);
+    let n = g.len();
+    let q = Query::triangle();
+    let rels = vec![g.clone(), g.clone(), g];
+    let paths = plans::max_intermediate_size(&q, &rels, None);
+
+    let mut t = Table::new(
+        format!(
+            "E05 (slide 36): triangle on a graph, N = {n} edges per relation, \
+             plan intermediate = {paths} — L vs p"
+        ),
+        &[
+            "p",
+            "HyperCube L",
+            "paper N/p^(2/3)",
+            "plan L",
+            "plan rounds",
+        ],
+    );
+    let mut hc_points = Vec::new();
+    for p in [8usize, 27, 64, 216, 512] {
+        let hc = multiway::hypercube(&q, &rels, p, 5);
+        let plan = plans::binary_join_plan(&q, &rels, p, 5, None);
+        let paper = n as f64 / (p as f64).powf(2.0 / 3.0);
+        hc_points.push((p as f64, hc.report.max_load_tuples() as f64));
+        t.row(vec![
+            p.to_string(),
+            hc.report.max_load_tuples().to_string(),
+            fmt(paper),
+            plan.report.max_load_tuples().to_string(),
+            plan.report.num_rounds().to_string(),
+        ]);
+    }
+    let slope = loglog_slope(&hc_points);
+    let mut s = Table::new(
+        "E05 summary: fitted log-log slope of HyperCube load vs p",
+        &["quantity", "value", "paper"],
+    );
+    s.row(vec![
+        "slope".into(),
+        format!("{slope:.3}"),
+        "-2/3 ≈ -0.667".into(),
+    ]);
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hypercube_slope_is_two_thirds() {
+        let tables = super::run();
+        let slope: f64 = tables[1].rows[0][1].parse().expect("slope");
+        assert!(
+            (-0.80..=-0.55).contains(&slope),
+            "triangle load slope {slope} not ≈ -2/3"
+        );
+    }
+
+    #[test]
+    fn loglog_slope_exact_on_powerlaw() {
+        let pts: Vec<(f64, f64)> = [1.0f64, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&x| (x, 100.0 * x.powf(-0.5)))
+            .collect();
+        assert!((super::loglog_slope(&pts) + 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! E06 — triangle with unequal sizes: the edge-packing table
+//! (slides 42–44).
+//!
+//! For `Δ = R(x,y) ⋈ S(y,z) ⋈ T(z,x)` the optimal load is the maximum
+//! over edge packings `u` of `(|R|^{u_R}|S|^{u_S}|T|^{u_T}/p)^{1/Σu}`,
+//! with the interesting packings being `(½,½,½)` (balanced sizes, full
+//! 3-d shares) and the three unit vectors (one dominant relation,
+//! `p_z = 1`). We print each packing's value, which one attains the max,
+//! the LP's integer shares, and the measured HyperCube load.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::multiway;
+use parqp::prelude::*;
+use parqp_lp::plan_shares;
+
+/// The four packing rows of slide 42: `(u_R, u_S, u_T)` and the load
+/// value each induces.
+pub fn packing_rows(sizes: [f64; 3], p: f64) -> [((f64, f64, f64), f64); 4] {
+    let [r, s, t] = sizes;
+    let val = |ur: f64, us: f64, ut: f64| -> f64 {
+        let total = ur + us + ut;
+        ((r.powf(ur) * s.powf(us) * t.powf(ut)) / p).powf(1.0 / total)
+    };
+    [
+        ((0.5, 0.5, 0.5), val(0.5, 0.5, 0.5)),
+        ((1.0, 0.0, 0.0), val(1.0, 0.0, 0.0)),
+        ((0.0, 1.0, 0.0), val(0.0, 1.0, 0.0)),
+        ((0.0, 0.0, 1.0), val(0.0, 0.0, 1.0)),
+    ]
+}
+
+/// Run E06.
+pub fn run() -> Vec<Table> {
+    let p = 64usize;
+    let q = Query::triangle();
+    let mut tables = Vec::new();
+    let cases: [(&str, [usize; 3]); 3] = [
+        ("equal sizes", [8000, 8000, 8000]),
+        ("R dominant", [64_000, 2000, 2000]),
+        ("S dominant", [2000, 64_000, 2000]),
+    ];
+
+    let mut summary = Table::new(
+        format!("E06 (slides 42–44): triangle with unequal sizes, p = {p}"),
+        &[
+            "case",
+            "max packing",
+            "packing L",
+            "LP shares",
+            "predicted L",
+            "measured L",
+        ],
+    );
+    for (name, sizes) in cases {
+        let mut t = Table::new(
+            format!(
+                "E06 detail ({name}): |R|={}, |S|={}, |T|={}",
+                sizes[0], sizes[1], sizes[2]
+            ),
+            &["u_R", "u_S", "u_T", "load value"],
+        );
+        let rows = packing_rows(
+            [sizes[0] as f64, sizes[1] as f64, sizes[2] as f64],
+            p as f64,
+        );
+        let mut best = (0usize, 0.0f64);
+        for (i, ((ur, us, ut), v)) in rows.iter().enumerate() {
+            t.row(vec![fmt(*ur), fmt(*us), fmt(*ut), fmt(*v)]);
+            if *v > best.1 {
+                best = (i, *v);
+            }
+        }
+        tables.push(t);
+
+        let szs: Vec<u64> = sizes.iter().map(|&x| x as u64).collect();
+        let plan = plan_shares(&q.hypergraph(), &szs, p);
+        let predicted = parqp_lp::predicted_load(&q.hypergraph(), &szs, &plan.shares);
+        let rels: Vec<Relation> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &sz)| generate::uniform(2, sz, 1 << 40, 100 + i as u64))
+            .collect();
+        let run = multiway::hypercube_with_shares(&q, &rels, &plan.shares, 5);
+        let label = ["(1/2,1/2,1/2)", "(1,0,0)", "(0,1,0)", "(0,0,1)"][best.0];
+        summary.row(vec![
+            name.to_string(),
+            label.to_string(),
+            fmt(best.1),
+            format!("{}x{}x{}", plan.shares[0], plan.shares[1], plan.shares[2]),
+            fmt(predicted),
+            run.report.max_load_tuples().to_string(),
+        ]);
+    }
+    tables.insert(0, summary);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_sizes_balanced_packing_wins() {
+        let rows = packing_rows([8000.0, 8000.0, 8000.0], 64.0);
+        let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        assert!(
+            (rows[0].1 - max).abs() < 1e-9,
+            "(1/2,1/2,1/2) attains the max"
+        );
+        // Slide 41: L = N/p^{2/3}.
+        assert!((rows[0].1 - 8000.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominant_relation_unit_packing_wins() {
+        // Slide 44: |R| huge ⇒ packing (1,0,0) attains max, L = |R|/p.
+        let rows = packing_rows([64_000.0, 2000.0, 2000.0], 64.0);
+        assert!((rows[1].1 - 1000.0).abs() < 1e-9);
+        let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        assert!((rows[1].1 - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_tracks_predicted() {
+        let tables = run();
+        for row in &tables[0].rows {
+            let predicted: f64 = row[4].parse().expect("predicted");
+            let measured: f64 = row[5].parse().expect("measured");
+            // Measured counts all three relations plus hashing noise.
+            assert!(
+                measured < 4.0 * predicted && measured > 0.5 * predicted,
+                "{}: measured {measured} vs predicted {predicted}",
+                row[0]
+            );
+        }
+    }
+}

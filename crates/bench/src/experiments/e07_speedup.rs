@@ -1,0 +1,83 @@
+//! E07 — the HyperCube speedup figure (slide 45).
+//!
+//! The fractional-share speedup is `p^{1/τ*}` — but real grids need
+//! integer shares, so small `p` deviates (often favourably: a share of 2
+//! on the right dimension can beat the fractional average) and the curve
+//! settles onto `p^{1/τ*}` as `p` grows. We print the fractional ideal,
+//! the integer-share prediction, and the measured load speedup for the
+//! triangle query.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::multiway;
+use parqp::model;
+use parqp::prelude::*;
+use parqp_lp::{plan_shares, predicted_load};
+
+/// Run E07.
+pub fn run() -> Vec<Table> {
+    let n = 20_000usize;
+    let q = Query::triangle();
+    let g = generate::uniform(2, n, 1 << 40, 31);
+    let rels = vec![g.clone(), g.clone(), g];
+    let hg = q.hypergraph();
+    let sizes = [n as u64; 3];
+    let tau = model::tau_star(&q);
+
+    let l1 = multiway::hypercube(&q, &rels, 1, 5)
+        .report
+        .max_load_tuples() as f64;
+    let mut t = Table::new(
+        format!("E07 (slide 45): HyperCube speedup vs p — triangle, N = {n}"),
+        &[
+            "p",
+            "shares",
+            "ideal p^(1/τ*)",
+            "integer-share speedup",
+            "measured speedup",
+        ],
+    );
+    for p in [2usize, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let plan = plan_shares(&hg, &sizes, p);
+        let pred = predicted_load(&hg, &sizes, &plan.shares);
+        let run = multiway::hypercube_with_shares(&q, &rels, &plan.shares, 5);
+        let measured = l1 / run.report.max_load_tuples() as f64;
+        t.row(vec![
+            p.to_string(),
+            plan.shares
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x"),
+            fmt(model::hypercube_speedup(p as f64, tau)),
+            fmt(n as f64 / pred),
+            fmt(measured),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn speedup_grows_and_tracks_ideal_at_large_p() {
+        let t = &super::run()[0];
+        let rows = &t.rows;
+        let measured: Vec<f64> = rows
+            .iter()
+            .map(|r| r[4].parse().expect("measured"))
+            .collect();
+        assert!(
+            measured.windows(2).all(|w| w[1] >= w[0] * 0.95),
+            "speedup must be (weakly) increasing: {measured:?}"
+        );
+        let last = rows.last().expect("rows");
+        let ideal: f64 = last[2].parse().expect("ideal");
+        let m: f64 = last[4].parse().expect("measured");
+        assert!(
+            m > 0.5 * ideal && m < 3.0 * ideal,
+            "at p = 512, measured {m} should track ideal {ideal}"
+        );
+    }
+}

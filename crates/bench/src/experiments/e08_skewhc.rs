@@ -1,0 +1,188 @@
+//! E08 — SkewHC: the residual-query table and the τ\*/ψ\* summary
+//! (slides 48–51).
+//!
+//! Table 1 reproduces slides 48–50: for each heavy/light combination of
+//! the triangle's variables, the residual query, its τ\*, the
+//! theoretical load `N/p^{1/τ*}`, and the shares SkewHC actually plans.
+//!
+//! Table 2 reproduces slide 51: per query, τ\*, ψ\*, the skew-free
+//! one-round load and the skewed one-round load — with measured loads on
+//! matching workloads next to each formula.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::{multiway, skewhc};
+use parqp::model;
+use parqp::prelude::*;
+use parqp::query::{all_residuals, psi_star};
+
+fn residual_to_string(q: &Query, heavy_mask: usize) -> String {
+    let heavy: Vec<usize> = (0..q.num_vars())
+        .filter(|&v| heavy_mask & (1 << v) != 0)
+        .collect();
+    let res = parqp::query::residual(q, &heavy);
+    match &res.query {
+        None => "(empty)".into(),
+        Some(rq) => rq.to_string(),
+    }
+}
+
+/// Run E08.
+pub fn run() -> Vec<Table> {
+    let q = Query::triangle();
+    let p = 64usize;
+    let n = 20_000usize;
+
+    // Table 1: residual queries of the triangle (slides 48–50).
+    // Workload with heavy values on every variable so all combinations
+    // are exercised.
+    let mut g = generate::uniform(2, n, 1 << 40, 41);
+    for i in 0..(n / 8) as u64 {
+        g.push(&[3, 1_000_000 + i]); // x-heavy and y-heavy rows
+        g.push(&[1_000_000 + i, 3]);
+    }
+    let rels = vec![g.clone(), g.clone(), g.clone()];
+    let (run_skew, plans) = skewhc::skewhc_with_plans(&q, &rels, p, 5);
+
+    let names = ["x", "y", "z"];
+    let mut t1 = Table::new(
+        format!("E08a (slides 48–50): triangle residual queries, p = {p}"),
+        &[
+            "x",
+            "y",
+            "z",
+            "residual query",
+            "τ*",
+            "paper L = N/p^(1/τ*)",
+            "planned shares",
+        ],
+    );
+    for res in all_residuals(&q) {
+        let mask: usize = res.heavy_vars.iter().map(|&v| 1usize << v).sum();
+        let tau = res.tau_star();
+        let status = |v: usize| {
+            if mask & (1 << v) != 0 {
+                "heavy"
+            } else {
+                "light"
+            }
+        };
+        let plan = plans
+            .iter()
+            .find(|c| c.mask == mask)
+            .expect("plan per mask");
+        let paper = if tau > 0.0 {
+            fmt(model::one_round_load(g.len() as f64, p as f64, tau))
+        } else {
+            "-".into()
+        };
+        t1.row(vec![
+            status(0).into(),
+            status(1).into(),
+            status(2).into(),
+            residual_to_string(&q, mask),
+            fmt(tau),
+            paper,
+            plan.shares
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x"),
+        ]);
+        let _ = names;
+    }
+
+    // Table 2: slide 51 summary with measured loads.
+    let mut t2 = Table::new(
+        format!("E08b (slide 51): one-round loads with and without skew, p = {p}"),
+        &[
+            "query",
+            "τ*",
+            "ψ*",
+            "paper no-skew L",
+            "measured HC (uniform)",
+            "paper skew L",
+            "measured SkewHC (skewed)",
+        ],
+    );
+    // Triangle row: uniform workload for HC, the skewed one for SkewHC.
+    let uni = generate::uniform(2, n, 1 << 40, 43);
+    let uni_rels = vec![uni.clone(), uni.clone(), uni];
+    let hc = multiway::hypercube(&q, &uni_rels, p, 5);
+    let tau = model::tau_star(&q);
+    let psi = psi_star(&q);
+    t2.row(vec![
+        "triangle".into(),
+        fmt(tau),
+        fmt(psi),
+        fmt(model::one_round_load(3.0 * n as f64, p as f64, tau)),
+        hc.report.max_load_tuples().to_string(),
+        fmt(model::one_round_load_skewed(
+            g.len() as f64 * 3.0,
+            p as f64,
+            psi,
+        )),
+        run_skew.report.max_load_tuples().to_string(),
+    ]);
+    // Two-way join row (the "x—y—z" row of slide 51).
+    let q2 = Query::two_way();
+    let r = generate::key_unique_pairs(n, 1, 1 << 40, 44);
+    let s = generate::key_unique_pairs(n, 0, 1 << 40, 45);
+    let hc2 = multiway::hypercube(&q2, &[r, s], p, 5);
+    let rs = generate::constant_key_pairs(n / 4, 7, 1);
+    let ss = generate::constant_key_pairs(n / 4, 7, 0);
+    let sk2 = skewhc::skewhc(&q2, &[rs.clone(), ss.clone()], p, 5);
+    let tau2 = model::tau_star(&q2);
+    let psi2 = psi_star(&q2);
+    t2.row(vec![
+        "R(x,y) ⋈ S(y,z)".into(),
+        fmt(tau2),
+        fmt(psi2),
+        fmt(model::one_round_load(2.0 * n as f64, p as f64, tau2)),
+        hc2.report.max_load_tuples().to_string(),
+        fmt(model::one_round_load_skewed(
+            (rs.len() + ss.len()) as f64,
+            p as f64,
+            psi2,
+        )),
+        sk2.report.max_load_tuples().to_string(),
+    ]);
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn residual_table_matches_slides() {
+        let tables = super::run();
+        let t1 = &tables[0];
+        assert_eq!(t1.rows.len(), 8);
+        // Find the all-light row: τ* = 1.5; the z-heavy row: τ* = 2;
+        // the y,z-heavy row: τ* = 1 (slides 48–50).
+        let tau_of = |x: &str, y: &str, z: &str| -> f64 {
+            t1.rows
+                .iter()
+                .find(|r| r[0] == x && r[1] == y && r[2] == z)
+                .expect("row")[4]
+                .parse()
+                .expect("τ*")
+        };
+        assert!((tau_of("light", "light", "light") - 1.5).abs() < 1e-6);
+        assert!((tau_of("light", "light", "heavy") - 2.0).abs() < 1e-6);
+        assert!((tau_of("light", "heavy", "heavy") - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_psi_values() {
+        let tables = super::run();
+        let t2 = &tables[1];
+        for row in &t2.rows {
+            let psi: f64 = row[2].parse().expect("ψ*");
+            assert!(
+                (psi - 2.0).abs() < 1e-6,
+                "slide 51: ψ* = 2 for both queries"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! E09 — one round versus multiple rounds (slides 53–54).
+//!
+//! For the three reference queries (triangle; `R(x) ⋈ S(x,y) ⋈ T(y)`;
+//! `R(x,y) ⋈ S(y,z)`) the slide 54 table gives three loads: skew-free
+//! multi-round `IN/p`, skew-free one-round `IN/p^{1/τ*}`, and skewed
+//! one-round `IN/p^{1/ψ*}`. We measure each cell with the matching
+//! algorithm: iterative binary joins (multi-round), HyperCube (one
+//! round), SkewHC on a skewed instance (one round).
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::{multiway, plans, skewhc};
+use parqp::model;
+use parqp::prelude::*;
+use parqp::query::psi_star;
+use parqp_data::Relation;
+
+fn uniform_instance(q: &Query, n: usize, seed: u64) -> Vec<Relation> {
+    q.atoms()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if a.arity() == 1 {
+                generate::unary_range(n)
+            } else {
+                generate::key_unique_pairs(n, 1, n as u64, seed + i as u64)
+            }
+        })
+        .collect()
+}
+
+fn skewed_instance(q: &Query, n: usize, seed: u64) -> Vec<Relation> {
+    q.atoms()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if a.arity() == 1 {
+                generate::unary_range(n)
+            } else {
+                // Half the tuples concentrate on one key in each column.
+                let mut rel =
+                    generate::planted_heavy_pairs(n / 2, &[1], n / 4, 0, n as u64, seed + i as u64);
+                rel.extend_from(&generate::planted_heavy_pairs(
+                    n / 2,
+                    &[1],
+                    n / 4,
+                    1,
+                    n as u64,
+                    seed + 100 + i as u64,
+                ));
+                rel
+            }
+        })
+        .collect()
+}
+
+/// Run E09.
+pub fn run() -> Vec<Table> {
+    let p = 64usize;
+    let n = 16_000usize;
+    let mut t = Table::new(
+        format!("E09 (slides 53–54): rounds vs load, p = {p}, N = {n} per atom"),
+        &[
+            "query",
+            "τ*",
+            "ψ*",
+            "multi-round L (measured)",
+            "paper IN/p",
+            "1-round L (measured)",
+            "paper IN/p^(1/τ*)",
+            "1-round skewed L (measured)",
+            "paper IN/p^(1/ψ*)",
+        ],
+    );
+    let queries = [
+        ("triangle", Query::triangle()),
+        ("R(x)⋈S(x,y)⋈T(y)", Query::semijoin_pair()),
+        ("R(x,y)⋈S(y,z)", Query::two_way()),
+    ];
+    for (name, q) in queries {
+        let uni = uniform_instance(&q, n, 7);
+        let skw = skewed_instance(&q, n, 9);
+        let input: usize = uni.iter().map(Relation::len).sum();
+        let sk_input: usize = skw.iter().map(Relation::len).sum();
+        let tau = model::tau_star(&q);
+        let psi = psi_star(&q);
+        let multi = plans::binary_join_plan(&q, &uni, p, 5, None);
+        let one = multiway::hypercube(&q, &uni, p, 5);
+        let one_skew = skewhc::skewhc(&q, &skw, p, 5);
+        t.row(vec![
+            name.into(),
+            fmt(tau),
+            fmt(psi),
+            multi.report.max_load_tuples().to_string(),
+            fmt(input as f64 / p as f64),
+            one.report.max_load_tuples().to_string(),
+            fmt(model::one_round_load(input as f64, p as f64, tau)),
+            one_skew.report.max_load_tuples().to_string(),
+            fmt(model::one_round_load_skewed(sk_input as f64, p as f64, psi)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn multi_round_load_beats_one_round_on_uniform_triangle() {
+        let t = &super::run()[0];
+        let tri = &t.rows[0];
+        let multi: f64 = tri[3].parse().expect("multi L");
+        let one: f64 = tri[5].parse().expect("one-round L");
+        // IN/p < IN/p^{2/3}: the multi-round plan's load is smaller on
+        // skew-free key-unique input (slide 53's point).
+        assert!(multi < one, "multi {multi} should be below one-round {one}");
+    }
+
+    #[test]
+    fn two_way_one_round_is_in_over_p() {
+        let t = &super::run()[0];
+        let row = &t.rows[2];
+        let measured: f64 = row[5].parse().expect("L");
+        let paper: f64 = row[6].parse().expect("paper");
+        assert!(
+            measured < 2.0 * paper,
+            "two-way HC load {measured} vs IN/p {paper}"
+        );
+    }
+}

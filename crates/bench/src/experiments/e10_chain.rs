@@ -1,0 +1,98 @@
+//! E10 — the scalability limit of `L = IN/p^{1/τ*}` (slide 62).
+//!
+//! The chain of 20 binary relations has τ\* = 10, so the one-round
+//! speedup is `p^{1/10}`: doubling it requires `2^{10} = 1024×` more
+//! processors. We print the analytic speedup ladder and measure the
+//! HyperCube load on a small chain-20 instance at `p = 1` and
+//! `p = 1024` to confirm the measured speedup is ≈ 2, not 1024.
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::multiway;
+use parqp::model;
+use parqp::prelude::*;
+use parqp_data::Relation;
+
+/// Run E10.
+pub fn run() -> Vec<Table> {
+    let q = Query::chain(20);
+    let tau = model::tau_star(&q);
+
+    let mut ladder = Table::new(
+        format!("E10a (slide 62): chain-20, τ* = {tau} — the speedup ladder"),
+        &["p", "ideal speedup p^(1/τ*)"],
+    );
+    for exp in [0u32, 5, 10, 15, 20] {
+        let p = 2f64.powi(exp as i32);
+        ladder.row(vec![
+            format!("2^{exp}"),
+            fmt(model::hypercube_speedup(p, tau)),
+        ]);
+    }
+    let mut fact = Table::new(
+        "E10b: processors needed to double the speedup",
+        &["query", "τ*", "factor 2^τ*"],
+    );
+    for (name, q) in [
+        ("triangle", Query::triangle()),
+        ("chain-4", Query::chain(4)),
+        ("chain-20", Query::chain(20)),
+    ] {
+        let tau = model::tau_star(&q);
+        fact.row(vec![
+            name.into(),
+            fmt(tau),
+            fmt(model::processors_for_double_speedup(tau)),
+        ]);
+    }
+
+    // Measured: chain-20, N = 1000 per relation, p = 1 vs p = 1024.
+    let n = 1000usize;
+    let rels: Vec<Relation> = (0..20)
+        .map(|i| generate::key_unique_pairs(n, 1, n as u64, 60 + i as u64))
+        .collect();
+    let l1 = multiway::hypercube(&q, &rels, 1, 5)
+        .report
+        .max_load_tuples() as f64;
+    let l1024 = multiway::hypercube(&q, &rels, 1024, 5)
+        .report
+        .max_load_tuples() as f64;
+    let mut meas = Table::new(
+        format!("E10c: measured HyperCube load, chain-20, N = {n} per relation"),
+        &["p", "measured L", "speedup", "ideal p^(1/10)"],
+    );
+    meas.row(vec!["1".into(), fmt(l1), "1".into(), "1".into()]);
+    meas.row(vec![
+        "1024".into(),
+        fmt(l1024),
+        fmt(l1 / l1024),
+        fmt(model::hypercube_speedup(1024.0, tau)),
+    ]);
+    vec![ladder, fact, meas]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn chain20_needs_1024x_for_2x() {
+        let tables = super::run();
+        let fact = &tables[1];
+        let chain20 = fact.rows.iter().find(|r| r[0] == "chain-20").expect("row");
+        let factor: f64 = chain20[2].parse().expect("factor");
+        assert!((factor - 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_speedup_is_pitiful() {
+        let tables = super::run();
+        let meas = &tables[2];
+        let speedup: f64 = meas.rows[1][2].parse().expect("speedup");
+        // 1024 servers buy ≈ 2× (ideal); allow integer-share slack but it
+        // must be nowhere near linear.
+        assert!(
+            (1.2..8.0).contains(&speedup),
+            "chain-20 speedup at p=1024 is {speedup}, expected ~2"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! E12 — GYM rounds and the width/depth trade-off (slides 79–95).
+//!
+//! Table 1: vanilla GYM (`r = 3(n−1)`) versus the per-level optimized
+//! GYM (`r = O(d)`) on stars (depth 1) and chains (depth n−1), matching
+//! slides 80–94's round counts.
+//!
+//! Table 2: the slide 95 trade-off on a chain-12: GHDs of width `w` and
+//! depth `⌈n/w⌉−1` (plus the balanced `w ≤ 3, d = O(log n)`
+//! decomposition), with measured rounds and loads.
+
+use crate::Table;
+use parqp::data::generate;
+use parqp::join::gym;
+use parqp::prelude::*;
+use parqp_data::Relation;
+
+/// Run E12.
+pub fn run() -> Vec<Table> {
+    let p = 16usize;
+    let n_tuples = 3000usize;
+
+    let mut t1 = Table::new(
+        "E12a (slides 80–94): vanilla vs optimized GYM rounds",
+        &[
+            "query",
+            "tree depth",
+            "vanilla r (=3(n-1))",
+            "optimized r",
+            "vanilla L",
+            "optimized L",
+        ],
+    );
+    let cases: Vec<(String, Query, Ghd)> = vec![
+        (
+            "star-4".into(),
+            Query::star(4),
+            Ghd::star_flat(&Query::star(4)),
+        ),
+        (
+            "star-8".into(),
+            Query::star(8),
+            Ghd::star_flat(&Query::star(8)),
+        ),
+        (
+            "chain-6".into(),
+            Query::chain(6),
+            Ghd::join_tree(&Query::chain(6)).expect("acyclic"),
+        ),
+        (
+            "slide-64 tree".into(),
+            Query::slide64_tree(),
+            Ghd::join_tree(&Query::slide64_tree()).expect("acyclic"),
+        ),
+    ];
+    for (name, q, tree) in &cases {
+        let rels: Vec<Relation> = (0..q.num_atoms())
+            .map(|i| generate::key_unique_pairs(n_tuples, 1, n_tuples as u64, 80 + i as u64))
+            .collect();
+        let v = gym::gym(q, &rels, tree, p, 5, false);
+        let o = gym::gym(q, &rels, tree, p, 5, true);
+        assert_eq!(v.gathered().canonical(), o.gathered().canonical());
+        t1.row(vec![
+            name.clone(),
+            tree.depth().to_string(),
+            v.report.num_rounds().to_string(),
+            o.report.num_rounds().to_string(),
+            v.report.max_load_tuples().to_string(),
+            o.report.max_load_tuples().to_string(),
+        ]);
+    }
+
+    // The balanced decomposition's internal bags cover *disconnected*
+    // atom triples, so materializing them costs the full IN^w Cartesian
+    // product — exactly the slide 95 trade-off. The sweep therefore uses
+    // a small instance so the w=3 materialization stays laptop-sized.
+    let n = 12usize;
+    let small = 80usize;
+    let q = Query::chain(n);
+    let rels: Vec<Relation> = (0..n)
+        .map(|i| generate::key_unique_pairs(small, 1, small as u64, 90 + i as u64))
+        .collect();
+    let mut t2 = Table::new(
+        format!(
+            "E12b (slide 95): width/depth trade-off on chain-{n}, p = {p}, N = {small} \
+             (L grows like IN^w for disconnected bags)"
+        ),
+        &["GHD", "width w", "depth d", "measured r", "measured L"],
+    );
+    let mut ghds: Vec<(String, Ghd)> = vec![
+        ("blocks w=1 (path)".into(), Ghd::chain_blocks(n, 1)),
+        ("blocks w=2".into(), Ghd::chain_blocks(n, 2)),
+        ("blocks w=3".into(), Ghd::chain_blocks(n, 3)),
+        ("blocks w=6 (d=1)".into(), Ghd::chain_blocks(n, 6)),
+        ("balanced (w≤3, d=log n)".into(), Ghd::chain_balanced(n)),
+    ];
+    let mut reference: Option<Relation> = None;
+    for (name, ghd) in &mut ghds {
+        let run = gym::gym_ghd(&q, &rels, ghd, p, 7);
+        let canon = run.gathered().canonical();
+        match &reference {
+            None => reference = Some(canon),
+            Some(r) => assert_eq!(&canon, r, "{name} disagrees"),
+        }
+        t2.row(vec![
+            name.clone(),
+            ghd.width().to_string(),
+            ghd.depth().to_string(),
+            run.report.num_rounds().to_string(),
+            run.report.max_load_tuples().to_string(),
+        ]);
+    }
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn star_rounds_match_slides() {
+        let tables = super::run();
+        let t1 = &tables[0];
+        let star4 = &t1.rows[0];
+        assert_eq!(star4[2], "9", "slide 89: vanilla star-4 runs in 9 rounds");
+        assert_eq!(star4[3], "4", "slide 94: optimized star-4 runs in 4 rounds");
+        let star8 = &t1.rows[1];
+        assert_eq!(star8[2], "21", "vanilla grows with n");
+        assert_eq!(star8[3], "4", "optimized stays at depth-bound rounds");
+    }
+
+    #[test]
+    fn wider_bags_fewer_rounds() {
+        let tables = super::run();
+        let t2 = &tables[1];
+        let rounds: Vec<usize> = t2.rows[..4]
+            .iter()
+            .map(|r| r[3].parse().expect("rounds"))
+            .collect();
+        assert!(
+            rounds.windows(2).all(|w| w[1] <= w[0]),
+            "rounds must fall as width grows: {rounds:?}"
+        );
+        // The balanced GHD beats the path decomposition.
+        let path: usize = t2.rows[0][3].parse().expect("rounds");
+        let balanced: usize = t2.rows[4][3].parse().expect("rounds");
+        assert!(balanced < path);
+    }
+}

@@ -1,0 +1,140 @@
+//! E13 — parallel sorting (slides 99–106).
+//!
+//! Three tables:
+//!
+//! 1. PSRS load versus `N/p` across `p` (slide 102's `Θ(N/p)` for
+//!    `p ≪ N^{1/3}`, with the `p²` sample term visible at large `p`);
+//! 2. the multi-round sort's round/fan-out trade-off against the
+//!    `Ω(log_L N)` lower bound (slides 104–105);
+//! 3. a "sorting in practice"-style summary (slide 106's table reports
+//!    external hardware results we cannot re-run; we report the same
+//!    columns for our algorithms on the simulator — see DESIGN.md).
+
+use crate::table::fmt;
+use crate::Table;
+use parqp::model;
+use parqp::prelude::*;
+use parqp::sort::{multiround_sort, psrs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_items(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Run E13.
+pub fn run() -> Vec<Table> {
+    let n = 200_000usize;
+    let items = random_items(n, 3);
+
+    let mut t1 = Table::new(
+        format!(
+            "E13a (slide 102): PSRS load vs p, N = {n} (N^(1/3) ≈ {})",
+            fmt((n as f64).cbrt())
+        ),
+        &["p", "measured L", "paper N/p", "ratio", "rounds"],
+    );
+    for p in [4usize, 8, 16, 32, 64, 128, 256] {
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        let parts = psrs(&mut cluster, local);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), n);
+        let report = cluster.report();
+        let l = report.max_load_tuples() as f64;
+        let ideal = model::psrs_load(n as f64, p as f64);
+        t1.row(vec![
+            p.to_string(),
+            fmt(l),
+            fmt(ideal),
+            format!("{:.2}", l / ideal),
+            report.num_rounds().to_string(),
+        ]);
+    }
+
+    let p = 64usize;
+    let small = random_items(64_000, 5);
+    let mut t2 = Table::new(
+        format!("E13b (slides 104–105): multi-round sort — fan-out vs rounds, N = 64000, p = {p}"),
+        &[
+            "fan-out f",
+            "measured rounds",
+            "3·⌈log_f p⌉",
+            "measured L",
+            "lower bound log_L N",
+        ],
+    );
+    for f in [2usize, 4, 8, 64] {
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(small.clone());
+        let parts = multiround_sort(&mut cluster, local, f);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), small.len());
+        let report = cluster.report();
+        let levels = (p as f64).log(f as f64).ceil() as usize;
+        let l = report.max_load_tuples();
+        t2.row(vec![
+            f.to_string(),
+            report.num_rounds().to_string(),
+            (3 * levels).to_string(),
+            l.to_string(),
+            fmt(model::sort_round_lower_bound(small.len() as f64, l as f64)),
+        ]);
+    }
+
+    let mut t3 = Table::new(
+        "E13c (slide 106 substitute): our sorters, same columns as the practice table",
+        &["algorithm", "N", "p", "L (tuples)", "rounds", "C (tuples)"],
+    );
+    for (name, p, fanout) in [
+        ("PSRS", 16usize, 0usize),
+        ("PSRS", 64, 0),
+        ("multi-round f=4", 64, 4),
+        ("multi-round f=8", 64, 8),
+    ] {
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        if fanout == 0 {
+            psrs(&mut cluster, local);
+        } else {
+            multiround_sort(&mut cluster, local, fanout);
+        }
+        let r = cluster.report();
+        t3.row(vec![
+            name.into(),
+            n.to_string(),
+            p.to_string(),
+            r.max_load_tuples().to_string(),
+            r.num_rounds().to_string(),
+            r.total_tuples().to_string(),
+        ]);
+    }
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn psrs_load_ratio_near_one_for_small_p() {
+        let tables = super::run();
+        let t1 = &tables[0];
+        for row in &t1.rows[..4] {
+            // p ≤ 32 ≪ N^{1/3}·…: ratio close to 1.
+            let ratio: f64 = row[3].parse().expect("ratio");
+            assert!(ratio < 2.0, "p = {}: PSRS ratio {ratio}", row[0]);
+            assert_eq!(row[4], "2", "PSRS is 2 rounds");
+        }
+    }
+
+    #[test]
+    fn fanout_trades_rounds_for_load() {
+        let tables = super::run();
+        let t2 = &tables[1];
+        let r_of = |i: usize| t2.rows[i][1].parse::<usize>().expect("rounds");
+        assert!(r_of(0) > r_of(1), "fan-out 2 takes more rounds than 4");
+        assert!(r_of(1) > r_of(3), "fan-out 4 takes more rounds than 64");
+        // Measured rounds match the 3·⌈log_f p⌉ formula.
+        for row in &t2.rows {
+            assert_eq!(row[1], row[2], "round formula mismatch: {row:?}");
+        }
+    }
+}

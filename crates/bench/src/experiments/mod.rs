@@ -1,0 +1,73 @@
+//! One module per experiment; see `DESIGN.md` for the experiment index.
+//!
+//! Every experiment is deterministic (fixed seeds), prints "paper
+//! formula" columns next to measured values, and is sized to run in
+//! seconds on a laptop in release mode.
+
+use crate::Table;
+
+pub mod ablations;
+pub mod e01_regimes;
+pub mod e02_skew_threshold;
+pub mod e03_cartesian;
+pub mod e04_skew_join;
+pub mod e05_triangle;
+pub mod e06_unequal;
+pub mod e07_speedup;
+pub mod e08_skewhc;
+pub mod e09_rounds;
+pub mod e10_chain;
+pub mod e11_crossover;
+pub mod e12_gym;
+pub mod e13_sort;
+pub mod e14_matmul;
+pub mod subgraph_engines;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 16] = [
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12", "e13",
+    "e14", "abl", "sub",
+];
+
+/// Run one experiment by id: `"e01"` … `"e14"`, `"abl"` (implementation
+/// ablations) or `"sub"` (subgraph engines).
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e01" => e01_regimes::run(),
+        "e02" => e02_skew_threshold::run(),
+        "e03" => e03_cartesian::run(),
+        "e04" => e04_skew_join::run(),
+        "e05" => e05_triangle::run(),
+        "e06" => e06_unequal::run(),
+        "e07" => e07_speedup::run(),
+        "e08" => e08_skewhc::run(),
+        "e09" => e09_rounds::run(),
+        "e10" => e10_chain::run(),
+        "e11" => e11_crossover::run(),
+        "e12" => e12_gym::run(),
+        "e13" => e13_sort::run(),
+        "e14" => e14_matmul::run(),
+        "abl" => ablations::run(),
+        "sub" => subgraph_engines::run(),
+        other => panic!("unknown experiment id {other:?} (expected e01..e14, abl or sub)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ids_resolve() {
+        // Smoke-run the cheapest experiment through the dispatcher.
+        let tables = super::run("e06");
+        assert!(!tables.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        super::run("e99");
+    }
+}

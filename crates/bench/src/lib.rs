@@ -1,0 +1,19 @@
+//! # parqp-bench — the experiment harness
+//!
+//! One module per experiment (`e01` … `e14`), each regenerating a table
+//! or figure of the paper as plain text rows plus CSV-ready series. The
+//! `tables` binary prints any subset:
+//!
+//! ```text
+//! cargo run --release -p parqp-bench --bin tables            # everything
+//! cargo run --release -p parqp-bench --bin tables -- e05 e08 # a subset
+//! ```
+//!
+//! Criterion wall-clock benches live in `benches/` (one group per
+//! experiment family); the *numbers the paper is about* — loads, rounds,
+//! communication — come from this module, deterministically.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,12 @@
+//! The `parqp` command-line tool. See [`parqp::cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parqp::cli::dispatch(&args) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

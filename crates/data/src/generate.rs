@@ -1,0 +1,342 @@
+//! Seeded workload generators.
+//!
+//! The tutorial's analyses distinguish input classes by the *degree* of
+//! join-attribute values: no skew (every value appears once, slide 24),
+//! bounded degree `d` (slide 25), heavy hitters (degree > IN/p, slide 29),
+//! and extreme skew (a single value everywhere, slide 27). Each generator
+//! here produces one of those classes deterministically from a seed.
+
+use crate::relation::{Relation, Value};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` tuples of the given arity with attributes drawn uniformly from
+/// `0..domain`.
+pub fn uniform(arity: usize, n: usize, domain: u64, seed: u64) -> Relation {
+    assert!(domain > 0, "empty domain");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(arity, n);
+    let mut row = vec![0; arity];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.gen_range(0..domain);
+        }
+        rel.push(&row);
+    }
+    rel
+}
+
+/// A binary relation whose *join column* (`key_col`, 0 or 1) takes each of
+/// the values `0..n` exactly once — the "no skew" case of slide 24. The
+/// other column is uniform in `0..domain`.
+pub fn key_unique_pairs(n: usize, key_col: usize, domain: u64, seed: u64) -> Relation {
+    assert!(key_col < 2, "key column of a binary relation is 0 or 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(2, n);
+    for k in 0..n as u64 {
+        let other = rng.gen_range(0..domain);
+        let row = if key_col == 0 { [k, other] } else { [other, k] };
+        rel.push(&row);
+    }
+    rel
+}
+
+/// A binary relation where every join-column value in `0..n/d` appears
+/// exactly `d` times — the uniform-degree-`d` case of slide 25.
+///
+/// Produces `(n / d) * d` tuples (i.e. `n` rounded down to a multiple of `d`).
+pub fn uniform_degree_pairs(
+    n: usize,
+    d: usize,
+    key_col: usize,
+    domain: u64,
+    seed: u64,
+) -> Relation {
+    assert!(d > 0, "degree must be positive");
+    assert!(key_col < 2, "key column of a binary relation is 0 or 1");
+    let keys = n / d;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(2, keys * d);
+    for k in 0..keys as u64 {
+        for _ in 0..d {
+            let other = rng.gen_range(0..domain);
+            let row = if key_col == 0 { [k, other] } else { [other, k] };
+            rel.push(&row);
+        }
+    }
+    rel
+}
+
+/// A binary relation with `n` tuples whose join column follows Zipf(α)
+/// over `1..=domain` — the realistic skew case.
+pub fn zipf_pairs(n: usize, domain: usize, alpha: f64, key_col: usize, seed: u64) -> Relation {
+    assert!(key_col < 2, "key column of a binary relation is 0 or 1");
+    let z = Zipf::new(domain, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(2, n);
+    for _ in 0..n {
+        let key = z.sample(&mut rng);
+        let other = rng.gen_range(0..domain as u64);
+        let row = if key_col == 0 {
+            [key, other]
+        } else {
+            [other, key]
+        };
+        rel.push(&row);
+    }
+    rel
+}
+
+/// A binary relation with planted heavy hitters: `heavy.len()` designated
+/// key values each receive `heavy_degree` tuples, and the remaining
+/// `n - heavy.len()*heavy_degree` tuples get unique light keys (disjoint
+/// from the heavy ones). This reproduces slide 29's heavy/light split
+/// exactly, with full control over who is heavy.
+///
+/// # Panics
+/// Panics if the heavy tuples alone exceed `n`.
+pub fn planted_heavy_pairs(
+    n: usize,
+    heavy: &[Value],
+    heavy_degree: usize,
+    key_col: usize,
+    domain: u64,
+    seed: u64,
+) -> Relation {
+    assert!(key_col < 2, "key column of a binary relation is 0 or 1");
+    let heavy_total = heavy.len() * heavy_degree;
+    assert!(
+        heavy_total <= n,
+        "heavy tuples ({heavy_total}) exceed n ({n})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(2, n);
+    for &h in heavy {
+        for _ in 0..heavy_degree {
+            let other = rng.gen_range(0..domain);
+            let row = if key_col == 0 { [h, other] } else { [other, h] };
+            rel.push(&row);
+        }
+    }
+    // Light keys: values above the largest heavy value, each used once.
+    let base = heavy.iter().copied().max().map_or(0, |m| m + 1);
+    for i in 0..(n - heavy_total) as u64 {
+        let other = rng.gen_range(0..domain);
+        let key = base + i;
+        let row = if key_col == 0 {
+            [key, other]
+        } else {
+            [other, key]
+        };
+        rel.push(&row);
+    }
+    rel
+}
+
+/// The extreme-skew relation of slide 27: all `n` tuples share the single
+/// join-column value `key`; the other column enumerates `0..n`.
+pub fn constant_key_pairs(n: usize, key: Value, key_col: usize) -> Relation {
+    assert!(key_col < 2, "key column of a binary relation is 0 or 1");
+    let mut rel = Relation::with_capacity(2, n);
+    for i in 0..n as u64 {
+        let row = if key_col == 0 { [key, i] } else { [i, key] };
+        rel.push(&row);
+    }
+    rel
+}
+
+/// A unary relation enumerating `0..n`.
+pub fn unary_range(n: usize) -> Relation {
+    let mut rel = Relation::with_capacity(1, n);
+    for i in 0..n as u64 {
+        rel.push(&[i]);
+    }
+    rel
+}
+
+/// `m` distinct directed edges over `nodes` vertices, sampled uniformly
+/// without self-loops — the edge relation for subgraph (triangle) queries.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn random_graph(nodes: u64, m: usize, seed: u64) -> Relation {
+    assert!(nodes >= 2, "need at least two nodes");
+    let max_edges = (nodes as u128) * (nodes as u128 - 1);
+    assert!((m as u128) <= max_edges, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = crate::fasthash::FastSet::default();
+    let mut rel = Relation::with_capacity(2, m);
+    while seen.len() < m {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b && seen.insert((a, b)) {
+            rel.push(&[a, b]);
+        }
+    }
+    rel
+}
+
+/// A small star-schema warehouse: `Orders(custkey, prodkey)`,
+/// `Customers(custkey, region)`, `Products(prodkey, category)`.
+///
+/// Customer keys in `Orders` follow Zipf(`alpha`) — a few customers
+/// place most orders, the realistic skew of slide 52's analytics query.
+/// Regions and categories are small dimensions (`0..16`).
+pub fn warehouse(
+    n_orders: usize,
+    n_customers: usize,
+    n_products: usize,
+    alpha: f64,
+    seed: u64,
+) -> (Relation, Relation, Relation) {
+    assert!(
+        n_customers > 0 && n_products > 0,
+        "dimensions must be non-empty"
+    );
+    let zc = Zipf::new(n_customers, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut orders = Relation::with_capacity(2, n_orders);
+    for _ in 0..n_orders {
+        let c = zc.sample(&mut rng);
+        let p = rng.gen_range(0..n_products as u64);
+        orders.push(&[c, p]);
+    }
+    let mut customers = Relation::with_capacity(2, n_customers);
+    for c in 1..=n_customers as u64 {
+        customers.push(&[c, rng.gen_range(0..16)]);
+    }
+    let mut products = Relation::with_capacity(2, n_products);
+    for p in 0..n_products as u64 {
+        products.push(&[p, rng.gen_range(0..16)]);
+    }
+    (orders, customers, products)
+}
+
+/// An undirected-style graph stored as both `(a,b)` and `(b,a)` with
+/// **distinct** directed edges: convenient for triangle queries
+/// `R(x,y) ⋈ S(y,z) ⋈ T(z,x)` where `R = S = T`. Produces at most `m`
+/// directed edges (fewer when a sampled edge's reverse was also drawn).
+pub fn random_symmetric_graph(nodes: u64, m: usize, seed: u64) -> Relation {
+    let half = random_graph(nodes, m / 2, seed);
+    let mut seen = crate::fasthash::FastSet::default();
+    let mut rel = Relation::with_capacity(2, 2 * half.len());
+    for row in half.iter() {
+        if seen.insert((row[0], row[1])) {
+            rel.push(row);
+        }
+        if seen.insert((row[1], row[0])) {
+            rel.push(&[row[1], row[0]]);
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_counts;
+
+    #[test]
+    fn uniform_shape() {
+        let r = uniform(3, 100, 50, 1);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.len(), 100);
+        assert!(r.iter().all(|row| row.iter().all(|&v| v < 50)));
+    }
+
+    #[test]
+    fn uniform_deterministic() {
+        assert_eq!(uniform(2, 10, 100, 5), uniform(2, 10, 100, 5));
+        assert_ne!(uniform(2, 10, 100, 5), uniform(2, 10, 100, 6));
+    }
+
+    #[test]
+    fn key_unique_has_degree_one() {
+        let r = key_unique_pairs(100, 1, 1000, 2);
+        let deg = degree_counts(&r, 1);
+        assert_eq!(deg.len(), 100);
+        assert!(deg.values().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn uniform_degree_exact() {
+        let r = uniform_degree_pairs(100, 5, 0, 10, 3);
+        assert_eq!(r.len(), 100);
+        let deg = degree_counts(&r, 0);
+        assert_eq!(deg.len(), 20);
+        assert!(deg.values().all(|&d| d == 5));
+    }
+
+    #[test]
+    fn planted_heavy_degrees() {
+        let r = planted_heavy_pairs(100, &[1, 2], 20, 0, 10, 4);
+        assert_eq!(r.len(), 100);
+        let deg = degree_counts(&r, 0);
+        assert_eq!(deg[&1], 20);
+        assert_eq!(deg[&2], 20);
+        // 60 light tuples, each with its own key
+        let lights = deg.iter().filter(|&(_, &d)| d == 1).count();
+        assert_eq!(lights, 60);
+    }
+
+    #[test]
+    fn constant_key_is_extreme_skew() {
+        let r = constant_key_pairs(50, 7, 0);
+        let deg = degree_counts(&r, 0);
+        assert_eq!(deg.len(), 1);
+        assert_eq!(deg[&7], 50);
+    }
+
+    #[test]
+    fn zipf_pairs_skewed() {
+        let r = zipf_pairs(10_000, 1000, 1.2, 0, 9);
+        let deg = degree_counts(&r, 0);
+        let max = deg.values().copied().max().unwrap();
+        // With α=1.2 the top value takes a large constant fraction.
+        assert!(max > 500, "max degree {max} unexpectedly small");
+    }
+
+    #[test]
+    fn graph_edges_distinct_no_loops() {
+        let g = random_graph(20, 100, 11);
+        assert_eq!(g.len(), 100);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.iter() {
+            assert_ne!(e[0], e[1]);
+            assert!(seen.insert((e[0], e[1])));
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_closed_under_reversal() {
+        let g = random_symmetric_graph(20, 60, 13);
+        let set: std::collections::HashSet<(u64, u64)> = g.iter().map(|e| (e[0], e[1])).collect();
+        for &(a, b) in &set {
+            assert!(set.contains(&(b, a)));
+        }
+    }
+
+    #[test]
+    fn warehouse_shapes() {
+        let (orders, customers, products) = warehouse(5000, 300, 100, 1.1, 7);
+        assert_eq!(orders.len(), 5000);
+        assert_eq!(customers.len(), 300);
+        assert_eq!(products.len(), 100);
+        // Order custkeys must be valid foreign keys into Customers.
+        let keys: std::collections::HashSet<u64> = customers.iter().map(|row| row[0]).collect();
+        assert!(orders.iter().all(|row| keys.contains(&row[0])));
+        // Zipf head: the busiest customer dominates.
+        let deg = degree_counts(&orders, 0);
+        assert!(*deg.values().max().expect("non-empty") > 200);
+    }
+
+    #[test]
+    fn unary_range_enumerates() {
+        let r = unary_range(5);
+        assert_eq!(
+            r.to_rows(),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4]]
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Exact data statistics: degrees, heavy hitters, join output size.
+//!
+//! The skew-resilient algorithms split values at the *heavy hitter*
+//! threshold — degree ≥ `IN/p` in a two-way join (slide 29) or `N/p` per
+//! relation in SkewHC (slide 47). Since the simulator holds all data in
+//! memory we compute these statistics exactly; a real system would use
+//! sampling, which only changes the constants in the analysis.
+
+use crate::fasthash::FastMap;
+use crate::relation::{Relation, Value};
+
+/// Exact degree (occurrence count) of every value in column `col`.
+pub fn degree_counts(rel: &Relation, col: usize) -> FastMap<Value, u64> {
+    assert!(col < rel.arity(), "column out of range");
+    let mut deg: FastMap<Value, u64> = FastMap::default();
+    for row in rel.iter() {
+        *deg.entry(row[col]).or_insert(0) += 1;
+    }
+    deg
+}
+
+/// Values whose degree in column `col` is **at least** `threshold`.
+///
+/// The paper's definition (slide 29): a heavy hitter is a value occurring
+/// at least `IN/p` times. The result is sorted for determinism.
+pub fn heavy_hitters(rel: &Relation, col: usize, threshold: u64) -> Vec<Value> {
+    let mut out: Vec<Value> = degree_counts(rel, col)
+        .into_iter()
+        .filter_map(|(v, d)| (d >= threshold).then_some(v))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Heavy hitters of a value across two relations joined on
+/// `r.col(r_col) = s.col(s_col)`: values heavy in *either* side, with the
+/// threshold applied to the combined input size as on slide 29
+/// ("occurs at least IN/p times in R or S").
+pub fn join_heavy_hitters(
+    r: &Relation,
+    r_col: usize,
+    s: &Relation,
+    s_col: usize,
+    threshold: u64,
+) -> Vec<Value> {
+    let mut heavy = heavy_hitters(r, r_col, threshold);
+    heavy.extend(heavy_hitters(s, s_col, threshold));
+    heavy.sort_unstable();
+    heavy.dedup();
+    heavy
+}
+
+/// Exact output cardinality of the equi-join `R ⋈_{R.r_col = S.s_col} S`:
+/// `Σ_v deg_R(v) · deg_S(v)`, computed without materializing the join.
+pub fn join_output_size(r: &Relation, r_col: usize, s: &Relation, s_col: usize) -> u64 {
+    let dr = degree_counts(r, r_col);
+    let ds = degree_counts(s, s_col);
+    // Iterate over the smaller map.
+    let (small, big) = if dr.len() <= ds.len() {
+        (&dr, &ds)
+    } else {
+        (&ds, &dr)
+    };
+    small
+        .iter()
+        .map(|(v, d)| d * big.get(v).copied().unwrap_or(0))
+        .sum()
+}
+
+/// The maximum degree in column `col` (0 for an empty relation).
+pub fn max_degree(rel: &Relation, col: usize) -> u64 {
+    degree_counts(rel, col).values().copied().max().unwrap_or(0)
+}
+
+/// Number of distinct values in column `col`.
+pub fn distinct_count(rel: &Relation, col: usize) -> usize {
+    degree_counts(rel, col).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        // column 0 degrees: 1→3, 2→1, 3→2
+        Relation::from_rows(2, [[1, 10], [1, 11], [1, 12], [2, 10], [3, 10], [3, 13]])
+    }
+
+    #[test]
+    fn degrees_exact() {
+        let d = degree_counts(&sample(), 0);
+        assert_eq!(d[&1], 3);
+        assert_eq!(d[&2], 1);
+        assert_eq!(d[&3], 2);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold_inclusive() {
+        let r = sample();
+        assert_eq!(heavy_hitters(&r, 0, 2), vec![1, 3]);
+        assert_eq!(heavy_hitters(&r, 0, 3), vec![1]);
+        assert_eq!(heavy_hitters(&r, 0, 4), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn join_heavy_union() {
+        let r = sample();
+        let s = Relation::from_rows(2, [[10, 2], [11, 2], [12, 2]]); // 2 heavy in s.col(1)
+        let h = join_heavy_hitters(&r, 0, &s, 1, 2);
+        assert_eq!(h, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn output_size_matches_nested_loop() {
+        let r = sample();
+        let s = Relation::from_rows(2, [[1, 0], [1, 1], [3, 0], [9, 9]]);
+        let brute = r
+            .iter()
+            .flat_map(|a| s.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a[0] == b[0])
+            .count() as u64;
+        assert_eq!(join_output_size(&r, 0, &s, 0), brute);
+        assert_eq!(brute, 3 * 2 + 2);
+    }
+
+    #[test]
+    fn max_degree_and_distinct() {
+        let r = sample();
+        assert_eq!(max_degree(&r, 0), 3);
+        assert_eq!(distinct_count(&r, 0), 3);
+        assert_eq!(distinct_count(&r, 1), 4);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let r = Relation::new(2);
+        assert_eq!(max_degree(&r, 0), 0);
+        assert_eq!(distinct_count(&r, 0), 0);
+        assert!(heavy_hitters(&r, 0, 1).is_empty());
+    }
+}

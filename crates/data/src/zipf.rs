@@ -1,0 +1,129 @@
+//! A seeded Zipf(α) sampler over `1..=n`.
+//!
+//! Skewed join keys are the central difficulty the tutorial addresses
+//! (slides 24–31, 46–51). We generate them with the classical Zipf
+//! distribution: value `k` has probability `k^{-α} / H_{n,α}`. The sampler
+//! precomputes the CDF once and draws by binary search, so sampling is
+//! `O(log n)` and fully deterministic given the RNG.
+
+use rand::Rng;
+
+/// Zipf(α) distribution over the integers `1..=n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution with support `1..=n` and exponent `alpha`.
+    ///
+    /// `alpha == 0` degenerates to the uniform distribution on `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().expect("non-empty cdf") = 1.0;
+        Self { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+
+    /// The probability of value `k` (1-based).
+    pub fn pmf(&self, k: u64) -> f64 {
+        let i = (k - 1) as usize;
+        assert!(i < self.cdf.len(), "value out of support");
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_head_with_larger_alpha() {
+        let mild = Zipf::new(1000, 0.5);
+        let steep = Zipf::new(1000, 1.5);
+        assert!(steep.pmf(1) > mild.pmf(1));
+        assert!(steep.pmf(1000) < mild.pmf(1000));
+    }
+
+    #[test]
+    fn samples_in_support_and_skewed() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 51];
+        for _ in 0..20_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=50).contains(&s));
+            counts[s as usize] += 1;
+        }
+        // Value 1 should be drawn far more often than value 50.
+        assert!(counts[1] > 10 * counts[50].max(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(10, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Shared plumbing for the join algorithms.
+
+use parqp_data::{Relation, Value};
+use parqp_mpc::{LoadReport, Weight};
+
+/// The result of running a distributed algorithm: per-server outputs and
+/// the communication cost summary.
+#[derive(Debug, Clone)]
+pub struct JoinRun {
+    /// Output fragment held by each server.
+    pub outputs: Vec<Relation>,
+    /// The `(L, r, C)` ledger of the run.
+    pub report: LoadReport,
+}
+
+impl JoinRun {
+    /// Concatenate the per-server outputs into one relation (test/driver
+    /// convenience; the model itself leaves outputs distributed).
+    pub fn gathered(&self) -> Relation {
+        let arity = self.outputs.first().map_or(1, Relation::arity);
+        let mut out = Relation::new(arity);
+        for part in &self.outputs {
+            out.extend_from(part);
+        }
+        out
+    }
+
+    /// Total number of output tuples across servers.
+    pub fn output_size(&self) -> usize {
+        self.outputs.iter().map(Relation::len).sum()
+    }
+}
+
+/// A relation tuple on the wire, tagged with the index of the relation it
+/// belongs to. The tag is routing metadata and is not charged as payload:
+/// the load of a tuple is its width in words, matching the paper's
+/// "tuples received" accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tagged {
+    /// Index of the source relation (atom).
+    pub tag: u32,
+    /// The tuple.
+    pub row: Vec<Value>,
+}
+
+impl Tagged {
+    /// Construct a tagged tuple.
+    pub fn new(tag: u32, row: Vec<Value>) -> Self {
+        Self { tag, row }
+    }
+}
+
+impl Weight for Tagged {
+    fn words(&self) -> u64 {
+        self.row.len() as u64
+    }
+}
+
+/// Split `rel` into `p` round-robin fragments (the model's free initial
+/// data placement).
+pub fn scatter(rel: &Relation, p: usize) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..p).map(|_| Relation::new(rel.arity())).collect();
+    for (i, row) in rel.iter().enumerate() {
+        parts[i % p].push(row);
+    }
+    parts
+}
+
+/// Build one output row of a two-way join in the workspace convention:
+/// all of `r_row`, then `s_row` with the join column removed.
+pub fn merge_rows(r_row: &[Value], s_row: &[Value], s_col: usize, buf: &mut Vec<Value>) {
+    buf.clear();
+    buf.extend_from_slice(r_row);
+    for (i, &v) in s_row.iter().enumerate() {
+        if i != s_col {
+            buf.push(v);
+        }
+    }
+}
+
+/// Output arity of a two-way join under the [`merge_rows`] convention.
+pub fn joined_arity(r_arity: usize, s_arity: usize) -> usize {
+    r_arity + s_arity - 1
+}
+
+/// Local hash join of two tuple sets on `r_col` / `s_col`, appending
+/// merged rows to `out`.
+pub fn local_hash_join(
+    r_rows: &[Vec<Value>],
+    r_col: usize,
+    s_rows: &[Vec<Value>],
+    s_col: usize,
+    out: &mut Relation,
+) {
+    use parqp_data::FastMap;
+    let mut table: FastMap<Value, Vec<usize>> = FastMap::default();
+    for (i, row) in r_rows.iter().enumerate() {
+        table.entry(row[r_col]).or_default().push(i);
+    }
+    let mut buf = Vec::new();
+    for s_row in s_rows {
+        if let Some(matches) = table.get(&s_row[s_col]) {
+            for &i in matches {
+                merge_rows(&r_rows[i], s_row, s_col, &mut buf);
+                out.push(&buf);
+            }
+        }
+    }
+}
+
+/// The serial two-way equi-join oracle in the same output convention.
+pub fn twoway_oracle(r: &Relation, r_col: usize, s: &Relation, s_col: usize) -> Relation {
+    let mut out = Relation::new(joined_arity(r.arity(), s.arity()));
+    let r_rows: Vec<Vec<Value>> = r.iter().map(<[Value]>::to_vec).collect();
+    let s_rows: Vec<Vec<Value>> = s.iter().map(<[Value]>::to_vec).collect();
+    local_hash_join(&r_rows, r_col, &s_rows, s_col, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_weight_counts_row_only() {
+        let t = Tagged::new(3, vec![1, 2, 3]);
+        assert_eq!(t.words(), 3);
+    }
+
+    #[test]
+    fn scatter_round_robin() {
+        let r = Relation::from_rows(1, [[0], [1], [2], [3], [4]]);
+        let parts = scatter(&r, 2);
+        assert_eq!(parts[0].to_rows(), vec![vec![0], vec![2], vec![4]]);
+        assert_eq!(parts[1].to_rows(), vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn merge_rows_drops_join_col() {
+        let mut buf = Vec::new();
+        merge_rows(&[1, 2], &[2, 9], 0, &mut buf);
+        assert_eq!(buf, vec![1, 2, 9]);
+        merge_rows(&[1, 2], &[9, 2], 1, &mut buf);
+        assert_eq!(buf, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn oracle_matches_hand_computation() {
+        let r = Relation::from_rows(2, [[1, 5], [2, 5], [3, 6]]);
+        let s = Relation::from_rows(2, [[5, 10], [6, 11], [6, 12]]);
+        let out = twoway_oracle(&r, 1, &s, 0);
+        let mut rows = out.to_rows();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![1, 5, 10],
+                vec![2, 5, 10],
+                vec![3, 6, 11],
+                vec![3, 6, 12]
+            ]
+        );
+    }
+
+    #[test]
+    fn gathered_concats() {
+        let run = JoinRun {
+            outputs: vec![
+                Relation::from_rows(1, [[1]]),
+                Relation::from_rows(1, [[2], [3]]),
+            ],
+            report: LoadReport {
+                servers: 2,
+                rounds: vec![],
+            },
+        };
+        assert_eq!(run.output_size(), 3);
+        assert_eq!(run.gathered().len(), 3);
+    }
+}

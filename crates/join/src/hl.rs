@@ -1,0 +1,359 @@
+//! Heavy-Light + Semijoins — the multi-round skew algorithms of
+//! slides 57–60.
+//!
+//! Multi-round processing beats the one-round `IN/p^{1/ψ*}` bound by
+//! using **semijoins**, which "remove potential outputs each round
+//! without growing intermediate relations" (slide 58):
+//!
+//! * [`semijoin_pair_hl`] — slide 58's easy-hard query
+//!   `R(x) ⋈ S(x,y) ⋈ T(y)`: two skew-insensitive semijoin reductions of
+//!   `S` bring the load to `O(IN/p)` even when `x` or `y` is heavy
+//!   (versus `IN/p^{1/2}` for any one-round algorithm). Each semijoin is
+//!   a request/reply pair — `S` never moves, only *distinct keys* travel,
+//!   so a value of any degree costs at most `p` messages.
+//! * [`hl_triangle`] — slide 59's triangle decomposition: `z` values of
+//!   degree below `IN/p^{1/3}` run the one-round HyperCube; each heavy
+//!   `z = c` spawns the residual semijoin query
+//!   `R(x,y) ⋉ S(y,c) ⋉ T(c,x)` on its own `~p^{2/3}`-server group,
+//!   2 rounds at `L = O(IN/p^{2/3})` — worst-case optimal overall.
+
+use crate::common::{scatter, JoinRun, Tagged};
+use parqp_data::{FastMap, FastSet, Relation, Value};
+use parqp_mpc::{Cluster, HashFamily, LoadReport};
+
+/// Filter the in-place left fragments by membership of column `key_col`
+/// in the unary relation `right`, without moving `left`: a request/reply
+/// distributed semijoin (2 rounds on `cluster`).
+///
+/// Skew-insensitive: only *distinct* keys travel, so a key of any degree
+/// costs at most one request per holding server and one reply each.
+fn semijoin_requests(
+    cluster: &mut Cluster,
+    left_parts: &mut [Relation],
+    key_col: usize,
+    right: &Relation,
+    h: &HashFamily,
+    dim: usize,
+) {
+    let p = cluster.p();
+    // Round A: distinct left keys (tagged with the asking server) and
+    // right keys meet at h(key).
+    let right_parts = scatter(right, p);
+    let mut ex = cluster.exchange::<Tagged>();
+    for (sid, part) in left_parts.iter().enumerate() {
+        let mut seen: FastSet<Value> = FastSet::default();
+        for row in part.iter() {
+            if seen.insert(row[key_col]) {
+                ex.send(
+                    h.hash(dim, row[key_col], p),
+                    Tagged::new(sid as u32, vec![row[key_col]]),
+                );
+            }
+        }
+    }
+    for part in &right_parts {
+        for row in part.iter() {
+            ex.send(h.hash(dim, row[0], p), Tagged::new(u32::MAX, vec![row[0]]));
+        }
+    }
+    let inboxes = ex.finish();
+
+    // Round B: positive replies go back to the asking servers.
+    let mut ex = cluster.exchange::<Vec<Value>>();
+    for inbox in inboxes {
+        let mut members: FastSet<Value> = FastSet::default();
+        let mut asks: Vec<(usize, Value)> = Vec::new();
+        for t in inbox {
+            if t.tag == u32::MAX {
+                members.insert(t.row[0]);
+            } else {
+                asks.push((t.tag as usize, t.row[0]));
+            }
+        }
+        for (origin, key) in asks {
+            if members.contains(&key) {
+                ex.send(origin, vec![key]);
+            }
+        }
+    }
+    let replies = ex.finish();
+
+    for (part, reply) in left_parts.iter_mut().zip(replies) {
+        let keep: FastSet<Value> = reply.into_iter().map(|r| r[0]).collect();
+        *part = part.filter(|row| keep.contains(&row[key_col]));
+    }
+}
+
+/// Slide 58: evaluate `R(x) ⋈ S(x,y) ⋈ T(y)` by two semijoin reductions
+/// of `S` (4 rounds total — each semijoin is a request/reply pair),
+/// at `L = O(IN/p)` under arbitrary skew. Output schema `(x, y)`.
+pub fn semijoin_pair_hl(r: &Relation, s: &Relation, t: &Relation, p: usize, seed: u64) -> JoinRun {
+    assert_eq!(r.arity(), 1, "R must be unary");
+    assert_eq!(s.arity(), 2, "S must be binary");
+    assert_eq!(t.arity(), 1, "T must be unary");
+    let mut cluster = Cluster::new(p);
+    let h = HashFamily::new(seed ^ 0x51ab, 2);
+    let mut s_parts = scatter(s, p);
+    semijoin_requests(&mut cluster, &mut s_parts, 0, r, &h, 0);
+    semijoin_requests(&mut cluster, &mut s_parts, 1, t, &h, 1);
+    JoinRun {
+        outputs: s_parts,
+        report: cluster.report(),
+    }
+}
+
+/// Slide 59: the Heavy-Light + Semijoins triangle. Output schema
+/// `(x, y, z)`, set semantics for the heavy side's key sets.
+pub fn hl_triangle(r: &Relation, s: &Relation, t: &Relation, p: usize, seed: u64) -> JoinRun {
+    assert_eq!(r.arity(), 2, "R(x,y) must be binary");
+    assert_eq!(s.arity(), 2, "S(y,z) must be binary");
+    assert_eq!(t.arity(), 2, "T(z,x) must be binary");
+    let input = (r.len() + s.len() + t.len()) as f64;
+    let threshold = (input / (p as f64).cbrt()).max(1.0) as u64;
+
+    // Heavy z values: degree ≥ IN/p^{1/3} in S.z or T.z.
+    let mut heavy: Vec<Value> = Vec::new();
+    {
+        let mut deg: FastMap<Value, u64> = FastMap::default();
+        for row in s.iter() {
+            *deg.entry(row[1]).or_insert(0) += 1;
+        }
+        for row in t.iter() {
+            *deg.entry(row[0]).or_insert(0) += 1;
+        }
+        for (v, d) in deg {
+            if d >= threshold {
+                heavy.push(v);
+            }
+        }
+        heavy.sort_unstable();
+    }
+    let heavy_set: FastSet<Value> = heavy.iter().copied().collect();
+
+    // Light side: one-round HyperCube on S, T restricted to light z.
+    let s_light = s.filter(|row| !heavy_set.contains(&row[1]));
+    let t_light = t.filter(|row| !heavy_set.contains(&row[0]));
+    let p_light = if heavy.is_empty() { p } else { (p / 2).max(1) };
+    let q = parqp_query::Query::triangle();
+    let light_run = if s_light.is_empty() || t_light.is_empty() || r.is_empty() {
+        JoinRun {
+            outputs: vec![Relation::new(3); p_light],
+            report: LoadReport {
+                servers: p_light,
+                rounds: vec![],
+            },
+        }
+    } else {
+        crate::multiway::hypercube(&q, &[r.clone(), s_light, t_light], p_light, seed)
+    };
+
+    if heavy.is_empty() {
+        return light_run;
+    }
+
+    // Heavy side: per heavy c, the residual semijoin query
+    // R(x,y) ⋉ {y: S(y,c)} ⋉ {x: T(c,x)} on its own group, 2 rounds:
+    // round 1 filters on y, round 2 filters on x (co-hash semijoins).
+    let group = ((p / 2) / heavy.len()).max(1);
+    let mut reports = vec![light_run.report.clone()];
+    let mut outputs = light_run.outputs;
+    for (i, &c) in heavy.iter().enumerate() {
+        let sc: Vec<Value> = {
+            let mut ys: Vec<Value> = s
+                .iter()
+                .filter(|row| row[1] == c)
+                .map(|row| row[0])
+                .collect();
+            ys.sort_unstable();
+            ys.dedup();
+            ys
+        };
+        let tc: Vec<Value> = {
+            let mut xs: Vec<Value> = t
+                .iter()
+                .filter(|row| row[0] == c)
+                .map(|row| row[1])
+                .collect();
+            xs.sort_unstable();
+            xs.dedup();
+            xs
+        };
+        let mut cluster = Cluster::new(group);
+        let h = HashFamily::new(seed ^ (0x7e47 + i as u64), 2);
+        // Round 1: R by h(y), S_c keys by h(y); filter.
+        let mut ex = cluster.exchange::<Tagged>();
+        for part in scatter(r, group) {
+            for row in part.iter() {
+                ex.send(h.hash(0, row[1], group), Tagged::new(0, row.to_vec()));
+            }
+        }
+        for &y in &sc {
+            ex.send(h.hash(0, y, group), Tagged::new(1, vec![y]));
+        }
+        let inboxes = ex.finish();
+        let filtered: Vec<Vec<Vec<Value>>> = inboxes
+            .into_iter()
+            .map(|inbox| {
+                let mut keys: FastSet<Value> = FastSet::default();
+                let mut rows = Vec::new();
+                for m in inbox {
+                    if m.tag == 1 {
+                        keys.insert(m.row[0]);
+                    } else {
+                        rows.push(m.row);
+                    }
+                }
+                rows.retain(|row| keys.contains(&row[1]));
+                rows
+            })
+            .collect();
+        // Round 2: survivors by h(x), T_c keys by h(x); filter; emit (x,y,c).
+        let mut ex = cluster.exchange::<Tagged>();
+        for rows in &filtered {
+            for row in rows {
+                ex.send(h.hash(1, row[0], group), Tagged::new(0, row.clone()));
+            }
+        }
+        for &x in &tc {
+            ex.send(h.hash(1, x, group), Tagged::new(1, vec![x]));
+        }
+        let inboxes = ex.finish();
+        for inbox in inboxes {
+            let mut keys: FastSet<Value> = FastSet::default();
+            let mut rows = Vec::new();
+            for m in inbox {
+                if m.tag == 1 {
+                    keys.insert(m.row[0]);
+                } else {
+                    rows.push(m.row);
+                }
+            }
+            let mut out = Relation::new(3);
+            for row in rows {
+                if keys.contains(&row[0]) {
+                    out.push(&[row[0], row[1], c]);
+                }
+            }
+            outputs.push(out);
+        }
+        reports.push(cluster.report());
+    }
+    JoinRun {
+        outputs,
+        report: LoadReport::parallel(&reports),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parqp_data::generate;
+    use parqp_query::{evaluate, Query};
+
+    #[test]
+    fn semijoin_pair_matches_oracle() {
+        let q = Query::semijoin_pair();
+        let r = generate::unary_range(60);
+        let s = generate::uniform(2, 400, 100, 3);
+        let t = generate::unary_range(80);
+        let run = semijoin_pair_hl(&r, &s, &t, 8, 7);
+        let expect = evaluate(&q, &[r, s, t]);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+        assert_eq!(run.report.num_rounds(), 4);
+    }
+
+    #[test]
+    fn semijoin_pair_skew_insensitive_load() {
+        // Heavy x in S: the one-round bound is IN/√p, but the semijoin
+        // algorithm stays near IN/p because S never moves.
+        let n = 8000;
+        let p = 64;
+        let r = generate::unary_range(10);
+        let s = generate::constant_key_pairs(n, 5, 0); // all x = 5
+        let t = generate::unary_range(n as u64 as usize);
+        let run = semijoin_pair_hl(&r, &s, &t, p, 7);
+        let q = Query::semijoin_pair();
+        let expect = evaluate(&q, &[r, s, t]);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+        let l = run.report.max_load_tuples() as f64;
+        let one_round = (n as f64 + n as f64 + 10.0) / (p as f64).sqrt();
+        assert!(
+            l < one_round,
+            "semijoin load {l} should beat the 1-round bound {one_round}"
+        );
+    }
+
+    #[test]
+    fn hl_triangle_no_heavy_is_hypercube() {
+        let g = generate::uniform(2, 600, 1 << 30, 5);
+        let run = hl_triangle(&g, &g, &g, 27, 3);
+        assert_eq!(
+            run.report.num_rounds(),
+            1,
+            "no heavy values ⇒ pure HyperCube"
+        );
+        let q = Query::triangle();
+        let expect = evaluate(&q, &[g.clone(), g.clone(), g]);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn hl_triangle_with_hub_matches_oracle() {
+        // Hub degree must clear the IN/p^{1/3} threshold: here IN = 6000,
+        // p = 64 ⇒ threshold 1500, and the hub touches 1600 tuples.
+        let mut g = generate::random_symmetric_graph(80, 400, 9);
+        for i in 0..800u64 {
+            g.push(&[300 + i, 0]);
+            g.push(&[0, 300 + i]);
+        }
+        let q = Query::triangle();
+        let expect = evaluate(&q, &[g.clone(), g.clone(), g.clone()]);
+        let run = hl_triangle(&g, &g, &g, 64, 11);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+        assert_eq!(
+            run.report.num_rounds(),
+            2,
+            "heavy side adds the 2-round semijoins"
+        );
+    }
+
+    #[test]
+    fn hl_triangle_beats_plain_hypercube_under_z_skew() {
+        // All of S concentrates on one z value: HyperCube's z dimension
+        // collapses, HL routes that value to its own semijoin group.
+        let n = 3000usize;
+        let r = generate::uniform(2, n, 200, 21);
+        let s = generate::constant_key_pairs(n, 9, 1); // S(y, 9) for all rows
+        let mut t = generate::uniform(2, n, 200, 22);
+        for i in 0..n as u64 {
+            t.push(&[9, i % 200]); // T(9, x): make z = 9 heavy in T too
+        }
+        let q = Query::triangle();
+        let rels = vec![r.clone(), s.clone(), t.clone()];
+        let expect = evaluate(&q, &rels);
+        let hc = crate::multiway::hypercube(&q, &rels, 64, 5);
+        let hl = hl_triangle(&r, &s, &t, 64, 5);
+        assert_eq!(hl.gathered().canonical(), expect.canonical());
+        assert!(
+            hl.report.max_load_tuples() < hc.report.max_load_tuples(),
+            "HL {} vs HC {}",
+            hl.report.max_load_tuples(),
+            hc.report.max_load_tuples()
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Relation::new(2);
+        let run = hl_triangle(&e, &e, &e, 8, 1);
+        assert_eq!(run.output_size(), 0);
+        let run = semijoin_pair_hl(
+            &Relation::new(1),
+            &Relation::new(2),
+            &Relation::new(1),
+            4,
+            1,
+        );
+        assert_eq!(run.output_size(), 0);
+    }
+}

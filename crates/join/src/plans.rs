@@ -1,0 +1,336 @@
+//! Multi-round iterative binary-join plans (slides 53, 57, 97).
+//!
+//! "Most systems: iterative binary join plans" — the baseline every
+//! one-round algorithm is compared against. A left-deep plan joins one
+//! atom per round into a growing intermediate result, repartitioning both
+//! sides by a hash of their shared variables (a Cartesian grid round when
+//! they share none).
+//!
+//! On skew-free inputs each round costs `O(IN/p + |intermediate|/p)`
+//! (slide 57); the danger is intermediate blow-up (slide 63), which the
+//! one-round HyperCube and the Yannakakis-style [`crate::gym`] avoid in
+//! their respective regimes.
+
+use crate::common::{scatter, JoinRun, Tagged};
+use parqp_data::{FastMap, Relation, Value};
+use parqp_mpc::{Cluster, Grid, HashFamily};
+use parqp_query::{Query, Var};
+
+const TAG_LEFT: u32 = 0;
+const TAG_RIGHT: u32 = 1;
+
+/// Combine the values at `positions` of `row` into one routing digest.
+pub(crate) fn combined_hash(h: &HashFamily, row: &[Value], positions: &[usize]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &p in positions {
+        acc = parqp_mpc::hash::splitmix64(acc ^ h.digest(0, row[p]));
+    }
+    acc
+}
+
+/// Execute `query` with a left-deep iterative binary-join plan over the
+/// atoms in `order` (defaults to `0..n`). Runs `n−1` communication
+/// rounds; returns per-server outputs in variable order `x₀ … x_{k-1}`.
+///
+/// # Panics
+/// Panics on input shape mismatches or an invalid `order`.
+pub fn binary_join_plan(
+    query: &Query,
+    rels: &[Relation],
+    p: usize,
+    seed: u64,
+    order: Option<Vec<usize>>,
+) -> JoinRun {
+    assert_eq!(rels.len(), query.num_atoms(), "one relation per atom");
+    for (a, r) in query.atoms().iter().zip(rels) {
+        assert_eq!(a.arity(), r.arity(), "arity mismatch for atom {}", a.name);
+    }
+    let order = order.unwrap_or_else(|| (0..query.num_atoms()).collect());
+    {
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..query.num_atoms()).collect::<Vec<_>>(),
+            "order must permute atoms"
+        );
+    }
+
+    let mut cluster = Cluster::new(p);
+    let h = HashFamily::new(seed, 1);
+
+    // Intermediate state: distributed rows + their variable schema.
+    let first = order[0];
+    let mut schema: Vec<Var> = query.atoms()[first].vars.clone();
+    let mut parts: Vec<Vec<Vec<Value>>> = scatter(&rels[first], p)
+        .into_iter()
+        .map(Relation::into_messages)
+        .collect();
+
+    for &next in &order[1..] {
+        let atom = &query.atoms()[next];
+        let shared_left: Vec<usize> = (0..schema.len())
+            .filter(|&i| atom.vars.contains(&schema[i]))
+            .collect();
+        let shared_right: Vec<usize> = shared_left
+            .iter()
+            .map(|&i| {
+                atom.vars
+                    .iter()
+                    .position(|&v| v == schema[i])
+                    .expect("shared")
+            })
+            .collect();
+        let fresh_right: Vec<usize> = (0..atom.vars.len())
+            .filter(|&pos| !schema.contains(&atom.vars[pos]))
+            .collect();
+        let right_parts = scatter(&rels[next], p);
+
+        let inboxes = if shared_left.is_empty() {
+            // Cartesian round on a product grid.
+            let left_n: usize = parts.iter().map(Vec::len).sum();
+            let (p1, p2) = crate::twoway::product_grid(left_n, rels[next].len(), p);
+            let grid = Grid::new(vec![p1, p2]);
+            let mut ex = cluster.exchange::<Tagged>();
+            let mut idx = 0u64;
+            for part in &parts {
+                for row in part {
+                    let band = (h.digest(0, idx) % p1 as u64) as usize;
+                    idx += 1;
+                    for dest in grid.matching(&[Some(band), None]) {
+                        ex.send(dest, Tagged::new(TAG_LEFT, row.clone()));
+                    }
+                }
+            }
+            idx = 0;
+            for part in &right_parts {
+                for row in part.iter() {
+                    let band = (h.digest(0, !idx) % p2 as u64) as usize;
+                    idx += 1;
+                    for dest in grid.matching(&[None, Some(band)]) {
+                        ex.send(dest, Tagged::new(TAG_RIGHT, row.to_vec()));
+                    }
+                }
+            }
+            let mut boxes = ex.finish();
+            boxes.resize_with(p, Vec::new); // grid may use fewer than p servers
+            boxes
+        } else {
+            let mut ex = cluster.exchange::<Tagged>();
+            for part in &parts {
+                for row in part {
+                    let dest = (combined_hash(&h, row, &shared_left) % p as u64) as usize;
+                    ex.send(dest, Tagged::new(TAG_LEFT, row.clone()));
+                }
+            }
+            for part in &right_parts {
+                for row in part.iter() {
+                    let dest = (combined_hash(&h, row, &shared_right) % p as u64) as usize;
+                    ex.send(dest, Tagged::new(TAG_RIGHT, row.to_vec()));
+                }
+            }
+            ex.finish()
+        };
+
+        // Local join on the shared variables.
+        parts = inboxes
+            .into_iter()
+            .map(|inbox| {
+                let mut left_rows = Vec::new();
+                let mut right_rows = Vec::new();
+                for t in inbox {
+                    if t.tag == TAG_LEFT {
+                        left_rows.push(t.row);
+                    } else {
+                        right_rows.push(t.row);
+                    }
+                }
+                let mut table: FastMap<Vec<Value>, Vec<usize>> = FastMap::default();
+                for (i, row) in right_rows.iter().enumerate() {
+                    let key: Vec<Value> = shared_right.iter().map(|&pos| row[pos]).collect();
+                    table.entry(key).or_default().push(i);
+                }
+                let mut out = Vec::new();
+                for lrow in &left_rows {
+                    let key: Vec<Value> = shared_left.iter().map(|&i| lrow[i]).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for &i in matches {
+                            let mut nrow = lrow.clone();
+                            nrow.extend(fresh_right.iter().map(|&pos| right_rows[i][pos]));
+                            out.push(nrow);
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        schema.extend(fresh_right.iter().map(|&pos| atom.vars[pos]));
+    }
+
+    // Reorder columns to x₀ … x_{k-1}.
+    assert_eq!(
+        schema.len(),
+        query.num_vars(),
+        "plan must bind every variable"
+    );
+    let mut col_of_var = vec![0usize; query.num_vars()];
+    for (i, &v) in schema.iter().enumerate() {
+        col_of_var[v] = i;
+    }
+    let outputs = parts
+        .into_iter()
+        .map(|rows| {
+            let mut rel = Relation::with_capacity(query.num_vars(), rows.len());
+            let mut buf = vec![0; query.num_vars()];
+            for row in rows {
+                for (v, slot) in buf.iter_mut().enumerate() {
+                    *slot = row[col_of_var[v]];
+                }
+                rel.push(&buf);
+            }
+            rel
+        })
+        .collect();
+    JoinRun {
+        outputs,
+        report: cluster.report(),
+    }
+}
+
+/// Size of the largest intermediate result of a left-deep plan, computed
+/// serially (used by E09/E11 to report intermediate blow-up).
+pub fn max_intermediate_size(query: &Query, rels: &[Relation], order: Option<Vec<usize>>) -> usize {
+    let order = order.unwrap_or_else(|| (0..query.num_atoms()).collect());
+    let mut schema = query.atoms()[order[0]].vars.clone();
+    let mut rows: Vec<Vec<Value>> = rels[order[0]].iter().map(<[Value]>::to_vec).collect();
+    let mut max = rows.len();
+    for &next in &order[1..] {
+        let atom = &query.atoms()[next];
+        let shared_left: Vec<usize> = (0..schema.len())
+            .filter(|&i| atom.vars.contains(&schema[i]))
+            .collect();
+        let shared_right: Vec<usize> = shared_left
+            .iter()
+            .map(|&i| {
+                atom.vars
+                    .iter()
+                    .position(|&v| v == schema[i])
+                    .expect("shared")
+            })
+            .collect();
+        let fresh_right: Vec<usize> = (0..atom.vars.len())
+            .filter(|&pos| !schema.contains(&atom.vars[pos]))
+            .collect();
+        let mut table: FastMap<Vec<Value>, Vec<usize>> = FastMap::default();
+        let right_rows: Vec<&[Value]> = rels[next].iter().collect();
+        for (i, row) in right_rows.iter().enumerate() {
+            table
+                .entry(shared_right.iter().map(|&posn| row[posn]).collect())
+                .or_default()
+                .push(i);
+        }
+        let mut out = Vec::new();
+        for lrow in &rows {
+            let key: Vec<Value> = shared_left.iter().map(|&i| lrow[i]).collect();
+            if let Some(matches) = table.get(&key) {
+                for &i in matches {
+                    let mut nrow = lrow.clone();
+                    nrow.extend(fresh_right.iter().map(|&posn| right_rows[i][posn]));
+                    out.push(nrow);
+                }
+            }
+        }
+        rows = out;
+        max = max.max(rows.len());
+        schema.extend(fresh_right.iter().map(|&pos| atom.vars[pos]));
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parqp_data::generate;
+    use parqp_query::evaluate;
+
+    #[test]
+    fn chain_plan_matches_oracle() {
+        let q = Query::chain(4);
+        let rels: Vec<Relation> = (0..4)
+            .map(|i| generate::uniform(2, 150, 30, i as u64))
+            .collect();
+        let run = binary_join_plan(&q, &rels, 8, 5, None);
+        let expect = evaluate(&q, &rels);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+        assert_eq!(run.output_size(), expect.len());
+        assert_eq!(run.report.num_rounds(), 3, "n−1 rounds");
+    }
+
+    #[test]
+    fn triangle_plan_matches_oracle() {
+        let q = Query::triangle();
+        let g = generate::random_symmetric_graph(40, 300, 8);
+        let rels = vec![g.clone(), g.clone(), g];
+        let run = binary_join_plan(&q, &rels, 16, 9, None);
+        let expect = evaluate(&q, &rels);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+        assert_eq!(run.report.num_rounds(), 2);
+    }
+
+    #[test]
+    fn product_step_uses_cartesian_grid() {
+        let q = Query::product();
+        let r = generate::uniform(1, 80, 500, 1);
+        let s = generate::uniform(1, 80, 500, 2);
+        let run = binary_join_plan(&q, &[r, s], 16, 3, None);
+        assert_eq!(run.output_size(), 80 * 80);
+        let l = run.report.max_load_tuples() as f64;
+        assert!(l < 100.0, "grid keeps the product round balanced: {l}");
+    }
+
+    #[test]
+    fn custom_order_respected() {
+        let q = Query::triangle();
+        let g = generate::random_symmetric_graph(30, 200, 4);
+        let rels = vec![g.clone(), g.clone(), g];
+        let a = binary_join_plan(&q, &rels, 8, 7, Some(vec![2, 0, 1]));
+        let b = binary_join_plan(&q, &rels, 8, 7, None);
+        assert_eq!(a.gathered().canonical(), b.gathered().canonical());
+    }
+
+    #[test]
+    fn semijoin_pair_plan() {
+        let q = Query::semijoin_pair();
+        let r = generate::unary_range(30);
+        let s = generate::uniform(2, 200, 50, 6);
+        let t = generate::unary_range(40);
+        let rels = vec![r, s, t];
+        let run = binary_join_plan(&q, &rels, 8, 11, None);
+        let expect = evaluate(&q, &rels);
+        assert_eq!(run.gathered().canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn intermediate_size_tracks_blowup() {
+        // Chain whose first join explodes: every R1 tuple has A1 = 0 and
+        // every R2 tuple has A1 = 0, so R1 ⋈ R2 is a full m × m product;
+        // R3 then shrinks the result back down to m tuples.
+        let m = 40u64;
+        let r1 = Relation::from_rows(2, (0..m).map(|i| [i, 0]).collect::<Vec<_>>());
+        let r2 = Relation::from_rows(2, (0..m).map(|j| [0, j]).collect::<Vec<_>>());
+        let r3 = Relation::from_rows(2, [[5, 1]]);
+        let q = Query::chain(3);
+        let blow = max_intermediate_size(&q, &[r1.clone(), r2.clone(), r3.clone()], None);
+        assert_eq!(blow, (m * m) as usize);
+        let out = parqp_query::evaluate(&q, &[r1, r2, r3]);
+        assert_eq!(out.len(), m as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must permute")]
+    fn invalid_order_rejected() {
+        let q = Query::two_way();
+        let r = generate::uniform(2, 10, 5, 1);
+        binary_join_plan(&q, &[r.clone(), r], 4, 1, Some(vec![0, 0]));
+    }
+}

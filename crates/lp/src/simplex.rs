@@ -1,0 +1,497 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves `max / min cᵀx` subject to linear constraints (`≤`, `≥`, `=`)
+//! and `x ≥ 0`. The implementation is the textbook tableau method:
+//!
+//! 1. normalize all right-hand sides to be non-negative;
+//! 2. add slack variables for `≤`, surplus + artificial for `≥`, and
+//!    artificial for `=`;
+//! 3. **phase 1** minimizes the sum of artificials to find a basic
+//!    feasible solution (positive optimum ⇒ infeasible);
+//! 4. **phase 2** optimizes the real objective from that basis.
+//!
+//! Bland's rule (smallest-index entering and leaving variable) guarantees
+//! termination. Problems in this workspace have at most a few dozen
+//! variables, so the dense `O(m·n)`-per-pivot tableau is more than fast
+//! enough, and we bias every comparison with a small tolerance for
+//! numerical robustness.
+
+/// Relational operator of a [`Constraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// One linear constraint `coeffs · x (≤|≥|=) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficient of each structural variable (length = number of vars).
+    pub coeffs: Vec<f64>,
+    /// The relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) -> Self {
+        Self { coeffs, op, rhs }
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients, one per variable.
+    pub objective: Vec<f64>,
+    /// `true` to maximize the objective, `false` to minimize.
+    pub maximize: bool,
+    /// The constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (in the caller's orientation).
+    pub objective: f64,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(Solution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwrap the optimal solution.
+    ///
+    /// # Panics
+    /// Panics if the LP was infeasible or unbounded.
+    pub fn expect_optimal(self, msg: &str) -> Solution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("{msg}: {other:?}"),
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// Constraint matrix rows, including slack/artificial columns.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (always ≥ 0 inside the tableau).
+    b: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total number of columns.
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+        let inv = 1.0 / piv;
+        for v in &mut self.a[row] {
+            *v *= inv;
+        }
+        self.b[row] *= inv;
+        let pivot_row = self.a[row].clone();
+        let pivot_b = self.b[row];
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for (dst, src) in self.a[r].iter_mut().zip(&pivot_row) {
+                *dst -= factor * src;
+            }
+            self.b[r] -= factor * pivot_b;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations maximizing `cost` (length `cols`) from the
+    /// current basis. Returns `None` if unbounded, otherwise the optimal
+    /// objective value. Uses Bland's rule.
+    fn optimize(&mut self, cost: &[f64], allowed: &[bool]) -> Option<f64> {
+        loop {
+            // Reduced costs: z_j - c_j form. Compute c_B B^{-1} A_j - c_j
+            // implicitly: since the tableau is kept in canonical form we
+            // recompute the objective row each iteration (cheap at our sizes).
+            let m = self.a.len();
+            let mut reduced = vec![0.0; self.cols];
+            for (j, r) in reduced.iter_mut().enumerate() {
+                let mut z = 0.0;
+                for i in 0..m {
+                    z += cost[self.basis[i]] * self.a[i][j];
+                }
+                *r = cost[j] - z;
+            }
+            // Bland: smallest-index column with positive reduced cost.
+            let entering = (0..self.cols)
+                .find(|&j| allowed[j] && reduced[j] > EPS && !self.basis.contains(&j));
+            let Some(col) = entering else {
+                let obj: f64 = (0..m).map(|i| cost[self.basis[i]] * self.b[i]).sum();
+                return Some(obj);
+            };
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                if self.a[i][col] > EPS {
+                    let ratio = self.b[i] / self.a[i][col];
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return None; // unbounded in this direction
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solve a linear program. See the module documentation for the method.
+///
+/// # Panics
+/// Panics if constraint coefficient vectors disagree with the objective
+/// length, or any coefficient is non-finite.
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.objective.len();
+    assert!(
+        lp.objective.iter().all(|c| c.is_finite()),
+        "non-finite objective"
+    );
+    for c in &lp.constraints {
+        assert_eq!(c.coeffs.len(), n, "constraint arity mismatch");
+        assert!(
+            c.coeffs.iter().all(|v| v.is_finite()) && c.rhs.is_finite(),
+            "non-finite constraint"
+        );
+    }
+    let m = lp.constraints.len();
+
+    // Column layout: [0..n) structural | [n..n+slack) slack/surplus | artificials.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut ops: Vec<ConstraintOp> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let (mut coeffs, mut r, mut op) = (c.coeffs.clone(), c.rhs, c.op);
+        if r < 0.0 {
+            for v in &mut coeffs {
+                *v = -*v;
+            }
+            r = -r;
+            op = match op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        rows.push(coeffs);
+        rhs.push(r);
+        ops.push(op);
+    }
+
+    let n_slack = ops
+        .iter()
+        .filter(|o| !matches!(o, ConstraintOp::Eq))
+        .count();
+    let n_art = ops
+        .iter()
+        .filter(|o| !matches!(o, ConstraintOp::Le))
+        .count();
+    let cols = n + n_slack + n_art;
+
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols = Vec::with_capacity(n_art);
+    let (mut s_next, mut a_next) = (n, n + n_slack);
+    for i in 0..m {
+        a[i][..n].copy_from_slice(&rows[i]);
+        match ops[i] {
+            ConstraintOp::Le => {
+                a[i][s_next] = 1.0;
+                basis[i] = s_next;
+                s_next += 1;
+            }
+            ConstraintOp::Ge => {
+                a[i][s_next] = -1.0;
+                s_next += 1;
+                a[i][a_next] = 1.0;
+                basis[i] = a_next;
+                art_cols.push(a_next);
+                a_next += 1;
+            }
+            ConstraintOp::Eq => {
+                a[i][a_next] = 1.0;
+                basis[i] = a_next;
+                art_cols.push(a_next);
+                a_next += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        b: rhs,
+        basis,
+        cols,
+    };
+
+    // Phase 1: maximize -Σ artificials.
+    if !art_cols.is_empty() {
+        let mut cost = vec![0.0; cols];
+        for &c in &art_cols {
+            cost[c] = -1.0;
+        }
+        let allowed = vec![true; cols];
+        let obj = t
+            .optimize(&cost, &allowed)
+            .expect("phase 1 is bounded by construction");
+        if obj < -1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot any artificial still in the basis (at value 0) out of it.
+        for i in 0..m {
+            if art_cols.contains(&t.basis[i]) {
+                if let Some(col) = (0..n + n_slack).find(|&j| t.a[i][j].abs() > EPS) {
+                    t.pivot(i, col);
+                }
+                // If the whole row is zero the constraint was redundant;
+                // the artificial stays basic at 0, harmless for phase 2
+                // because its column is disallowed below.
+            }
+        }
+    }
+
+    // Phase 2: the real objective, artificial columns disallowed.
+    let mut cost = vec![0.0; cols];
+    let sign = if lp.maximize { 1.0 } else { -1.0 };
+    for (j, c) in lp.objective.iter().enumerate() {
+        cost[j] = sign * c;
+    }
+    let mut allowed = vec![true; cols];
+    for &c in &art_cols {
+        allowed[c] = false;
+    }
+    let Some(obj) = t.optimize(&cost, &allowed) else {
+        return LpOutcome::Unbounded;
+    };
+
+    let mut x = vec![0.0; n];
+    for (i, &bv) in t.basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t.b[i];
+        }
+    }
+    LpOutcome::Optimal(Solution {
+        x,
+        objective: sign * obj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> Solution {
+        solve(lp).expect_optimal("expected optimal")
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => x=2, y=6, obj=36
+        let lp = LinearProgram {
+            objective: vec![3.0, 5.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 4.0),
+                Constraint::new(vec![0.0, 2.0], ConstraintOp::Le, 12.0),
+                Constraint::new(vec![3.0, 2.0], ConstraintOp::Le, 18.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!((s.objective - 36.0).abs() < 1e-7);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 => x=10 (wait: y=0 allowed)
+        // optimum: y=0, x=10 → 20? but cost of x is 2 < 3 so use x only.
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            maximize: false,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Ge, 10.0),
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Ge, 2.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!(
+            (s.objective - 20.0).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
+        assert!((s.x[0] - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x <= 3 => 5
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 5.0),
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 3.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+        assert!((s.x[0] + s.x[1] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0], ConstraintOp::Le, 1.0),
+                Constraint::new(vec![1.0], ConstraintOp::Ge, 2.0),
+            ],
+        };
+        assert!(matches!(solve(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x s.t. x >= 1
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            maximize: true,
+            constraints: vec![Constraint::new(vec![1.0], ConstraintOp::Ge, 1.0)],
+        };
+        assert!(matches!(solve(&lp), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // max x s.t. -x <= -2  (i.e. x >= 2), x <= 5 => 5
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![-1.0], ConstraintOp::Le, -2.0),
+                Constraint::new(vec![1.0], ConstraintOp::Le, 5.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classically degenerate LP (Beale-like); Bland's rule must terminate.
+        let lp = LinearProgram {
+            objective: vec![0.75, -150.0, 0.02, -6.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![0.25, -60.0, -0.04, 9.0], ConstraintOp::Le, 0.0),
+                Constraint::new(vec![0.5, -90.0, -0.02, 3.0], ConstraintOp::Le, 0.0),
+                Constraint::new(vec![0.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!(
+            (s.objective - 0.05).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let lp = LinearProgram {
+            objective: vec![0.0, 0.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
+                Constraint::new(vec![1.0, -1.0], ConstraintOp::Eq, 0.0),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!((s.x[0] - 0.5).abs() < 1e-7);
+        assert!((s.x[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 2 stated twice; max x s.t. x <= 1.5
+        let lp = LinearProgram {
+            objective: vec![1.0, 0.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 2.0),
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 2.0),
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 1.5),
+            ],
+        };
+        let s = optimal(&lp);
+        assert!((s.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solution_satisfies_constraints() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0, 3.0],
+            maximize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0, 1.0], ConstraintOp::Le, 10.0),
+                Constraint::new(vec![1.0, 2.0, 0.0], ConstraintOp::Ge, 2.0),
+                Constraint::new(vec![0.0, 1.0, 1.0], ConstraintOp::Le, 7.0),
+            ],
+        };
+        let s = optimal(&lp);
+        for c in &lp.constraints {
+            let lhs: f64 = c.coeffs.iter().zip(&s.x).map(|(a, b)| a * b).sum();
+            match c.op {
+                ConstraintOp::Le => assert!(lhs <= c.rhs + 1e-7),
+                ConstraintOp::Ge => assert!(lhs >= c.rhs - 1e-7),
+                ConstraintOp::Eq => assert!((lhs - c.rhs).abs() < 1e-7),
+            }
+        }
+        assert!(s.x.iter().all(|&v| v >= -1e-9));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the LP layer: duality, feasibility, and share
+//! rounding on randomly generated hypergraphs.
+
+use parqp_lp::{
+    fractional_edge_cover, fractional_edge_packing, fractional_vertex_cover, plan_shares,
+    predicted_load, solve, Constraint, ConstraintOp, Hypergraph, LinearProgram, LpOutcome,
+};
+use proptest::prelude::*;
+
+/// A random connected-ish hypergraph: `v` vertices, each of `e` edges a
+/// random non-empty subset. We then make sure every vertex is covered by
+/// appending singleton edges for missed vertices.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..6, 1usize..6).prop_flat_map(|(v, e)| {
+        proptest::collection::vec(proptest::collection::vec(0..v, 1..=v.min(3)), e).prop_map(
+            move |mut edges| {
+                let covered: std::collections::HashSet<usize> =
+                    edges.iter().flatten().copied().collect();
+                for missing in (0..v).filter(|x| !covered.contains(x)) {
+                    edges.push(vec![missing]);
+                }
+                Hypergraph::new(v, edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn packing_cover_duality(h in arb_hypergraph()) {
+        let p = fractional_edge_packing(&h);
+        let c = fractional_vertex_cover(&h);
+        prop_assert!((p.value - c.value).abs() < 1e-6,
+            "duality gap {} vs {} on {:?}", p.value, c.value, h);
+    }
+
+    #[test]
+    fn packing_feasible_and_cover_feasible(h in arb_hypergraph()) {
+        let p = fractional_edge_packing(&h);
+        for v in 0..h.num_vertices() {
+            let s: f64 = (0..h.num_edges())
+                .filter(|&j| h.edge_contains(j, v))
+                .map(|j| p.weights[j])
+                .sum();
+            prop_assert!(s <= 1.0 + 1e-6);
+        }
+        let c = fractional_edge_cover(&h);
+        for v in 0..h.num_vertices() {
+            let s: f64 = (0..h.num_edges())
+                .filter(|&j| h.edge_contains(j, v))
+                .map(|j| c.weights[j])
+                .sum();
+            prop_assert!(s >= 1.0 - 1e-6);
+        }
+        prop_assert!(p.weights.iter().all(|&u| u >= -1e-9));
+        prop_assert!(c.weights.iter().all(|&u| u >= -1e-9));
+    }
+
+    #[test]
+    fn edge_cover_at_least_one_for_covered_graphs(h in arb_hypergraph()) {
+        // Any hypergraph with >= 1 vertex needs total cover weight >= 1.
+        let c = fractional_edge_cover(&h);
+        prop_assert!(c.value >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn shares_product_within_budget(h in arb_hypergraph(), p in 2usize..200) {
+        let sizes: Vec<u64> = (0..h.num_edges()).map(|j| 1000 + 137 * j as u64).collect();
+        let plan = plan_shares(&h, &sizes, p);
+        let prod: usize = plan.shares.iter().product();
+        prop_assert!(prod <= p, "shares {:?} exceed p={p}", plan.shares);
+        prop_assert!(plan.shares.iter().all(|&s| s >= 1));
+        // The rounded load can never beat the fractional LP optimum by
+        // more than floating fuzz.
+        let rounded = predicted_load(&h, &sizes, &plan.shares);
+        let frac = plan.fractional_load(p);
+        prop_assert!(rounded >= frac - 1e-6, "rounded {rounded} below LP bound {frac}");
+    }
+
+    #[test]
+    fn packing_matches_half_integral_brute_force(
+        v in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 1..6),
+    ) {
+        // For ordinary graphs (arity-2 edges) the fractional matching LP
+        // has a half-integral optimum, so brute force over u ∈ {0, ½, 1}^m
+        // finds the true τ*.
+        let mut es: Vec<Vec<usize>> = edges
+            .iter()
+            .map(|&(a, b)| {
+                let (a, b) = (a % v, b % v);
+                if a == b { vec![a, (a + 1) % v] } else { vec![a, b] }
+            })
+            .collect();
+        // Cover stragglers so constructors stay happy downstream.
+        let covered: std::collections::HashSet<usize> = es.iter().flatten().copied().collect();
+        for missing in (0..v).filter(|x| !covered.contains(x)) {
+            es.push(vec![missing, (missing + 1) % v]);
+        }
+        let h = Hypergraph::new(v, es);
+        let m = h.num_edges();
+        prop_assume!(m <= 8);
+        let mut best = 0.0f64;
+        for mask in 0..3usize.pow(m as u32) {
+            let mut u = Vec::with_capacity(m);
+            let mut rest = mask;
+            for _ in 0..m {
+                u.push((rest % 3) as f64 / 2.0);
+                rest /= 3;
+            }
+            let feasible = (0..v).all(|vertex| {
+                let s: f64 = (0..m)
+                    .filter(|&j| h.edge_contains(j, vertex))
+                    .map(|j| u[j])
+                    .sum();
+                s <= 1.0 + 1e-9
+            });
+            if feasible {
+                best = best.max(u.iter().sum());
+            }
+        }
+        let lp = fractional_edge_packing(&h).value;
+        prop_assert!((lp - best).abs() < 1e-6, "LP {lp} vs brute force {best}");
+    }
+
+    #[test]
+    fn lp_optimal_solutions_are_feasible(
+        n in 1usize..4,
+        m in 1usize..4,
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 16),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 4),
+        obj in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let constraints: Vec<Constraint> = (0..m).map(|i| Constraint::new(
+            (0..n).map(|j| coeffs[i * 4 + j]).collect(),
+            if i % 2 == 0 { ConstraintOp::Le } else { ConstraintOp::Ge },
+            rhs[i],
+        )).collect();
+        let lp = LinearProgram { objective: obj[..n].to_vec(), maximize: true, constraints };
+        if let LpOutcome::Optimal(s) = solve(&lp) {
+            for c in &lp.constraints {
+                let lhs: f64 = c.coeffs.iter().zip(&s.x).map(|(a, b)| a * b).sum();
+                match c.op {
+                    ConstraintOp::Le => prop_assert!(lhs <= c.rhs + 1e-6),
+                    ConstraintOp::Ge => prop_assert!(lhs >= c.rhs - 1e-6),
+                    ConstraintOp::Eq => prop_assert!((lhs - c.rhs).abs() < 1e-6),
+                }
+            }
+            prop_assert!(s.x.iter().all(|&v| v >= -1e-9));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! MPC block LU decomposition (slide 127's "Other Results": Cholesky,
+//! LU, QR…).
+//!
+//! The right-looking block algorithm without pivoting: partition `A`
+//! into `H × H` blocks of side `n/H`, distribute block `(i,j)` to
+//! processor `(i·H + j) mod p`, and for each step `k`:
+//!
+//! 1. the owner of `A_kk` factors it locally (`A_kk = L_kk · U_kk`) and
+//!    sends the triangular factors to the step's row and column panels
+//!    (one round);
+//! 2. panel owners solve `L_ik = A_ik · U_kk⁻¹` and
+//!    `U_kj = L_kk⁻¹ · A_kj` and broadcast their panels across the
+//!    trailing submatrix (one round); every trailing owner updates
+//!    `A_ij ← A_ij − L_ik · U_kj` locally.
+//!
+//! `2H` rounds total; per round a trailing processor receives at most a
+//! handful of `(n/H)²`-element blocks — the same block-granularity
+//! economics as the square-block multiplication. Without pivoting the
+//! factorization requires nonsingular leading minors; use diagonally
+//! dominant inputs (see [`Matrix`] helpers in the tests) as is standard
+//! for distributed no-pivot LU.
+
+use crate::dense::Matrix;
+use parqp_data::FastMap;
+use parqp_mpc::{Cluster, LoadReport, Weight};
+
+/// An `nb × nb` block on the wire.
+#[derive(Debug, Clone)]
+struct BlockMsg {
+    /// 0 = L panel block, 1 = U panel block, 2 = diagonal L, 3 = diagonal U.
+    kind: u8,
+    bi: usize,
+    bj: usize,
+    vals: Vec<f64>,
+}
+
+impl Weight for BlockMsg {
+    fn words(&self) -> u64 {
+        self.vals.len() as u64
+    }
+}
+
+/// Result of the distributed factorization.
+#[derive(Debug, Clone)]
+pub struct LuRun {
+    /// Unit lower-triangular factor.
+    pub l: Matrix,
+    /// Upper-triangular factor.
+    pub u: Matrix,
+    /// Communication ledger.
+    pub report: LoadReport,
+}
+
+/// Serial dense LU without pivoting (the block kernel and test oracle).
+///
+/// # Panics
+/// Panics if a zero pivot is encountered (use diagonally dominant input).
+pub fn lu_serial(a: &Matrix) -> (Matrix, Matrix) {
+    let n = a.n();
+    let mut u = a.clone();
+    let mut l = Matrix::zeros(n);
+    for i in 0..n {
+        l.set(i, i, 1.0);
+    }
+    for k in 0..n {
+        let piv = u.get(k, k);
+        assert!(piv.abs() > 1e-12, "zero pivot at {k}: input needs pivoting");
+        for i in k + 1..n {
+            let f = u.get(i, k) / piv;
+            l.set(i, k, f);
+            for j in k..n {
+                let v = u.get(i, j) - f * u.get(k, j);
+                u.set(i, j, v);
+            }
+        }
+    }
+    // Zero the (numerically tiny) strictly-lower part of U.
+    for i in 0..n {
+        for j in 0..i {
+            u.set(i, j, 0.0);
+        }
+    }
+    (l, u)
+}
+
+/// Solve `L · X = B` for X with unit-lower-triangular `L` (forward
+/// substitution), all `nb × nb` row-major.
+fn forward_solve(l: &[f64], b: &[f64], nb: usize) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for i in 0..nb {
+        for k in 0..i {
+            let f = l[i * nb + k];
+            if f != 0.0 {
+                for j in 0..nb {
+                    x[i * nb + j] -= f * x[k * nb + j];
+                }
+            }
+        }
+        // Unit diagonal: no division.
+    }
+    x
+}
+
+/// Solve `X · U = B` for X with upper-triangular `U` (column-wise back
+/// substitution), all `nb × nb` row-major.
+fn right_upper_solve(u: &[f64], b: &[f64], nb: usize) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for j in 0..nb {
+        let piv = u[j * nb + j];
+        assert!(
+            piv.abs() > 1e-12,
+            "zero pivot in block: input needs pivoting"
+        );
+        for i in 0..nb {
+            let mut v = x[i * nb + j];
+            for k in 0..j {
+                v -= x[i * nb + k] * u[k * nb + j];
+            }
+            x[i * nb + j] = v / piv;
+        }
+    }
+    x
+}
+
+/// Distributed block LU on `p` processors with `h × h` blocking.
+///
+/// # Panics
+/// Panics if `h` does not divide `n`, `p == 0`, or a zero pivot arises.
+pub fn block_lu(a: &Matrix, h: usize, p: usize) -> LuRun {
+    let n = a.n();
+    assert!(h >= 1 && n.is_multiple_of(h), "h must divide n");
+    assert!(p >= 1, "need at least one processor");
+    let nb = n / h;
+    let owner = |i: usize, j: usize| (i * h + j) % p;
+    let mut cluster = Cluster::new(p);
+
+    let block_of = |m: &Matrix, bi: usize, bj: usize| -> Vec<f64> {
+        let mut out = Vec::with_capacity(nb * nb);
+        for r in 0..nb {
+            out.extend_from_slice(&m.row(bi * nb + r)[bj * nb..(bj + 1) * nb]);
+        }
+        out
+    };
+    // Working blocks, keyed (i, j), held by their owners.
+    let mut blocks: Vec<FastMap<(usize, usize), Vec<f64>>> = vec![FastMap::default(); p];
+    for i in 0..h {
+        for j in 0..h {
+            blocks[owner(i, j)].insert((i, j), block_of(a, i, j));
+        }
+    }
+    let mut l_out = Matrix::zeros(n);
+    let mut u_out = Matrix::zeros(n);
+    for i in 0..n {
+        l_out.set(i, i, 1.0);
+    }
+
+    for k in 0..h {
+        // Round A: factor the diagonal block; send L_kk to the column
+        // panel owners and U_kk to the row panel owners.
+        let diag_owner = owner(k, k);
+        let akk = blocks[diag_owner]
+            .remove(&(k, k))
+            .expect("diagonal block present");
+        let (lkk, ukk) = {
+            let m = Matrix::from_data(nb, akk);
+            let (l, u) = lu_serial(&m);
+            (block_to_vec(&l, nb), block_to_vec(&u, nb))
+        };
+        write_block(&mut l_out, k, k, nb, &lkk, true);
+        write_block(&mut u_out, k, k, nb, &ukk, false);
+
+        let mut ex = cluster.exchange::<BlockMsg>();
+        for j in k + 1..h {
+            // Self-sends are elided: the diagonal owner already holds
+            // its factors (the `unwrap_or` fallbacks below).
+            if owner(k, j) != diag_owner {
+                ex.send(
+                    owner(k, j),
+                    BlockMsg {
+                        kind: 3,
+                        bi: k,
+                        bj: k,
+                        vals: lkk.clone(),
+                    },
+                );
+            }
+            if owner(j, k) != diag_owner {
+                ex.send(
+                    owner(j, k),
+                    BlockMsg {
+                        kind: 2,
+                        bi: k,
+                        bj: k,
+                        vals: ukk.clone(),
+                    },
+                );
+            }
+        }
+        let inboxes = ex.finish();
+        let mut got_l: Vec<Option<Vec<f64>>> = vec![None; p];
+        let mut got_u: Vec<Option<Vec<f64>>> = vec![None; p];
+        for (proc, inbox) in inboxes.into_iter().enumerate() {
+            for m in inbox {
+                if m.kind == 3 {
+                    got_l[proc] = Some(m.vals);
+                } else {
+                    got_u[proc] = Some(m.vals);
+                }
+            }
+        }
+
+        // Panel solves, then Round B: broadcast panels over the trailing
+        // submatrix.
+        let mut ex = cluster.exchange::<BlockMsg>();
+        for j in k + 1..h {
+            // U_kj = L_kk⁻¹ · A_kj at owner(k, j).
+            let o = owner(k, j);
+            let akj = blocks[o].remove(&(k, j)).expect("row panel block");
+            let lkk_here = got_l[o].as_ref().unwrap_or(&lkk);
+            let ukj = forward_solve(lkk_here, &akj, nb);
+            write_block(&mut u_out, k, j, nb, &ukj, false);
+            for i in k + 1..h {
+                ex.send(
+                    owner(i, j),
+                    BlockMsg {
+                        kind: 1,
+                        bi: k,
+                        bj: j,
+                        vals: ukj.clone(),
+                    },
+                );
+            }
+            // L_jk = A_jk · U_kk⁻¹ at owner(j, k).
+            let o = owner(j, k);
+            let ajk = blocks[o].remove(&(j, k)).expect("column panel block");
+            let ukk_here = got_u[o].as_ref().unwrap_or(&ukk);
+            let ljk = right_upper_solve(ukk_here, &ajk, nb);
+            write_block(&mut l_out, j, k, nb, &ljk, true);
+            for jj in k + 1..h {
+                ex.send(
+                    owner(j, jj),
+                    BlockMsg {
+                        kind: 0,
+                        bi: j,
+                        bj: k,
+                        vals: ljk.clone(),
+                    },
+                );
+            }
+        }
+        let inboxes = ex.finish();
+
+        // Trailing update: A_ij -= L_ik · U_kj.
+        for (proc, inbox) in inboxes.into_iter().enumerate() {
+            let mut l_panels: FastMap<usize, Vec<f64>> = FastMap::default();
+            let mut u_panels: FastMap<usize, Vec<f64>> = FastMap::default();
+            for m in inbox {
+                if m.kind == 0 {
+                    l_panels.insert(m.bi, m.vals);
+                } else {
+                    u_panels.insert(m.bj, m.vals);
+                }
+            }
+            for ((i, j), acc) in blocks[proc].iter_mut() {
+                if *i <= k || *j <= k {
+                    continue;
+                }
+                let (Some(lik), Some(ukj)) = (l_panels.get(i), u_panels.get(j)) else {
+                    continue;
+                };
+                for r in 0..nb {
+                    for kk in 0..nb {
+                        let f = lik[r * nb + kk];
+                        if f == 0.0 {
+                            continue;
+                        }
+                        for c in 0..nb {
+                            acc[r * nb + c] -= f * ukj[kk * nb + c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    LuRun {
+        l: l_out,
+        u: u_out,
+        report: cluster.report(),
+    }
+}
+
+fn block_to_vec(m: &Matrix, nb: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(nb * nb);
+    for r in 0..nb {
+        out.extend_from_slice(m.row(r));
+    }
+    out
+}
+
+fn write_block(dst: &mut Matrix, bi: usize, bj: usize, nb: usize, vals: &[f64], lower: bool) {
+    for r in 0..nb {
+        for c in 0..nb {
+            let (gi, gj) = (bi * nb + r, bj * nb + c);
+            // Keep L strictly lower + unit diagonal; U upper.
+            let keep = if bi == bj {
+                if lower {
+                    r > c
+                } else {
+                    r <= c
+                }
+            } else {
+                true
+            };
+            if keep {
+                dst.set(gi, gj, vals[r * nb + c]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A random diagonally dominant matrix (no-pivot LU always exists).
+    fn dominant(n: usize, seed: u64) -> Matrix {
+        let mut a = Matrix::random(n, seed);
+        for i in 0..n {
+            a.add(i, i, n as f64 + 1.0);
+        }
+        a
+    }
+
+    fn reconstruct(l: &Matrix, u: &Matrix) -> Matrix {
+        l.multiply(u)
+    }
+
+    #[test]
+    fn serial_lu_reconstructs() {
+        let a = dominant(12, 1);
+        let (l, u) = lu_serial(&a);
+        assert!(reconstruct(&l, &u).max_abs_diff(&a) < 1e-9);
+        for i in 0..12 {
+            assert_eq!(l.get(i, i), 1.0);
+            for j in i + 1..12 {
+                assert_eq!(l.get(i, j), 0.0, "L upper part");
+            }
+            for j in 0..i {
+                assert_eq!(u.get(i, j), 0.0, "U lower part");
+            }
+        }
+    }
+
+    #[test]
+    fn block_lu_matches_serial_various_shapes() {
+        let a = dominant(12, 3);
+        let (ls, us) = lu_serial(&a);
+        for (h, p) in [(1usize, 1usize), (2, 4), (3, 9), (4, 5), (6, 36), (12, 16)] {
+            let run = block_lu(&a, h, p);
+            assert!(
+                run.l.max_abs_diff(&ls) < 1e-8 && run.u.max_abs_diff(&us) < 1e-8,
+                "h={h} p={p}"
+            );
+            assert!(reconstruct(&run.l, &run.u).max_abs_diff(&a) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rounds_are_two_per_step() {
+        let a = dominant(16, 5);
+        let run = block_lu(&a, 4, 16);
+        assert_eq!(run.report.num_rounds(), 2 * 4);
+    }
+
+    #[test]
+    fn per_round_load_is_block_scale() {
+        let n = 24;
+        let h = 6;
+        let a = dominant(n, 7);
+        let run = block_lu(&a, h, h * h);
+        let nb = (n / h) as u64;
+        // A trailing owner receives at most 2 blocks in the panel round
+        // per (i, j) pair it owns at this p (= 1 pair): ≤ 2·nb² words,
+        // and the broadcast round is bounded by the panel width.
+        assert!(
+            run.report.max_load_words() <= 2 * nb * nb * h as u64,
+            "L = {}",
+            run.report.max_load_words()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot")]
+    fn singular_leading_minor_panics() {
+        let mut a = Matrix::zeros(4);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(2, 2, 1.0);
+        a.set(3, 3, 1.0);
+        lu_serial(&a);
+    }
+}

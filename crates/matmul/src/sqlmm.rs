@@ -1,0 +1,191 @@
+//! The SQL formulation of matrix multiplication (slide 108):
+//!
+//! ```sql
+//! SELECT A.i, B.k, SUM(A.v * B.v)
+//! FROM A, B WHERE A.j = B.j
+//! GROUP BY A.i, B.k
+//! ```
+//!
+//! Executed as two MPC rounds: a parallel hash join on `j` (the *join
+//! part*), then a repartition of the partial sums by `(i, k)` (the
+//! *aggregation part*). This is the query-processing view of matmul the
+//! tutorial uses to connect the two worlds: the join part is exactly a
+//! two-way join with τ\* = 1, and the aggregation part is what the
+//! multi-round lower bound's `log_L n` term is about. It is a
+//! correctness cross-check, not a communication-optimal algorithm — the
+//! block algorithms of [`crate::rect`] and [`crate::square`] beat it.
+
+use crate::dense::Matrix;
+use crate::MatMulRun;
+use parqp_data::FastMap;
+use parqp_mpc::{Cluster, HashFamily, Weight};
+
+/// A sparse matrix entry or partial sum on the wire.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// 0 = A entry, 1 = B entry, 2 = partial sum.
+    kind: u8,
+    r: usize,
+    c: usize,
+    v: f64,
+}
+
+impl Weight for Entry {
+    fn words(&self) -> u64 {
+        3 // (row, col, value) — the relational tuple of slide 108
+    }
+}
+
+/// Multiply via the SQL plan: hash join on `j`, then group-by `(i, k)`.
+pub fn sql_matmul(a: &Matrix, b: &Matrix, p: usize, seed: u64) -> MatMulRun {
+    let n = a.n();
+    assert_eq!(n, b.n(), "dimension mismatch");
+    let mut cluster = Cluster::new(p);
+    let h = HashFamily::new(seed, 2);
+
+    // Round 1: repartition both relations by the join attribute j.
+    let mut ex = cluster.exchange::<Entry>();
+    for i in 0..n {
+        for j in 0..n {
+            let v = a.get(i, j);
+            if v != 0.0 {
+                ex.send(
+                    h.hash(0, j as u64, p),
+                    Entry {
+                        kind: 0,
+                        r: i,
+                        c: j,
+                        v,
+                    },
+                );
+            }
+        }
+    }
+    for j in 0..n {
+        for k in 0..n {
+            let v = b.get(j, k);
+            if v != 0.0 {
+                ex.send(
+                    h.hash(0, j as u64, p),
+                    Entry {
+                        kind: 1,
+                        r: j,
+                        c: k,
+                        v,
+                    },
+                );
+            }
+        }
+    }
+    let inboxes = ex.finish();
+
+    // Local join + partial aggregation (the SUM pushed below the shuffle).
+    let partials: Vec<FastMap<(usize, usize), f64>> = inboxes
+        .into_iter()
+        .map(|inbox| {
+            let mut a_by_j: FastMap<usize, Vec<(usize, f64)>> = FastMap::default();
+            let mut b_by_j: FastMap<usize, Vec<(usize, f64)>> = FastMap::default();
+            for e in inbox {
+                if e.kind == 0 {
+                    a_by_j.entry(e.c).or_default().push((e.r, e.v));
+                } else {
+                    b_by_j.entry(e.r).or_default().push((e.c, e.v));
+                }
+            }
+            let mut acc: FastMap<(usize, usize), f64> = FastMap::default();
+            for (j, avs) in &a_by_j {
+                if let Some(bvs) = b_by_j.get(j) {
+                    for &(i, av) in avs {
+                        for &(k, bv) in bvs {
+                            *acc.entry((i, k)).or_insert(0.0) += av * bv;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+
+    // Round 2: group by (i, k) — route partial sums to the group owner.
+    let mut ex = cluster.exchange::<Entry>();
+    for acc in &partials {
+        for (&(i, k), &v) in acc {
+            let dest = h.hash(1, (i * n + k) as u64, p);
+            ex.send(
+                dest,
+                Entry {
+                    kind: 2,
+                    r: i,
+                    c: k,
+                    v,
+                },
+            );
+        }
+    }
+    let inboxes = ex.finish();
+
+    let mut c = Matrix::zeros(n);
+    for inbox in inboxes {
+        for e in inbox {
+            c.add(e.r, e.c, e.v);
+        }
+    }
+    MatMulRun {
+        c,
+        report: cluster.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_dense_oracle() {
+        let a = Matrix::random_int(10, 5, 1);
+        let b = Matrix::random_int(10, 5, 2);
+        let run = sql_matmul(&a, &b, 8, 7);
+        assert_eq!(run.c, a.multiply(&b), "integer matrices are exact");
+        assert_eq!(run.report.num_rounds(), 2);
+    }
+
+    #[test]
+    fn matches_block_algorithms() {
+        let a = Matrix::random_int(12, 4, 3);
+        let b = Matrix::random_int(12, 4, 4);
+        let sql = sql_matmul(&a, &b, 6, 9);
+        let rect = crate::rect_block(&a, &b, 4);
+        let square = crate::square_block(&a, &b, 3, 9);
+        assert!(sql.c.max_abs_diff(&rect.c) < 1e-9);
+        assert!(sql.c.max_abs_diff(&square.c) < 1e-9);
+    }
+
+    #[test]
+    fn float_matrices_approximately_equal() {
+        let a = Matrix::random(8, 5);
+        let b = Matrix::random(8, 6);
+        let run = sql_matmul(&a, &b, 4, 11);
+        // Different summation order ⇒ tolerance, not equality.
+        assert!(run.c.max_abs_diff(&a.multiply(&b)) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_inputs_send_less() {
+        let mut a = Matrix::zeros(10);
+        a.set(0, 0, 1.0);
+        a.set(3, 7, 2.0);
+        let b = Matrix::random_int(10, 3, 8);
+        let run = sql_matmul(&a, &b, 4, 13);
+        assert!(run.c.max_abs_diff(&a.multiply(&b)) < 1e-9);
+        // Round 1 ships only 2 + 100 entries ≤ 102 tuples.
+        assert!(run.report.rounds[0].total_tuples() <= 102);
+    }
+
+    #[test]
+    fn single_processor() {
+        let a = Matrix::random_int(6, 4, 21);
+        let b = Matrix::random_int(6, 4, 22);
+        let run = sql_matmul(&a, &b, 1, 1);
+        assert_eq!(run.c, a.multiply(&b));
+    }
+}

@@ -1,0 +1,290 @@
+//! The simulated MPC cluster: `p` servers, rounds, and exchanges.
+//!
+//! An algorithm on the cluster is structured as:
+//!
+//! ```
+//! use parqp_mpc::Cluster;
+//!
+//! let mut cluster = Cluster::new(4);
+//! // Input starts distributed (the model assumes O(IN/p) per server).
+//! let local: Vec<Vec<u64>> = cluster.scatter((0..100u64).collect());
+//!
+//! // One round: every server computes locally, then sends messages.
+//! let mut ex = cluster.exchange::<u64>();
+//! for (server, items) in local.iter().enumerate() {
+//!     for &v in items {
+//!         ex.send((v % 4) as usize, v); // e.g. hash partition
+//!     }
+//!     let _ = server;
+//! }
+//! let inboxes = ex.finish();
+//!
+//! let report = cluster.report();
+//! assert_eq!(report.num_rounds(), 1);
+//! assert_eq!(report.total_tuples(), 100);
+//! assert_eq!(inboxes.iter().map(Vec::len).sum::<usize>(), 100);
+//! ```
+//!
+//! The cluster does not own server state; algorithms keep it in ordinary
+//! `Vec`s indexed by server rank. What the cluster owns is the *ledger*:
+//! every message sent through an [`Exchange`] is charged to its destination
+//! server for the current round, producing the `(L, r, C)` cost summary
+//! that the paper's theorems are about.
+
+use crate::grid::Grid;
+use crate::stats::{LoadReport, RoundStats};
+use crate::weight::Weight;
+
+/// A simulated MPC cluster of `p` shared-nothing servers.
+#[derive(Debug)]
+pub struct Cluster {
+    p: usize,
+    rounds: Vec<RoundStats>,
+}
+
+impl Cluster {
+    /// Create a cluster of `p` servers.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "a cluster needs at least one server");
+        Self {
+            p,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of servers `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Start a communication round. Messages are sent through the returned
+    /// [`Exchange`]; calling [`Exchange::finish`] delivers them and records
+    /// the round's statistics.
+    pub fn exchange<T: Weight>(&mut self) -> Exchange<'_, T> {
+        Exchange {
+            inboxes: (0..self.p).map(|_| Vec::new()).collect(),
+            tuples: vec![0; self.p],
+            words: vec![0; self.p],
+            cluster: self,
+        }
+    }
+
+    /// Distribute input items round-robin across servers *without* counting
+    /// a communication round: the MPC model assumes the input starts evenly
+    /// distributed (`O(IN/p)` per server, slide 6).
+    pub fn scatter<T>(&self, items: Vec<T>) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = (0..self.p).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            out[i % self.p].push(item);
+        }
+        out
+    }
+
+    /// Record a round in which server `s` received `tuples[s]` tuples and
+    /// `words[s]` words, without routing actual messages. Used by
+    /// algorithms that account for communication analytically (e.g. when a
+    /// phase's messages are a deterministic permutation).
+    pub fn record_round(&mut self, tuples: Vec<u64>, words: Vec<u64>) {
+        assert_eq!(tuples.len(), self.p);
+        assert_eq!(words.len(), self.p);
+        self.rounds.push(RoundStats { tuples, words });
+    }
+
+    /// The `(L, r, C)` summary of all rounds recorded so far.
+    pub fn report(&self) -> LoadReport {
+        LoadReport {
+            servers: self.p,
+            rounds: self.rounds.clone(),
+        }
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn rounds_so_far(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Forget all recorded rounds (e.g. between benchmark iterations).
+    pub fn reset(&mut self) {
+        self.rounds.clear();
+    }
+}
+
+/// An in-progress communication round on a [`Cluster`].
+///
+/// Created by [`Cluster::exchange`]; every `send` charges the destination
+/// server. Dropping an `Exchange` without calling [`Exchange::finish`]
+/// discards the round (no statistics are recorded).
+#[derive(Debug)]
+pub struct Exchange<'c, T: Weight> {
+    cluster: &'c mut Cluster,
+    inboxes: Vec<Vec<T>>,
+    tuples: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl<T: Weight> Exchange<'_, T> {
+    /// Number of servers in the underlying cluster.
+    pub fn p(&self) -> usize {
+        self.cluster.p
+    }
+
+    /// Send `msg` to server `dest`.
+    ///
+    /// # Panics
+    /// Panics if `dest` is not a valid server rank.
+    #[inline]
+    pub fn send(&mut self, dest: usize, msg: T) {
+        self.tuples[dest] += 1;
+        self.words[dest] += msg.words();
+        self.inboxes[dest].push(msg);
+    }
+
+    /// Send `msg` to every server (a broadcast costs `p` messages).
+    pub fn broadcast(&mut self, msg: T)
+    where
+        T: Clone,
+    {
+        for dest in 0..self.inboxes.len() {
+            self.send(dest, msg.clone());
+        }
+    }
+
+    /// Send `msg` to every server of `grid` whose coordinates match
+    /// `partial` (`None` = `*`): the HyperCube placement primitive.
+    ///
+    /// `grid.len()` must equal the cluster size.
+    pub fn send_matching(&mut self, grid: &Grid, partial: &[Option<usize>], msg: T)
+    where
+        T: Clone,
+    {
+        debug_assert_eq!(grid.len(), self.cluster.p, "grid does not span the cluster");
+        for dest in grid.matching(partial) {
+            self.send(dest, msg.clone());
+        }
+    }
+
+    /// Deliver all messages, record the round, and return per-server inboxes.
+    pub fn finish(self) -> Vec<Vec<T>> {
+        self.cluster.rounds.push(RoundStats {
+            tuples: self.tuples,
+            words: self.words,
+        });
+        self.inboxes
+    }
+
+    /// Deliver all messages **without** recording a round. Used for
+    /// communication the model does not charge (e.g. re-delivering data a
+    /// server already holds when two logical phases are fused into one
+    /// physical round).
+    pub fn finish_untracked(self) -> Vec<Vec<T>> {
+        self.inboxes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_accounts_per_destination() {
+        let mut c = Cluster::new(3);
+        let mut ex = c.exchange::<Vec<u64>>();
+        ex.send(0, vec![1, 2]);
+        ex.send(0, vec![3]);
+        ex.send(2, vec![4, 5, 6]);
+        let inboxes = ex.finish();
+        assert_eq!(inboxes[0], vec![vec![1, 2], vec![3]]);
+        assert!(inboxes[1].is_empty());
+        assert_eq!(inboxes[2], vec![vec![4, 5, 6]]);
+
+        let r = c.report();
+        assert_eq!(r.num_rounds(), 1);
+        assert_eq!(r.rounds[0].tuples, vec![2, 0, 1]);
+        assert_eq!(r.rounds[0].words, vec![3, 0, 3]);
+        assert_eq!(r.max_load_tuples(), 2);
+        assert_eq!(r.max_load_words(), 3);
+    }
+
+    #[test]
+    fn broadcast_charges_every_server() {
+        let mut c = Cluster::new(4);
+        let mut ex = c.exchange::<u64>();
+        ex.broadcast(9);
+        let inboxes = ex.finish();
+        assert!(inboxes.iter().all(|b| b == &vec![9]));
+        assert_eq!(c.report().total_tuples(), 4);
+    }
+
+    #[test]
+    fn scatter_is_even_and_free() {
+        let c = Cluster::new(4);
+        let parts = c.scatter((0..10u64).collect());
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(c.report().num_rounds(), 0);
+    }
+
+    #[test]
+    fn dropped_exchange_records_nothing() {
+        let mut c = Cluster::new(2);
+        {
+            let mut ex = c.exchange::<u64>();
+            ex.send(0, 1);
+            // dropped without finish()
+        }
+        assert_eq!(c.report().num_rounds(), 0);
+    }
+
+    #[test]
+    fn untracked_finish_records_nothing() {
+        let mut c = Cluster::new(2);
+        let mut ex = c.exchange::<u64>();
+        ex.send(1, 5);
+        let inboxes = ex.finish_untracked();
+        assert_eq!(inboxes[1], vec![5]);
+        assert_eq!(c.report().num_rounds(), 0);
+    }
+
+    #[test]
+    fn send_matching_uses_grid() {
+        let mut c = Cluster::new(6);
+        let g = Grid::new(vec![2, 3]);
+        let mut ex = c.exchange::<u64>();
+        ex.send_matching(&g, &[Some(1), None], 7);
+        let inboxes = ex.finish();
+        let received: Vec<usize> = (0..6).filter(|&s| !inboxes[s].is_empty()).collect();
+        assert_eq!(received, g.matching(&[Some(1), None]));
+        assert_eq!(c.report().total_tuples(), 3);
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let mut c = Cluster::new(2);
+        for _ in 0..3 {
+            let mut ex = c.exchange::<u64>();
+            ex.send(0, 1);
+            ex.finish();
+        }
+        assert_eq!(c.report().num_rounds(), 3);
+        c.reset();
+        assert_eq!(c.report().num_rounds(), 0);
+    }
+
+    #[test]
+    fn record_round_manual() {
+        let mut c = Cluster::new(2);
+        c.record_round(vec![3, 4], vec![6, 8]);
+        let r = c.report();
+        assert_eq!(r.max_load_tuples(), 4);
+        assert_eq!(r.max_load_words(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        Cluster::new(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hypercube (grid) topologies: arranging `p` servers in a `p₁ × … × p_k` box.
+//!
+//! The HyperCube/Shares algorithm (slides 34–44) addresses servers by
+//! coordinates. A tuple of relation `S_j(x_{j1}, x_{j2}, …)` is sent to all
+//! servers whose coordinates *agree* with `h_{j1}(x_{j1}), h_{j2}(x_{j2}), …`
+//! on the dimensions `S_j` mentions, and are arbitrary (`*`) elsewhere —
+//! i.e. a broadcast along the unconstrained dimensions. [`Grid`] provides
+//! the rank ↔ coordinate mapping and the `*`-match enumeration.
+
+/// A `k`-dimensional grid of servers with side lengths `dims`.
+///
+/// Ranks are assigned in row-major order: the last dimension varies fastest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    dims: Vec<usize>,
+}
+
+impl Grid {
+    /// Create a grid with the given per-dimension sizes (the *shares*).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "grid dimensions must be positive: {dims:?}"
+        );
+        Self { dims }
+    }
+
+    /// A 1-dimensional grid of `p` servers (plain hash partitioning).
+    pub fn line(p: usize) -> Self {
+        Self::new(vec![p])
+    }
+
+    /// Per-dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions `k`.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of servers `∏ pᵢ`.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the grid has zero dimensions (a single server).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The rank of the server at `coords`.
+    ///
+    /// # Panics
+    /// Panics if `coords` has the wrong length or a coordinate is out of range.
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut r = 0;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            assert!(
+                c < d,
+                "coordinate {c} out of range for dimension of size {d}"
+            );
+            r = r * d + c;
+        }
+        r
+    }
+
+    /// The coordinates of server `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= self.len()`.
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(
+            rank < self.len(),
+            "rank {rank} out of range for grid of {}",
+            self.len()
+        );
+        let mut rest = rank;
+        let mut out = vec![0; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            out[i] = rest % self.dims[i];
+            rest /= self.dims[i];
+        }
+        out
+    }
+
+    /// Enumerate the ranks of all servers matching a partial coordinate,
+    /// where `None` means `*` (any value along that dimension).
+    ///
+    /// This is the HyperCube broadcast set: e.g. for the triangle query,
+    /// `R(a,b)` goes to `(h_x(a), h_y(b), *)` — every server whose first
+    /// two coordinates match, across the whole third dimension.
+    pub fn matching(&self, partial: &[Option<usize>]) -> Vec<usize> {
+        assert_eq!(
+            partial.len(),
+            self.dims.len(),
+            "partial coordinate arity mismatch"
+        );
+        let mut out = Vec::new();
+        let mut coords = vec![0usize; self.dims.len()];
+        self.matching_rec(partial, 0, &mut coords, &mut out);
+        out
+    }
+
+    fn matching_rec(
+        &self,
+        partial: &[Option<usize>],
+        dim: usize,
+        coords: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        if dim == self.dims.len() {
+            out.push(self.rank(coords));
+            return;
+        }
+        match partial[dim] {
+            Some(c) => {
+                coords[dim] = c;
+                self.matching_rec(partial, dim + 1, coords, out);
+            }
+            None => {
+                for c in 0..self.dims[dim] {
+                    coords[dim] = c;
+                    self.matching_rec(partial, dim + 1, coords, out);
+                }
+            }
+        }
+    }
+
+    /// Number of servers a partial coordinate matches (`∏` of the free dims).
+    pub fn matching_count(&self, partial: &[Option<usize>]) -> usize {
+        partial
+            .iter()
+            .zip(&self.dims)
+            .map(|(c, &d)| if c.is_some() { 1 } else { d })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_roundtrip() {
+        let g = Grid::new(vec![2, 3, 4]);
+        assert_eq!(g.len(), 24);
+        for r in 0..g.len() {
+            assert_eq!(g.rank(&g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = Grid::new(vec![2, 3]);
+        assert_eq!(g.rank(&[0, 0]), 0);
+        assert_eq!(g.rank(&[0, 1]), 1);
+        assert_eq!(g.rank(&[0, 2]), 2);
+        assert_eq!(g.rank(&[1, 0]), 3);
+        assert_eq!(g.coords(4), vec![1, 1]);
+    }
+
+    #[test]
+    fn line_grid() {
+        let g = Grid::line(5);
+        assert_eq!(g.ndim(), 1);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.rank(&[3]), 3);
+    }
+
+    #[test]
+    fn matching_full_wildcard() {
+        let g = Grid::new(vec![2, 2]);
+        let all = g.matching(&[None, None]);
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(g.matching_count(&[None, None]), 4);
+    }
+
+    #[test]
+    fn matching_partial() {
+        let g = Grid::new(vec![2, 3, 2]);
+        // fix middle coordinate to 1: servers (i, 1, k) for i in 0..2, k in 0..2
+        let m = g.matching(&[None, Some(1), None]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(g.matching_count(&[None, Some(1), None]), 4);
+        for r in m {
+            assert_eq!(g.coords(r)[1], 1);
+        }
+    }
+
+    #[test]
+    fn matching_fully_fixed() {
+        let g = Grid::new(vec![3, 3]);
+        let m = g.matching(&[Some(2), Some(0)]);
+        assert_eq!(m, vec![g.rank(&[2, 0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        Grid::new(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_coord_rejected() {
+        Grid::new(vec![2, 2]).rank(&[0, 2]);
+    }
+
+    #[test]
+    fn matching_covers_grid_exactly_once_when_partitioned() {
+        // Fixing one dimension partitions the grid into disjoint slabs.
+        let g = Grid::new(vec![3, 4]);
+        let mut seen = vec![false; g.len()];
+        for c in 0..3 {
+            for r in g.matching(&[Some(c), None]) {
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,42 @@
+//! # parqp-mpc — a deterministic simulator of the Massively Parallel Communication model
+//!
+//! The MPC model (slides 5–20 of the tutorial) is a simplified BSP model:
+//!
+//! * `p` shared-nothing servers hold the input, `O(IN/p)` tuples each;
+//! * an algorithm runs in **rounds**; in each round every server performs
+//!   arbitrary local computation and then exchanges messages with every
+//!   other server (all-to-all communication);
+//! * the two cost parameters are the **load** `L` — the maximum number of
+//!   tuples (or words) received by any server in any round — and the
+//!   number of **rounds** `r`. Total communication is `C = Σ` messages.
+//!
+//! This crate implements the model as an in-process simulator. Algorithms
+//! keep per-server state in ordinary `Vec`s (index = server id) and use
+//! [`Cluster::exchange`] to perform one communication round. The cluster
+//! records, for every round, exactly how many tuples and words each server
+//! received, from which [`LoadReport`] derives `L`, `r` and `C` — the very
+//! quantities every theorem in the paper is stated in.
+//!
+//! The simulator is fully deterministic: all hashing goes through the
+//! seeded [`hash::HashFamily`], so repeated runs produce identical loads.
+//!
+//! ## Modules
+//!
+//! * [`cluster`] — the cluster, exchanges, and round accounting;
+//! * [`stats`] — per-round statistics and the final [`LoadReport`];
+//! * [`grid`] — `p₁ × … × p_k` hypercube topologies with `*`-broadcast
+//!   (the HyperCube algorithm's addressing primitive, slide 35);
+//! * [`hash`] — a seeded family of independent hash functions;
+//! * [`weight`] — how many words a message counts for.
+
+pub mod cluster;
+pub mod grid;
+pub mod hash;
+pub mod stats;
+pub mod weight;
+
+pub use cluster::{Cluster, Exchange};
+pub use grid::Grid;
+pub use hash::HashFamily;
+pub use stats::{LoadReport, RoundStats};
+pub use weight::Weight;

@@ -1,0 +1,296 @@
+//! Per-round communication statistics and the final load report.
+//!
+//! The MPC cost of an algorithm is the pair `(L, r)` — maximum per-server
+//! per-round communication, and number of rounds (slides 12–20). The
+//! cluster records a [`RoundStats`] for every exchange; [`LoadReport`]
+//! summarizes a full run.
+
+/// Communication received in one round, per server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Tuples (messages) received by each server this round.
+    pub tuples: Vec<u64>,
+    /// Words received by each server this round (see [`crate::Weight`]).
+    pub words: Vec<u64>,
+}
+
+impl RoundStats {
+    /// A round in which no server received anything, on `p` servers.
+    pub fn zero(p: usize) -> Self {
+        Self {
+            tuples: vec![0; p],
+            words: vec![0; p],
+        }
+    }
+
+    /// Maximum number of tuples received by any single server.
+    pub fn max_tuples(&self) -> u64 {
+        self.tuples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of words received by any single server.
+    pub fn max_words(&self) -> u64 {
+        self.words.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total tuples communicated this round.
+    pub fn total_tuples(&self) -> u64 {
+        self.tuples.iter().sum()
+    }
+
+    /// Total words communicated this round.
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().sum()
+    }
+}
+
+/// Summary of a complete MPC run: the quantities the paper's theorems bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Number of servers `p`.
+    pub servers: usize,
+    /// One entry per communication round.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl LoadReport {
+    /// Number of communication rounds `r`.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The load `L` in tuples: max over servers and rounds of tuples received.
+    pub fn max_load_tuples(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(RoundStats::max_tuples)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The load `L` in words: max over servers and rounds of words received.
+    pub fn max_load_words(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(RoundStats::max_words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total communication `C` in tuples, summed over all rounds and servers.
+    pub fn total_tuples(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_tuples).sum()
+    }
+
+    /// Total communication `C` in words.
+    pub fn total_words(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_words).sum()
+    }
+
+    /// Sum over rounds of the per-round *maximum* tuple load.
+    ///
+    /// This is the `r × L`-style cost when rounds have unequal loads: the
+    /// critical-path communication volume through the most loaded server.
+    pub fn sum_of_round_maxima(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::max_tuples).sum()
+    }
+
+    /// Per-round maximum tuple loads, one entry per round.
+    pub fn round_max_tuples(&self) -> Vec<u64> {
+        self.rounds.iter().map(RoundStats::max_tuples).collect()
+    }
+
+    /// Compose reports of algorithms that ran **side by side on disjoint
+    /// server groups** in the same global rounds (e.g. the per-heavy-hitter
+    /// Cartesian grids of the skew join, or SkewHC's residual queries).
+    ///
+    /// Round `i` of the result contains the concatenation of every group's
+    /// round `i` (groups that finished early contribute zero); the total
+    /// server count is the sum of group sizes.
+    pub fn parallel(reports: &[LoadReport]) -> LoadReport {
+        let servers = reports.iter().map(|r| r.servers).sum();
+        let rounds = reports
+            .iter()
+            .map(LoadReport::num_rounds)
+            .max()
+            .unwrap_or(0);
+        let mut out = Vec::with_capacity(rounds);
+        for i in 0..rounds {
+            let mut tuples = Vec::with_capacity(servers);
+            let mut words = Vec::with_capacity(servers);
+            for r in reports {
+                match r.rounds.get(i) {
+                    Some(rs) => {
+                        tuples.extend_from_slice(&rs.tuples);
+                        words.extend_from_slice(&rs.words);
+                    }
+                    None => {
+                        tuples.resize(tuples.len() + r.servers, 0);
+                        words.resize(words.len() + r.servers, 0);
+                    }
+                }
+            }
+            out.push(RoundStats { tuples, words });
+        }
+        LoadReport {
+            servers,
+            rounds: out,
+        }
+    }
+
+    /// Compose reports of algorithm phases that ran **one after another on
+    /// the same servers**: rounds are concatenated.
+    ///
+    /// # Panics
+    /// Panics if the reports disagree on the server count.
+    pub fn sequential(reports: &[LoadReport]) -> LoadReport {
+        let servers = reports.first().map_or(0, |r| r.servers);
+        let mut rounds = Vec::new();
+        for r in reports {
+            assert_eq!(
+                r.servers, servers,
+                "sequential phases must share the cluster"
+            );
+            rounds.extend(r.rounds.iter().cloned());
+        }
+        LoadReport { servers, rounds }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p={} r={} L={} tuples ({} words) C={} tuples",
+            self.servers,
+            self.num_rounds(),
+            self.max_load_tuples(),
+            self.max_load_words(),
+            self.total_tuples()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoadReport {
+        LoadReport {
+            servers: 3,
+            rounds: vec![
+                RoundStats {
+                    tuples: vec![5, 2, 1],
+                    words: vec![10, 4, 2],
+                },
+                RoundStats {
+                    tuples: vec![0, 7, 3],
+                    words: vec![0, 14, 6],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn max_load() {
+        let r = sample();
+        assert_eq!(r.max_load_tuples(), 7);
+        assert_eq!(r.max_load_words(), 14);
+    }
+
+    #[test]
+    fn totals() {
+        let r = sample();
+        assert_eq!(r.total_tuples(), 18);
+        assert_eq!(r.total_words(), 36);
+        assert_eq!(r.num_rounds(), 2);
+        assert_eq!(r.sum_of_round_maxima(), 12);
+        assert_eq!(r.round_max_tuples(), vec![5, 7]);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = LoadReport {
+            servers: 4,
+            rounds: vec![],
+        };
+        assert_eq!(r.max_load_tuples(), 0);
+        assert_eq!(r.total_tuples(), 0);
+        assert_eq!(r.num_rounds(), 0);
+    }
+
+    #[test]
+    fn zero_round() {
+        let z = RoundStats::zero(3);
+        assert_eq!(z.max_tuples(), 0);
+        assert_eq!(z.total_words(), 0);
+        assert_eq!(z.tuples.len(), 3);
+    }
+
+    #[test]
+    fn parallel_composition_pads_and_concats() {
+        let a = LoadReport {
+            servers: 2,
+            rounds: vec![
+                RoundStats {
+                    tuples: vec![1, 2],
+                    words: vec![1, 2],
+                },
+                RoundStats {
+                    tuples: vec![3, 0],
+                    words: vec![3, 0],
+                },
+            ],
+        };
+        let b = LoadReport {
+            servers: 1,
+            rounds: vec![RoundStats {
+                tuples: vec![9],
+                words: vec![9],
+            }],
+        };
+        let m = LoadReport::parallel(&[a, b]);
+        assert_eq!(m.servers, 3);
+        assert_eq!(m.num_rounds(), 2);
+        assert_eq!(m.rounds[0].tuples, vec![1, 2, 9]);
+        assert_eq!(m.rounds[1].tuples, vec![3, 0, 0]);
+        assert_eq!(m.max_load_tuples(), 9);
+    }
+
+    #[test]
+    fn sequential_composition_concats_rounds() {
+        let a = LoadReport {
+            servers: 2,
+            rounds: vec![RoundStats {
+                tuples: vec![1, 2],
+                words: vec![1, 2],
+            }],
+        };
+        let b = LoadReport {
+            servers: 2,
+            rounds: vec![RoundStats {
+                tuples: vec![5, 0],
+                words: vec![5, 0],
+            }],
+        };
+        let s = LoadReport::sequential(&[a, b]);
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.max_load_tuples(), 5);
+        assert_eq!(s.total_tuples(), 8);
+    }
+
+    #[test]
+    fn parallel_of_nothing_is_empty() {
+        let m = LoadReport::parallel(&[]);
+        assert_eq!(m.servers, 0);
+        assert_eq!(m.num_rounds(), 0);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("p=3"));
+        assert!(s.contains("r=2"));
+        assert!(s.contains("L=7"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the simulator substrate: grid addressing, load
+//! conservation, and report composition.
+
+use parqp_mpc::{Cluster, Grid, HashFamily, LoadReport};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn grid_rank_coord_roundtrip(dims in arb_dims()) {
+        let g = Grid::new(dims);
+        for r in 0..g.len() {
+            prop_assert_eq!(g.rank(&g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn grid_matching_counts_and_partitions(dims in arb_dims(), fix in 0usize..3) {
+        let g = Grid::new(dims.clone());
+        let fix = fix.min(dims.len() - 1);
+        // Fixing one dimension partitions the grid into disjoint slabs.
+        let mut seen = vec![false; g.len()];
+        for c in 0..dims[fix] {
+            let partial: Vec<Option<usize>> = (0..dims.len())
+                .map(|d| if d == fix { Some(c) } else { None })
+                .collect();
+            let m = g.matching(&partial);
+            prop_assert_eq!(m.len(), g.matching_count(&partial));
+            for r in m {
+                prop_assert!(!seen[r], "slabs must be disjoint");
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "slabs must cover the grid");
+    }
+
+    #[test]
+    fn exchange_conserves_messages(
+        p in 1usize..10,
+        msgs in proptest::collection::vec((0usize..10, 0u64..100), 0..200),
+    ) {
+        let mut c = Cluster::new(p);
+        let mut ex = c.exchange::<u64>();
+        let mut sent = 0u64;
+        for &(dest, v) in &msgs {
+            ex.send(dest % p, v);
+            sent += 1;
+        }
+        let inboxes = ex.finish();
+        let received: usize = inboxes.iter().map(Vec::len).sum();
+        prop_assert_eq!(received as u64, sent);
+        let report = c.report();
+        prop_assert_eq!(report.total_tuples(), sent);
+        prop_assert!(report.max_load_tuples() <= sent);
+    }
+
+    #[test]
+    fn hash_family_stays_in_range(seed in any::<u64>(), k in 1usize..5, buckets in 1usize..50) {
+        let h = HashFamily::new(seed, k);
+        for i in 0..k {
+            for v in 0..200u64 {
+                prop_assert!(h.hash(i, v, buckets) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_composition_preserves_totals(
+        a_rounds in proptest::collection::vec(proptest::collection::vec(0u64..50, 2), 0..4),
+        b_rounds in proptest::collection::vec(proptest::collection::vec(0u64..50, 3), 0..4),
+    ) {
+        let mk = |rounds: &[Vec<u64>], servers: usize| LoadReport {
+            servers,
+            rounds: rounds
+                .iter()
+                .map(|t| parqp_mpc::RoundStats { tuples: t.clone(), words: t.clone() })
+                .collect(),
+        };
+        let a = mk(&a_rounds, 2);
+        let b = mk(&b_rounds, 3);
+        let m = LoadReport::parallel(&[a.clone(), b.clone()]);
+        prop_assert_eq!(m.servers, 5);
+        prop_assert_eq!(m.total_tuples(), a.total_tuples() + b.total_tuples());
+        prop_assert_eq!(m.num_rounds(), a.num_rounds().max(b.num_rounds()));
+        prop_assert_eq!(
+            m.max_load_tuples(),
+            a.max_load_tuples().max(b.max_load_tuples())
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! Generalized hypertree decompositions (GHDs) and the GYO join-tree test.
+//!
+//! A GHD of a query is a rooted forest of **bags**; each bag has a set of
+//! variables and a cover `λ` of atoms whose variables contain the bag's
+//! (slide 64). It must satisfy:
+//!
+//! 1. every atom's variables are contained in some bag (*coverage*);
+//! 2. for every variable, the bags containing it form a connected subtree
+//!    (*running intersection*);
+//! 3. each bag's variables are contained in the union of its `λ` atoms.
+//!
+//! The **width** is the maximum `|λ|`; acyclic queries are exactly those
+//! with width-1 GHDs (*join trees*), found by GYO ear removal. The
+//! **depth** controls the number of rounds of distributed Yannakakis
+//! (slide 79), and slide 95 trades width against depth on chain queries —
+//! reproduced here by [`Ghd::chain_blocks`] and [`Ghd::chain_balanced`].
+
+use crate::query::{Query, Var};
+
+/// One bag of a GHD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bag {
+    /// The bag's variables (sorted).
+    pub vars: Vec<Var>,
+    /// Indices of the atoms in the bag's cover `λ`.
+    pub atoms: Vec<usize>,
+}
+
+/// A rooted forest of bags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ghd {
+    /// The bags.
+    pub bags: Vec<Bag>,
+    /// Parent of each bag (`None` for roots).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl Ghd {
+    /// Width: the maximum number of cover atoms in any bag.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.atoms.len()).max().unwrap_or(0)
+    }
+
+    /// Depth: the maximum root-to-node distance (a single bag has depth 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![usize::MAX; self.bags.len()];
+        let order = self.topological_order();
+        let mut max = 0;
+        for &b in &order {
+            depth[b] = match self.parent[b] {
+                None => 0,
+                Some(p) => depth[p] + 1,
+            };
+            max = max.max(depth[b]);
+        }
+        max
+    }
+
+    /// Bags in an order where every parent precedes its children.
+    ///
+    /// # Panics
+    /// Panics if the parent pointers contain a cycle.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.bags.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut order = Vec::with_capacity(n);
+        for (b, &p) in self.parent.iter().enumerate() {
+            match p {
+                Some(p) => children[p].push(b),
+                None => order.push(b),
+            }
+        }
+        let mut i = 0;
+        while i < order.len() {
+            let b = order[i];
+            order.extend_from_slice(&children[b]);
+            i += 1;
+        }
+        assert_eq!(order.len(), n, "parent pointers contain a cycle");
+        order
+    }
+
+    /// Children lists derived from the parent pointers.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.bags.len()];
+        for (b, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p].push(b);
+            }
+        }
+        children
+    }
+
+    /// Check the three GHD conditions against `q`.
+    pub fn validate(&self, q: &Query) -> Result<(), String> {
+        let n = self.bags.len();
+        if n == 0 {
+            return Err("GHD has no bags".into());
+        }
+        for (b, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                if p >= n {
+                    return Err(format!("bag {b} has out-of-range parent {p}"));
+                }
+            }
+        }
+        // Acyclicity of the parent forest (panics become errors).
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.topological_order()))
+            .is_err()
+        {
+            return Err("parent pointers contain a cycle".into());
+        }
+        // λ soundness: bag vars within the union of cover-atom vars.
+        for (i, bag) in self.bags.iter().enumerate() {
+            if bag.atoms.is_empty() {
+                return Err(format!("bag {i} has an empty cover"));
+            }
+            for &a in &bag.atoms {
+                if a >= q.num_atoms() {
+                    return Err(format!("bag {i} covers unknown atom {a}"));
+                }
+            }
+            for &v in &bag.vars {
+                if !bag.atoms.iter().any(|&a| q.atoms()[a].vars.contains(&v)) {
+                    return Err(format!("bag {i} variable x{v} not covered by its λ"));
+                }
+            }
+        }
+        // Coverage: every atom inside some bag.
+        for (a, atom) in q.atoms().iter().enumerate() {
+            let covered = self
+                .bags
+                .iter()
+                .any(|b| atom.vars.iter().all(|v| b.vars.contains(v)));
+            if !covered {
+                return Err(format!("atom {a} ({}) not covered by any bag", atom.name));
+            }
+        }
+        // Running intersection: bags holding v must form one connected
+        // subtree — i.e. exactly one of them has a parent outside the set.
+        for v in 0..q.num_vars() {
+            let holders: Vec<usize> = (0..n).filter(|&b| self.bags[b].vars.contains(&v)).collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let tops = holders
+                .iter()
+                .filter(|&&b| match self.parent[b] {
+                    None => true,
+                    Some(p) => !self.bags[p].vars.contains(&v),
+                })
+                .count();
+            if tops != 1 {
+                return Err(format!(
+                    "running intersection violated for x{v}: {tops} connected components"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// GYO ear removal: build a width-1 join tree (one bag per atom) if
+    /// `q` is acyclic, `None` otherwise (slide 64).
+    ///
+    /// An atom is an *ear* when all its variables shared with other alive
+    /// atoms are contained in a single alive *witness* atom; the witness
+    /// becomes its parent. Disconnected components yield a forest.
+    pub fn join_tree(q: &Query) -> Option<Ghd> {
+        let n = q.num_atoms();
+        let mut alive = vec![true; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut remaining = n;
+        while remaining > 1 {
+            let mut progressed = false;
+            'search: for a in 0..n {
+                if !alive[a] {
+                    continue;
+                }
+                let shared: Vec<Var> = q.atoms()[a]
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| (0..n).any(|o| o != a && alive[o] && q.atoms()[o].vars.contains(v)))
+                    .collect();
+                if shared.is_empty() {
+                    // Isolated component: becomes a root.
+                    alive[a] = false;
+                    remaining -= 1;
+                    progressed = true;
+                    break 'search;
+                }
+                for w in 0..n {
+                    if w != a && alive[w] && shared.iter().all(|v| q.atoms()[w].vars.contains(v)) {
+                        parent[a] = Some(w);
+                        alive[a] = false;
+                        remaining -= 1;
+                        progressed = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !progressed {
+                return None; // cyclic
+            }
+        }
+        let bags = (0..n)
+            .map(|a| {
+                let mut vars = q.atoms()[a].vars.clone();
+                vars.sort_unstable();
+                Bag {
+                    vars,
+                    atoms: vec![a],
+                }
+            })
+            .collect();
+        Some(Ghd { bags, parent })
+    }
+
+    /// Width-1 join tree of the star query with the flat shape of slide
+    /// 79: atom 0 is the root; every other atom is its child (depth 1).
+    pub fn star_flat(q: &Query) -> Ghd {
+        let n = q.num_atoms();
+        assert!(n >= 1);
+        let bags = (0..n)
+            .map(|a| {
+                let mut vars = q.atoms()[a].vars.clone();
+                vars.sort_unstable();
+                Bag {
+                    vars,
+                    atoms: vec![a],
+                }
+            })
+            .collect();
+        let parent = (0..n)
+            .map(|a| if a == 0 { None } else { Some(0) })
+            .collect();
+        Ghd { bags, parent }
+    }
+
+    /// GHD of the chain-`n` query with bags of `w` consecutive atoms,
+    /// arranged in a path: width `w`, depth `⌈n/w⌉ − 1` (slide 95's
+    /// `w=1, d=n` and `w=n/2, d=1` endpoints).
+    ///
+    /// # Panics
+    /// Panics if `w == 0` or `w > n`.
+    pub fn chain_blocks(n: usize, w: usize) -> Ghd {
+        assert!(w >= 1 && w <= n, "block width must be in 1..=n");
+        let nblocks = n.div_ceil(w);
+        let mut bags = Vec::with_capacity(nblocks);
+        let mut parent = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let lo = b * w;
+            let hi = ((b + 1) * w).min(n);
+            // Atoms lo..hi cover variables A_lo ..= A_hi.
+            let vars: Vec<Var> = (lo..=hi).collect();
+            let atoms: Vec<usize> = (lo..hi).collect();
+            bags.push(Bag { vars, atoms });
+            parent.push(if b == 0 { None } else { Some(b - 1) });
+        }
+        Ghd { bags, parent }
+    }
+
+    /// Balanced GHD of the chain-`n` query: width ≤ 3, depth `O(log n)`
+    /// (slide 95's `w=3, d=log n` point). Each internal bag covers the
+    /// two endpoint atoms and the middle atom of its range.
+    pub fn chain_balanced(n: usize) -> Ghd {
+        assert!(n >= 1);
+        let mut bags = Vec::new();
+        let mut parent = Vec::new();
+        build_balanced(0, n, None, &mut bags, &mut parent);
+        Ghd { bags, parent }
+    }
+}
+
+/// Recursive helper for [`Ghd::chain_balanced`]: decompose atoms
+/// `lo..hi` (chain atom `t` has vars `{A_t, A_{t+1}}`).
+fn build_balanced(
+    lo: usize,
+    hi: usize,
+    parent_idx: Option<usize>,
+    bags: &mut Vec<Bag>,
+    parent: &mut Vec<Option<usize>>,
+) {
+    debug_assert!(lo < hi);
+    if hi - lo <= 2 {
+        let vars: Vec<Var> = (lo..=hi).collect();
+        let atoms: Vec<usize> = (lo..hi).collect();
+        bags.push(Bag { vars, atoms });
+        parent.push(parent_idx);
+        return;
+    }
+    let mid = usize::midpoint(lo, hi);
+    // Cover atoms: the first, the one starting at mid, and the last.
+    let cover = [lo, mid, hi - 1];
+    let mut vars: Vec<Var> = cover.iter().flat_map(|&a| [a, a + 1]).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let idx = bags.len();
+    bags.push(Bag {
+        vars,
+        atoms: cover.to_vec(),
+    });
+    parent.push(parent_idx);
+    build_balanced(lo, mid, Some(idx), bags, parent);
+    build_balanced(mid, hi, Some(idx), bags, parent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gyo_accepts_acyclic() {
+        for q in [
+            Query::two_way(),
+            Query::chain(6),
+            Query::star(5),
+            Query::slide64_tree(),
+            Query::semijoin_pair(),
+            Query::product(),
+        ] {
+            let tree = Ghd::join_tree(&q).unwrap_or_else(|| panic!("{q} should be acyclic"));
+            tree.validate(&q).expect("join tree must validate");
+            assert_eq!(tree.width(), 1);
+        }
+    }
+
+    #[test]
+    fn gyo_rejects_cyclic() {
+        assert!(Ghd::join_tree(&Query::triangle()).is_none());
+        assert!(Ghd::join_tree(&Query::cycle(4)).is_none());
+        assert!(Ghd::join_tree(&Query::cycle(6)).is_none());
+    }
+
+    #[test]
+    fn product_yields_forest() {
+        let q = Query::product();
+        let tree = Ghd::join_tree(&q).expect("product is (trivially) acyclic");
+        let roots = tree.parent.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 2);
+    }
+
+    #[test]
+    fn star_flat_depth_one() {
+        let q = Query::star(6);
+        let g = Ghd::star_flat(&q);
+        g.validate(&q).expect("flat star validates");
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.width(), 1);
+    }
+
+    #[test]
+    fn chain_blocks_width_depth_tradeoff() {
+        let n = 12;
+        let q = Query::chain(n);
+        for w in [1, 2, 3, 4, 6, 12] {
+            let g = Ghd::chain_blocks(n, w);
+            g.validate(&q).unwrap_or_else(|e| panic!("w={w}: {e}"));
+            assert_eq!(g.width(), w);
+            assert_eq!(g.depth(), n.div_ceil(w) - 1);
+        }
+    }
+
+    #[test]
+    fn chain_balanced_log_depth() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33, 64, 100] {
+            let q = Query::chain(n);
+            let g = Ghd::chain_balanced(n);
+            g.validate(&q).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert!(g.width() <= 3);
+            let bound = 2 * (n as f64).log2().ceil() as usize + 2;
+            assert!(g.depth() <= bound, "n={n}: depth {} > {bound}", g.depth());
+        }
+    }
+
+    #[test]
+    fn depth_of_path_tree_linear() {
+        let q = Query::chain(7);
+        let tree = Ghd::join_tree(&q).expect("acyclic");
+        // One bag per atom in a path: depth n-1 regardless of orientation.
+        assert_eq!(tree.depth(), 6);
+    }
+
+    #[test]
+    fn validate_catches_missing_coverage() {
+        let q = Query::two_way();
+        let g = Ghd {
+            bags: vec![Bag {
+                vars: vec![0, 1],
+                atoms: vec![0],
+            }],
+            parent: vec![None],
+        };
+        assert!(g.validate(&q).unwrap_err().contains("not covered"));
+    }
+
+    #[test]
+    fn validate_catches_running_intersection() {
+        let q = Query::chain(2); // R1(A0,A1), R2(A1,A2)
+        let g = Ghd {
+            bags: vec![
+                Bag {
+                    vars: vec![0, 1],
+                    atoms: vec![0],
+                },
+                Bag {
+                    vars: vec![0],
+                    atoms: vec![0],
+                }, // middle bag without A1
+                Bag {
+                    vars: vec![1, 2],
+                    atoms: vec![1],
+                },
+            ],
+            parent: vec![None, Some(0), Some(1)],
+        };
+        assert!(g.validate(&q).unwrap_err().contains("running intersection"));
+    }
+
+    #[test]
+    fn validate_catches_lambda_unsoundness() {
+        let q = Query::two_way();
+        let g = Ghd {
+            bags: vec![
+                Bag {
+                    vars: vec![0, 1, 2],
+                    atoms: vec![0],
+                }, // x2 not in atom 0
+                Bag {
+                    vars: vec![1, 2],
+                    atoms: vec![1],
+                },
+            ],
+            parent: vec![None, Some(0)],
+        };
+        assert!(g.validate(&q).unwrap_err().contains("not covered by its λ"));
+    }
+
+    #[test]
+    fn validate_catches_parent_cycle() {
+        let q = Query::two_way();
+        let g = Ghd {
+            bags: vec![
+                Bag {
+                    vars: vec![0, 1],
+                    atoms: vec![0],
+                },
+                Bag {
+                    vars: vec![1, 2],
+                    atoms: vec![1],
+                },
+            ],
+            parent: vec![Some(1), Some(0)],
+        };
+        assert!(g.validate(&q).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn topological_order_parents_first() {
+        let g = Ghd::chain_blocks(6, 2);
+        let order = g.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &b) in order.iter().enumerate() {
+                p[b] = i;
+            }
+            p
+        };
+        for (b, &par) in g.parent.iter().enumerate() {
+            if let Some(par) = par {
+                assert!(pos[par] < pos[b]);
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Serial reference evaluation.
+//!
+//! Two oracles, both exact and both single-machine:
+//!
+//! * [`evaluate`] — a binding-table hash join that processes atoms left to
+//!   right. Worst-case exponential like any join, but it is the ground
+//!   truth every distributed algorithm in this workspace is tested
+//!   against, so clarity beats cleverness.
+//! * [`yannakakis_serial`] — the Yannakakis algorithm over a width-1 GHD
+//!   (slides 64–77): upward semijoin phase, downward semijoin phase, then
+//!   a bottom-up join phase, running in `O(IN + OUT)`.
+//!
+//! Both produce the full natural join with output schema `x₀ … x_{k-1}`
+//! under **bag semantics** (tests compare canonical set forms when an
+//! algorithm is only set-equivalent).
+
+use crate::ghd::Ghd;
+use crate::query::{Query, Var};
+use parqp_data::{FastMap, Relation, Value};
+
+/// Evaluate `q` over `rels` (one relation per atom, positionally).
+///
+/// # Panics
+/// Panics if `rels.len() != q.num_atoms()` or an atom's arity disagrees
+/// with its relation.
+pub fn evaluate(q: &Query, rels: &[Relation]) -> Relation {
+    check_inputs(q, rels);
+    // Bindings over the variables bound so far, in `bound` order.
+    let mut bound: Vec<Var> = Vec::new();
+    let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
+
+    for (atom, rel) in q.atoms().iter().zip(rels) {
+        let shared: Vec<usize> = atom
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, v)| bound.contains(v).then_some(pos))
+            .collect();
+        let fresh: Vec<usize> = atom
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, v)| (!bound.contains(v)).then_some(pos))
+            .collect();
+        let bound_idx_of_shared: Vec<usize> = shared
+            .iter()
+            .map(|&pos| {
+                bound
+                    .iter()
+                    .position(|&b| b == atom.vars[pos])
+                    .expect("shared is bound")
+            })
+            .collect();
+
+        // Build: key = shared positions (in `shared` order) → fresh values.
+        let mut table: FastMap<Vec<Value>, Vec<Vec<Value>>> = FastMap::default();
+        for row in rel.iter() {
+            let key: Vec<Value> = shared.iter().map(|&p| row[p]).collect();
+            let val: Vec<Value> = fresh.iter().map(|&p| row[p]).collect();
+            table.entry(key).or_default().push(val);
+        }
+
+        let mut next = Vec::new();
+        for b in &bindings {
+            let key: Vec<Value> = bound_idx_of_shared.iter().map(|&i| b[i]).collect();
+            if let Some(matches) = table.get(&key) {
+                for m in matches {
+                    let mut nb = b.clone();
+                    nb.extend_from_slice(m);
+                    next.push(nb);
+                }
+            }
+        }
+        bindings = next;
+        bound.extend(fresh.iter().map(|&p| atom.vars[p]));
+        if bindings.is_empty() {
+            return Relation::new(q.num_vars());
+        }
+    }
+
+    bindings_to_relation(q.num_vars(), &bound, bindings)
+}
+
+/// The Yannakakis algorithm over a width-1 GHD whose bags each carry
+/// exactly one atom (a join tree). `O(IN + OUT)`.
+///
+/// # Panics
+/// Panics if the GHD is not a width-1 join tree of `q`, or input shapes
+/// disagree with the query.
+pub fn yannakakis_serial(q: &Query, rels: &[Relation], tree: &Ghd) -> Relation {
+    check_inputs(q, rels);
+    tree.validate(q).expect("invalid GHD");
+    assert!(
+        tree.width() == 1,
+        "serial Yannakakis requires a width-1 join tree"
+    );
+    let n = tree.bags.len();
+    assert_eq!(n, q.num_atoms(), "join tree must have one bag per atom");
+
+    // Working copies, one per bag (bag b covers exactly atom λ[0]).
+    let atom_of_bag: Vec<usize> = tree.bags.iter().map(|b| b.atoms[0]).collect();
+    let mut work: Vec<Relation> = atom_of_bag.iter().map(|&a| rels[a].clone()).collect();
+
+    let order = tree.topological_order(); // parents before children
+                                          // Upward semijoin phase: leaves to root.
+    for &b in order.iter().rev() {
+        if let Some(parent) = tree.parent[b] {
+            let filtered = semijoin(
+                &work[parent],
+                &q.atoms()[atom_of_bag[parent]].vars,
+                &work[b],
+                &q.atoms()[atom_of_bag[b]].vars,
+            );
+            work[parent] = filtered;
+        }
+    }
+    // Downward semijoin phase: root to leaves.
+    for &b in &order {
+        if let Some(parent) = tree.parent[b] {
+            let filtered = semijoin(
+                &work[b],
+                &q.atoms()[atom_of_bag[b]].vars,
+                &work[parent],
+                &q.atoms()[atom_of_bag[parent]].vars,
+            );
+            work[b] = filtered;
+        }
+    }
+
+    // Join phase: fold children into parents, bottom-up. Track the
+    // variable schema of each partial result.
+    let mut schema: Vec<Vec<Var>> = atom_of_bag
+        .iter()
+        .map(|&a| q.atoms()[a].vars.clone())
+        .collect();
+    let mut partial: Vec<Option<Relation>> = work.into_iter().map(Some).collect();
+    for &b in order.iter().rev() {
+        if let Some(parent) = tree.parent[b] {
+            let child_rel = partial[b].take().expect("child joined once");
+            let parent_rel = partial[parent].take().expect("parent present");
+            let (joined, joined_schema) =
+                join_on_schemas(&parent_rel, &schema[parent], &child_rel, &schema[b]);
+            partial[parent] = Some(joined);
+            schema[parent] = joined_schema;
+        }
+    }
+
+    // Combine roots (forest ⇒ Cartesian product across components).
+    let mut acc: Option<(Relation, Vec<Var>)> = None;
+    for &b in &order {
+        if tree.parent[b].is_none() {
+            let rel = partial[b].take().expect("root present");
+            let sch = schema[b].clone();
+            acc = Some(match acc {
+                None => (rel, sch),
+                Some((a_rel, a_sch)) => join_on_schemas(&a_rel, &a_sch, &rel, &sch),
+            });
+        }
+    }
+    let (rel, sch) = acc.expect("at least one root");
+    let rows: Vec<Vec<Value>> = rel.iter().map(<[Value]>::to_vec).collect();
+    bindings_to_relation(q.num_vars(), &sch, rows)
+}
+
+/// `left ⋉ right`: keep the tuples of `left` whose shared variables with
+/// `right` (per the two schemas) match some tuple of `right`.
+pub fn semijoin(
+    left: &Relation,
+    left_vars: &[Var],
+    right: &Relation,
+    right_vars: &[Var],
+) -> Relation {
+    let shared: Vec<(usize, usize)> = left_vars
+        .iter()
+        .enumerate()
+        .filter_map(|(lp, v)| right_vars.iter().position(|rv| rv == v).map(|rp| (lp, rp)))
+        .collect();
+    if shared.is_empty() {
+        return if right.is_empty() {
+            Relation::new(left.arity())
+        } else {
+            left.clone()
+        };
+    }
+    let mut keys: parqp_data::FastSet<Vec<Value>> = parqp_data::FastSet::default();
+    for row in right.iter() {
+        keys.insert(shared.iter().map(|&(_, rp)| row[rp]).collect());
+    }
+    left.filter(|row| keys.contains(&shared.iter().map(|&(lp, _)| row[lp]).collect::<Vec<_>>()))
+}
+
+/// Natural join of two relations with explicit variable schemas; returns
+/// the joined relation and its schema (left schema ++ fresh right vars).
+fn join_on_schemas(
+    left: &Relation,
+    left_vars: &[Var],
+    right: &Relation,
+    right_vars: &[Var],
+) -> (Relation, Vec<Var>) {
+    let shared: Vec<(usize, usize)> = left_vars
+        .iter()
+        .enumerate()
+        .filter_map(|(lp, v)| right_vars.iter().position(|rv| rv == v).map(|rp| (lp, rp)))
+        .collect();
+    let fresh: Vec<usize> = (0..right_vars.len())
+        .filter(|&rp| !left_vars.contains(&right_vars[rp]))
+        .collect();
+
+    let mut table: FastMap<Vec<Value>, Vec<Vec<Value>>> = FastMap::default();
+    for row in right.iter() {
+        let key: Vec<Value> = shared.iter().map(|&(_, rp)| row[rp]).collect();
+        let val: Vec<Value> = fresh.iter().map(|&p| row[p]).collect();
+        table.entry(key).or_default().push(val);
+    }
+
+    let mut schema = left_vars.to_vec();
+    schema.extend(fresh.iter().map(|&p| right_vars[p]));
+    let mut out = Relation::new(schema.len());
+    let mut buf = Vec::with_capacity(schema.len());
+    for row in left.iter() {
+        let key: Vec<Value> = shared.iter().map(|&(lp, _)| row[lp]).collect();
+        if let Some(matches) = table.get(&key) {
+            for m in matches {
+                buf.clear();
+                buf.extend_from_slice(row);
+                buf.extend_from_slice(m);
+                out.push(&buf);
+            }
+        }
+    }
+    (out, schema)
+}
+
+fn check_inputs(q: &Query, rels: &[Relation]) {
+    assert_eq!(rels.len(), q.num_atoms(), "one relation per atom required");
+    for (a, r) in q.atoms().iter().zip(rels) {
+        assert_eq!(a.arity(), r.arity(), "arity mismatch for atom {}", a.name);
+    }
+}
+
+fn bindings_to_relation(num_vars: usize, schema: &[Var], rows: Vec<Vec<Value>>) -> Relation {
+    assert_eq!(schema.len(), num_vars, "result must bind every variable");
+    let mut order = vec![0usize; num_vars];
+    for (i, &v) in schema.iter().enumerate() {
+        order[v] = i;
+    }
+    let mut out = Relation::with_capacity(num_vars, rows.len());
+    let mut buf = vec![0; num_vars];
+    for r in rows {
+        for (v, slot) in buf.iter_mut().enumerate() {
+            *slot = r[order[v]];
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghd::Ghd;
+
+    #[test]
+    fn two_way_join_basic() {
+        let q = Query::two_way();
+        let r = Relation::from_rows(2, [[1, 10], [2, 10], [3, 20]]);
+        let s = Relation::from_rows(2, [[10, 100], [20, 200], [20, 201]]);
+        let out = evaluate(&q, &[r, s]);
+        let mut rows = out.to_rows();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![1, 10, 100],
+                vec![2, 10, 100],
+                vec![3, 20, 200],
+                vec![3, 20, 201]
+            ]
+        );
+    }
+
+    #[test]
+    fn triangle_finds_triangles() {
+        let q = Query::triangle();
+        // Triangle on 1-2-3 plus a stray edge.
+        let r = Relation::from_rows(2, [[1, 2], [1, 9]]);
+        let s = Relation::from_rows(2, [[2, 3]]);
+        let t = Relation::from_rows(2, [[3, 1]]);
+        let out = evaluate(&q, &[r, s, t]);
+        assert_eq!(out.to_rows(), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn product_is_cartesian() {
+        let q = Query::product();
+        let r = Relation::from_rows(1, [[1], [2]]);
+        let s = Relation::from_rows(1, [[7], [8], [9]]);
+        let out = evaluate(&q, &[r, s]);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn bag_semantics_multiplicities() {
+        let q = Query::two_way();
+        let r = Relation::from_rows(2, [[1, 5], [1, 5]]);
+        let s = Relation::from_rows(2, [[5, 9]]);
+        assert_eq!(evaluate(&q, &[r, s]).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let q = Query::triangle();
+        let e = Relation::new(2);
+        let out = evaluate(&q, &[e.clone(), e.clone(), e]);
+        assert!(out.is_empty());
+        assert_eq!(out.arity(), 3);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let l = Relation::from_rows(2, [[1, 2], [3, 4]]);
+        let r = Relation::from_rows(2, [[2, 7]]);
+        let out = semijoin(&l, &[0, 1], &r, &[1, 5]);
+        assert_eq!(out.to_rows(), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemas_checks_emptiness() {
+        let l = Relation::from_rows(1, [[1], [2]]);
+        let nonempty = Relation::from_rows(1, [[9]]);
+        let empty = Relation::new(1);
+        assert_eq!(semijoin(&l, &[0], &nonempty, &[1]).len(), 2);
+        assert_eq!(semijoin(&l, &[0], &empty, &[1]).len(), 0);
+    }
+
+    #[test]
+    fn yannakakis_matches_evaluate_on_chain() {
+        let q = Query::chain(3);
+        let rels: Vec<Relation> = (0..3)
+            .map(|i| parqp_data::generate::uniform(2, 60, 12, i as u64))
+            .collect();
+        let tree = Ghd::join_tree(&q).expect("chains are acyclic");
+        let fast = yannakakis_serial(&q, &rels, &tree);
+        let slow = evaluate(&q, &rels);
+        assert_eq!(fast.canonical(), slow.canonical());
+    }
+
+    #[test]
+    fn yannakakis_matches_evaluate_on_slide64() {
+        let q = Query::slide64_tree();
+        let rels: Vec<Relation> = (0..5)
+            .map(|i| parqp_data::generate::uniform(2, 40, 8, 100 + i as u64))
+            .collect();
+        let tree = Ghd::join_tree(&q).expect("tree query is acyclic");
+        let fast = yannakakis_serial(&q, &rels, &tree);
+        let slow = evaluate(&q, &rels);
+        assert_eq!(fast.canonical(), slow.canonical());
+    }
+
+    #[test]
+    fn yannakakis_star_with_dangling_tuples() {
+        let q = Query::star(3);
+        // Center value 1 joins everywhere; 2 dangles (absent from R3).
+        let r1 = Relation::from_rows(2, [[1, 10], [2, 20]]);
+        let r2 = Relation::from_rows(2, [[1, 30], [2, 40]]);
+        let r3 = Relation::from_rows(2, [[1, 50]]);
+        let tree = Ghd::join_tree(&q).expect("stars are acyclic");
+        let out = yannakakis_serial(&q, &[r1.clone(), r2.clone(), r3.clone()], &tree);
+        let expect = evaluate(&q, &[r1, r2, r3]);
+        assert_eq!(out.canonical(), expect.canonical());
+        assert_eq!(out.len(), 1);
+    }
+}

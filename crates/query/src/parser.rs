@@ -1,0 +1,281 @@
+//! A small Datalog-style parser for conjunctive queries.
+//!
+//! ```
+//! use parqp_query::parse_query;
+//!
+//! let q = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)").expect("valid");
+//! assert_eq!(q.num_atoms(), 3);
+//! assert_eq!(q.to_string(), "R(x0,x1) ⋈ S(x1,x2) ⋈ T(x2,x0)");
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := [ head ":-" ] body
+//! head   := NAME "(" vars ")"
+//! body   := atom ("," atom)*
+//! atom   := NAME "(" vars ")"
+//! vars   := VAR ("," VAR)*
+//! ```
+//!
+//! Variables are identifiers starting with a lowercase letter; relation
+//! names start with an uppercase letter. Variable indices are assigned
+//! by the head's order when a head is present, otherwise by first
+//! appearance in the body.
+
+use crate::query::{Atom, Query, Var};
+
+/// A parse failure, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            Some(c) => err(format!(
+                "expected '{expected}', found '{c}' at byte {}",
+                self.pos
+            )),
+            None => err(format!("expected '{expected}', found end of input")),
+        }
+    }
+
+    fn try_eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = &self.src[start..];
+        let len = rest
+            .char_indices()
+            .take_while(|&(i, c)| {
+                if i == 0 {
+                    c.is_alphabetic() || c == '_'
+                } else {
+                    c.is_alphanumeric() || c == '_'
+                }
+            })
+            .count();
+        if len == 0 {
+            return err(format!("expected identifier at byte {start}"));
+        }
+        let end = start + rest.chars().take(len).map(char::len_utf8).sum::<usize>();
+        self.pos = end;
+        Ok(&self.src[start..end])
+    }
+
+    fn done(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+fn parse_atom<'a>(sc: &mut Scanner<'a>) -> Result<(&'a str, Vec<&'a str>), ParseError> {
+    let name = sc.ident()?;
+    sc.eat('(')?;
+    let mut vars = vec![sc.ident()?];
+    while sc.peek() == Some(',') {
+        sc.eat(',')?;
+        vars.push(sc.ident()?);
+    }
+    sc.eat(')')?;
+    Ok((name, vars))
+}
+
+/// Parse a conjunctive query. See the module docs for the grammar.
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut sc = Scanner::new(src);
+    // Optional head: look ahead for ":-".
+    let head_vars: Option<Vec<&str>> = {
+        let save = sc.pos;
+        match parse_atom(&mut sc) {
+            Ok((_, vars)) if sc.try_eat_str(":-") => Some(vars),
+            _ => {
+                sc.pos = save;
+                None
+            }
+        }
+    };
+
+    let mut names: Vec<String> = Vec::new();
+    let index_of = |name: &str, names: &mut Vec<String>| -> Var {
+        match names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                names.push(name.to_string());
+                names.len() - 1
+            }
+        }
+    };
+    if let Some(hv) = &head_vars {
+        for v in hv {
+            let before = names.len();
+            let idx = index_of(v, &mut names);
+            if idx < before {
+                return err(format!("head variable '{v}' repeated"));
+            }
+        }
+    }
+
+    let mut atoms = Vec::new();
+    loop {
+        let (name, vars) = parse_atom(&mut sc)?;
+        if !name.starts_with(|c: char| c.is_uppercase()) {
+            return err(format!("relation names start uppercase: '{name}'"));
+        }
+        let mut ids = Vec::with_capacity(vars.len());
+        for v in &vars {
+            if !v.starts_with(|c: char| c.is_lowercase() || c == '_') {
+                return err(format!("variables start lowercase: '{v}'"));
+            }
+            ids.push(index_of(v, &mut names));
+        }
+        if ids.len() != ids.iter().collect::<std::collections::BTreeSet<_>>().len() {
+            return err(format!(
+                "atom {name} repeats a variable (rename apart first)"
+            ));
+        }
+        atoms.push(Atom::new(name, ids));
+        if sc.peek() == Some(',') {
+            sc.eat(',')?;
+        } else {
+            break;
+        }
+    }
+    if !sc.done() {
+        return err(format!("trailing input at byte {}", sc.pos));
+    }
+    if let Some(hv) = &head_vars {
+        if hv.len() != names.len() {
+            return err(format!(
+                "head binds {} variables but the body uses {} — projections are not supported",
+                hv.len(),
+                names.len()
+            ));
+        }
+    }
+    if atoms.is_empty() {
+        return err("query has no atoms");
+    }
+    Ok(Query::new(names.len(), atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_with_head() {
+        let q = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)").expect("valid");
+        assert_eq!(q, Query::triangle());
+    }
+
+    #[test]
+    fn body_only_first_appearance_order() {
+        let q = parse_query("R(a, b), S(b, c)").expect("valid");
+        assert_eq!(q, Query::two_way());
+    }
+
+    #[test]
+    fn head_reorders_variables() {
+        // Head order z, y, x flips the variable indices.
+        let q = parse_query("Q(z,y,x) :- R(x,y), S(y,z)").expect("valid");
+        assert_eq!(q.atoms()[0].vars, vec![2, 1]);
+        assert_eq!(q.atoms()[1].vars, vec![1, 0]);
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("R(x,y),S(y,z)").expect("valid");
+        let b = parse_query("  R ( x , y ) ,\n S ( y , z )  ").expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unary_atoms() {
+        let q = parse_query("R(x), S(x,y), T(y)").expect("valid");
+        assert_eq!(q, Query::semijoin_pair());
+    }
+
+    #[test]
+    fn underscored_and_numbered_names() {
+        let q = parse_query("Edge_1(v1, v2), Edge_2(v2, v3)").expect("valid");
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.atoms()[0].name, "Edge_1");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("R(x,").is_err());
+        assert!(parse_query("r(x)").is_err(), "lowercase relation");
+        assert!(parse_query("R(X)").is_err(), "uppercase variable");
+        assert!(parse_query("R(x, x)").is_err(), "repeated var in atom");
+        assert!(
+            parse_query("Q(x) :- R(x,y)").is_err(),
+            "projection unsupported"
+        );
+        assert!(parse_query("Q(x,x) :- R(x)").is_err(), "repeated head var");
+        assert!(parse_query("R(x,y) garbage").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn display_error() {
+        let e = parse_query("").unwrap_err();
+        assert!(e.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn roundtrip_via_display_shape() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").expect("valid");
+        assert_eq!(q.to_string(), "R(x0,x1) ⋈ S(x1,x2) ⋈ T(x2,x0)");
+    }
+}

@@ -1,0 +1,212 @@
+//! Residual queries and the skew exponent ψ\*.
+//!
+//! Slide 47: fix a set `x ⊆ {x₁…x_k}` of variables declared **heavy**.
+//! The residual query `Q_x` removes those variables from every atom and
+//! drops atoms that become empty. SkewHC runs, for every heavy/light
+//! combination, the residual query on its own server group; the governing
+//! exponent is
+//!
+//! ```text
+//! ψ*(Q) = max_x τ*(Q_x)
+//! ```
+//!
+//! and the skewed one-round load is `Θ(IN / p^{1/ψ*})` (slides 47–51).
+
+use crate::query::{Atom, Query, Var};
+use parqp_lp::fractional_edge_packing;
+
+/// The residual query `Q_x` for a fixed heavy-variable set, together with
+/// the bookkeeping needed to execute it on real data.
+#[derive(Debug, Clone)]
+pub struct ResidualQuery {
+    /// The heavy variables (original ids, sorted).
+    pub heavy_vars: Vec<Var>,
+    /// The residual query over renumbered light variables, or `None` if
+    /// every atom dropped (all variables heavy).
+    pub query: Option<Query>,
+    /// Maps an original variable to its id in the residual query
+    /// (`None` for heavy variables).
+    pub var_map: Vec<Option<Var>>,
+    /// Maps an original atom index to its index in the residual query
+    /// (`None` for dropped atoms).
+    pub atom_map: Vec<Option<usize>>,
+    /// For each original atom, the positions of its light variables
+    /// (empty for dropped atoms).
+    pub kept_positions: Vec<Vec<usize>>,
+}
+
+impl ResidualQuery {
+    /// τ\* of the residual query (0 when no atoms remain).
+    pub fn tau_star(&self) -> f64 {
+        self.query
+            .as_ref()
+            .map_or(0.0, |q| fractional_edge_packing(&q.hypergraph()).value)
+    }
+}
+
+/// Build the residual query `Q_heavy`.
+///
+/// # Panics
+/// Panics if a heavy variable id is out of range.
+pub fn residual(q: &Query, heavy: &[Var]) -> ResidualQuery {
+    let mut is_heavy = vec![false; q.num_vars()];
+    for &h in heavy {
+        assert!(h < q.num_vars(), "heavy variable x{h} out of range");
+        is_heavy[h] = true;
+    }
+    let mut heavy_vars: Vec<Var> = (0..q.num_vars()).filter(|&v| is_heavy[v]).collect();
+    heavy_vars.sort_unstable();
+
+    // Keep only light vars that still appear in some surviving atom.
+    let mut kept_positions = Vec::with_capacity(q.num_atoms());
+    let mut survives = Vec::with_capacity(q.num_atoms());
+    for atom in q.atoms() {
+        let kept: Vec<usize> = (0..atom.vars.len())
+            .filter(|&p| !is_heavy[atom.vars[p]])
+            .collect();
+        survives.push(!kept.is_empty());
+        kept_positions.push(kept);
+    }
+
+    let mut var_map: Vec<Option<Var>> = vec![None; q.num_vars()];
+    let mut next = 0;
+    for v in 0..q.num_vars() {
+        if !is_heavy[v] {
+            var_map[v] = Some(next);
+            next += 1;
+        }
+    }
+
+    let mut atoms = Vec::new();
+    let mut atom_map = vec![None; q.num_atoms()];
+    for (j, atom) in q.atoms().iter().enumerate() {
+        if survives[j] {
+            atom_map[j] = Some(atoms.len());
+            let vars: Vec<Var> = kept_positions[j]
+                .iter()
+                .map(|&p| var_map[atom.vars[p]].expect("kept var is light"))
+                .collect();
+            atoms.push(Atom::new(atom.name.clone(), vars));
+        }
+    }
+
+    let query = if atoms.is_empty() {
+        None
+    } else {
+        Some(Query::new(next, atoms))
+    };
+    ResidualQuery {
+        heavy_vars,
+        query,
+        var_map,
+        atom_map,
+        kept_positions,
+    }
+}
+
+/// All `2^k` residual queries of `q`, one per heavy-variable subset
+/// (including the empty set), in subset-mask order.
+///
+/// # Panics
+/// Panics if `q` has more than 20 variables (the enumeration would blow up).
+pub fn all_residuals(q: &Query) -> Vec<ResidualQuery> {
+    let k = q.num_vars();
+    assert!(k <= 20, "residual enumeration limited to 20 variables");
+    (0..(1usize << k))
+        .map(|mask| {
+            let heavy: Vec<Var> = (0..k).filter(|&v| mask & (1 << v) != 0).collect();
+            residual(q, &heavy)
+        })
+        .collect()
+}
+
+/// The skew exponent `ψ*(Q) = max_x τ*(Q_x)` (slide 47); the maximum is
+/// over all heavy sets, including the empty one.
+pub fn psi_star(q: &Query) -> f64 {
+    all_residuals(q)
+        .iter()
+        .map(ResidualQuery::tau_star)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn triangle_residuals_match_slide_48_50() {
+        let q = Query::triangle();
+        // all light: the triangle itself, τ* = 3/2.
+        let r = residual(&q, &[]);
+        assert!(close(r.tau_star(), 1.5));
+        // z heavy: R(x,y) ⋈ S(y) ⋈ T(x), τ* = 2 (slide 49).
+        let r = residual(&q, &[2]);
+        let rq = r.query.as_ref().expect("atoms survive");
+        assert_eq!(rq.num_atoms(), 3);
+        assert_eq!(rq.atoms()[1].vars.len(), 1);
+        assert!(close(r.tau_star(), 2.0));
+        // y, z heavy: R(x) ⋈ S(∅ dropped)… slide 50: R(x) ⋈ T(x), τ* = 1.
+        let r = residual(&q, &[1, 2]);
+        let rq = r.query.as_ref().expect("R and T survive");
+        assert_eq!(rq.num_atoms(), 2);
+        assert!(close(r.tau_star(), 1.0));
+        assert_eq!(r.atom_map, vec![Some(0), None, Some(1)]);
+        // all heavy: nothing remains.
+        let r = residual(&q, &[0, 1, 2]);
+        assert!(r.query.is_none());
+        assert!(close(r.tau_star(), 0.0));
+    }
+
+    #[test]
+    fn psi_star_matches_slide_51_53() {
+        assert!(close(psi_star(&Query::triangle()), 2.0));
+        assert!(close(psi_star(&Query::semijoin_pair()), 2.0));
+        assert!(close(psi_star(&Query::two_way()), 2.0));
+    }
+
+    #[test]
+    fn psi_at_least_tau() {
+        // ψ* ≥ τ* always (slide 54: τ* ≤ ψ*).
+        for q in [
+            Query::triangle(),
+            Query::chain(4),
+            Query::star(3),
+            Query::cycle(4),
+        ] {
+            let tau = fractional_edge_packing(&q.hypergraph()).value;
+            assert!(psi_star(&q) >= tau - 1e-9, "{q}");
+        }
+    }
+
+    #[test]
+    fn var_maps_consistent() {
+        let q = Query::triangle();
+        let r = residual(&q, &[1]);
+        assert_eq!(r.heavy_vars, vec![1]);
+        assert_eq!(r.var_map, vec![Some(0), None, Some(1)]);
+        // R(x,y) keeps position 0 (x); S(y,z) keeps position 1 (z);
+        // T(z,x) keeps both.
+        assert_eq!(r.kept_positions, vec![vec![0], vec![1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn all_residuals_count() {
+        assert_eq!(all_residuals(&Query::triangle()).len(), 8);
+        assert_eq!(all_residuals(&Query::two_way()).len(), 8);
+    }
+
+    #[test]
+    fn cartesian_residual_of_two_way() {
+        // Heavy y in R(x,y) ⋈ S(y,z) leaves the product R(x) ⋈ S(z).
+        let r = residual(&Query::two_way(), &[1]);
+        let rq = r.query.as_ref().expect("survives");
+        assert_eq!(rq.num_vars(), 2);
+        assert_eq!(rq.atoms()[0].vars, vec![0]);
+        assert_eq!(rq.atoms()[1].vars, vec![1]);
+        assert!(close(r.tau_star(), 2.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the sorting algorithms: output is a sorted
+//! permutation of the input for arbitrary inputs, cluster sizes and
+//! fan-outs, with range-disjoint partitions.
+
+use parqp_mpc::Cluster;
+use parqp_sort::{multiround_sort, psrs, psrs_by};
+use proptest::prelude::*;
+
+fn assert_sorted_partitions(items: &[u64], parts: &[Vec<u64>]) {
+    let flat: Vec<u64> = parts.concat();
+    let mut expect = items.to_vec();
+    expect.sort_unstable();
+    assert_eq!(flat, expect, "must be a sorted permutation");
+    for w in parts.windows(2) {
+        if let (Some(&hi), Some(&lo)) = (w[0].last(), w[1].first()) {
+            assert!(hi <= lo, "partitions must be range-ordered");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn psrs_sorts_anything(
+        items in proptest::collection::vec(any::<u64>(), 0..800),
+        p in 1usize..20,
+    ) {
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        let parts = psrs(&mut cluster, local);
+        assert_sorted_partitions(&items, &parts);
+        prop_assert!(cluster.report().num_rounds() <= 2);
+    }
+
+    #[test]
+    fn psrs_handles_duplicate_heavy_input(
+        distinct in 1u64..5,
+        n in 1usize..600,
+        p in 1usize..12,
+    ) {
+        let items: Vec<u64> = (0..n as u64).map(|i| i % distinct).collect();
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        let parts = psrs(&mut cluster, local);
+        assert_sorted_partitions(&items, &parts);
+    }
+
+    #[test]
+    fn multiround_sorts_anything(
+        items in proptest::collection::vec(any::<u64>(), 0..800),
+        p in 1usize..20,
+        fanout in 2usize..8,
+    ) {
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        let parts = multiround_sort(&mut cluster, local, fanout);
+        let flat: Vec<u64> = parts.concat();
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(flat, expect);
+        // Round formula: 3 per level, ⌈log_f p⌉ levels.
+        let levels = if p <= 1 { 0 } else { (p as f64).log(fanout as f64).ceil() as usize };
+        prop_assert!(cluster.report().num_rounds() <= 3 * levels.max(1));
+    }
+
+    #[test]
+    fn psrs_by_keeps_payloads(
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..500),
+        p in 1usize..10,
+    ) {
+        let items: Vec<(u64, u64)> =
+            pairs.iter().map(|&(k, v)| (u64::from(k), u64::from(v))).collect();
+        let mut cluster = Cluster::new(p);
+        let local = cluster.scatter(items.clone());
+        let parts = psrs_by(&mut cluster, local, |t| t.0);
+        let flat: Vec<(u64, u64)> = parts.concat();
+        // Keys sorted.
+        prop_assert!(flat.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Multiset of pairs preserved.
+        let mut a = flat;
+        let mut b = items;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: join two relations on a simulated MPC cluster and read
+//! the costs the paper's theorems are about — load `L`, rounds `r`, and
+//! total communication `C`.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parqp::model;
+use parqp::planner::{plan_and_run, Strategy};
+use parqp::prelude::*;
+
+fn main() {
+    let p = 64; // simulated servers
+    let n = 100_000; // tuples per relation
+
+    // R(x, y) ⋈ S(y, z) with skew-free keys.
+    let query = Query::two_way();
+    let r = parqp::data::generate::key_unique_pairs(n, 1, 1 << 40, 1);
+    let s = parqp::data::generate::key_unique_pairs(n, 0, 1 << 40, 2);
+
+    let (decision, run) = plan_and_run(&query, &[r, s], p, 42);
+    println!("query      : {query}");
+    println!("planner    : {:?} — {}", decision.strategy, decision.reason);
+    println!("output     : {} tuples", run.output_size());
+    println!(
+        "cost       : L = {} tuples, r = {}, C = {} tuples",
+        run.report.max_load_tuples(),
+        run.report.num_rounds(),
+        run.report.total_tuples()
+    );
+    println!(
+        "paper says : L = IN/p = {:.0} (slide 23, no skew)",
+        model::one_round_load(2.0 * n as f64, p as f64, 1.0)
+    );
+    assert_eq!(decision.strategy, Strategy::HashJoin);
+
+    // Now the same join under extreme skew: every key is the same.
+    let r = parqp::data::generate::constant_key_pairs(n / 10, 7, 1);
+    let s = parqp::data::generate::constant_key_pairs(n / 10, 7, 0);
+    let (decision, run) = plan_and_run(&query, &[r, s], p, 42);
+    println!("\nunder extreme skew:");
+    println!("planner    : {:?} — {}", decision.strategy, decision.reason);
+    println!(
+        "cost       : L = {} tuples, r = {} (hash join would pay L = {})",
+        run.report.max_load_tuples(),
+        run.report.num_rounds(),
+        2 * (n / 10)
+    );
+    println!(
+        "paper says : L = O(√(OUT/p) + IN/p) ≈ {:.0} (slide 30)",
+        ((n / 10) as f64 * (n / 10) as f64 / p as f64).sqrt()
+    );
+    assert_eq!(decision.strategy, Strategy::SkewJoin);
+}

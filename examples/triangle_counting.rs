@@ -1,0 +1,107 @@
+//! Triangle counting on a social-network-like graph — the motivating
+//! workload for the HyperCube algorithm (slides 34–36, 97).
+//!
+//! Compares four ways to compute `Δ(x,y,z) = E(x,y) ⋈ E(y,z) ⋈ E(z,x)`:
+//!
+//! 1. the iterative binary-join plan most systems run (2 rounds, big
+//!    intermediate);
+//! 2. the one-round HyperCube with LP-optimal shares;
+//! 3. SkewHC (one round, skew-proof, pays a `2^k` group constant);
+//! 4. Heavy-Light + Semijoins (slide 59: ≤ 2 rounds, skew-proof).
+//!
+//! Then an extreme-skew epilogue shows where the skew-resilient
+//! algorithms earn their keep.
+//!
+//! ```text
+//! cargo run --release --example triangle_counting
+//! ```
+
+use parqp::join::{hl, multiway, plans, skewhc};
+use parqp::model;
+use parqp::prelude::*;
+
+fn main() {
+    let p = 64;
+    let query = Query::triangle();
+
+    // A random sparse graph plus a few "celebrity" hubs with big degree.
+    let mut edges = parqp::data::generate::random_symmetric_graph(3000, 30_000, 7);
+    for hub in 0..3u64 {
+        for i in 0..800 {
+            let v = 3000 + hub * 1000 + i;
+            edges.push(&[hub, v]);
+            edges.push(&[v, hub]);
+        }
+    }
+    let rels = vec![edges.clone(), edges.clone(), edges.clone()];
+    let input = 3 * edges.len();
+    println!("graph: {} directed edges, IN = {input}", edges.len());
+
+    let tau = model::tau_star(&query);
+    let psi = model::psi_star_of(&query);
+    println!(
+        "paper: τ* = {tau}, ψ* = {psi}; skew-free L = IN/p^{{2/3}} = {:.0}, \
+         skewed L = IN/p^{{1/2}} = {:.0}\n",
+        model::one_round_load(input as f64, p as f64, tau),
+        model::one_round_load_skewed(input as f64, p as f64, psi),
+    );
+
+    let plan_run = plans::binary_join_plan(&query, &rels, p, 42, None);
+    let hc_run = multiway::hypercube(&query, &rels, p, 42);
+    let skew_run = skewhc::skewhc(&query, &rels, p, 42);
+    let hl_run = hl::hl_triangle(&edges, &edges, &edges, p, 42);
+
+    println!(
+        "{:<22} {:>10} {:>7} {:>12} {:>12}",
+        "algorithm", "L", "rounds", "C", "triangles"
+    );
+    for (name, run) in [
+        ("binary join plan", &plan_run),
+        ("HyperCube", &hc_run),
+        ("SkewHC", &skew_run),
+        ("HL + semijoins", &hl_run),
+    ] {
+        println!(
+            "{:<22} {:>10} {:>7} {:>12} {:>12}",
+            name,
+            run.report.max_load_tuples(),
+            run.report.num_rounds(),
+            run.report.total_tuples(),
+            run.output_size(),
+        );
+    }
+    assert_eq!(plan_run.output_size(), hc_run.output_size());
+    assert_eq!(
+        hc_run.gathered().canonical(),
+        skew_run.gathered().canonical()
+    );
+    assert_eq!(hc_run.gathered().canonical(), hl_run.gathered().canonical());
+    println!(
+        "\nMild hubs: hashing already spreads them — plain HyperCube is fine, \
+         and SkewHC pays its 2^k group-split constant for a guarantee it \
+         doesn't need here."
+    );
+
+    // Epilogue: extreme skew — every S-edge shares one z value. Plain
+    // HyperCube's z dimension collapses; the skew-resilient algorithms
+    // keep their bound.
+    let n = 4000;
+    let r = parqp::data::generate::uniform(2, n, 400, 9);
+    let s = parqp::data::generate::constant_key_pairs(n, 9, 1);
+    let mut t = parqp::data::generate::uniform(2, n, 400, 10);
+    for i in 0..n as u64 {
+        t.push(&[9, i % 400]);
+    }
+    let rels = vec![r.clone(), s.clone(), t.clone()];
+    let hc = multiway::hypercube(&query, &rels, p, 5);
+    let hl2 = hl::hl_triangle(&r, &s, &t, p, 5);
+    println!("\nextreme z-skew (|S| concentrated on one value):");
+    println!("  HyperCube        L = {:>6}", hc.report.max_load_tuples());
+    println!(
+        "  HL + semijoins   L = {:>6} (r = {})",
+        hl2.report.max_load_tuples(),
+        hl2.report.num_rounds()
+    );
+    assert_eq!(hc.gathered().canonical(), hl2.gathered().canonical());
+    assert!(hl2.report.max_load_tuples() < hc.report.max_load_tuples());
+}

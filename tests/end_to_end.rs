@@ -1,0 +1,191 @@
+//! End-to-end integration: every distributed algorithm against the
+//! serial oracle across query shapes, data classes and cluster sizes,
+//! plus global invariants of the cost ledger.
+
+use parqp::data::generate;
+use parqp::join::{gym, multiway, plans, skewhc, twoway};
+use parqp::prelude::*;
+use parqp::query::evaluate;
+use parqp_data::Relation;
+
+fn datasets(seed: u64) -> Vec<(&'static str, Relation)> {
+    vec![
+        ("uniform", generate::uniform(2, 600, 80, seed)),
+        (
+            "key-unique",
+            generate::key_unique_pairs(600, 1, 1 << 30, seed),
+        ),
+        ("zipf", generate::zipf_pairs(600, 200, 1.1, 1, seed)),
+        (
+            "planted-heavy",
+            generate::planted_heavy_pairs(600, &[1, 2], 150, 1, 500, seed),
+        ),
+    ]
+}
+
+#[test]
+fn two_way_algorithms_match_oracle_across_data_classes() {
+    for (name, r) in datasets(1) {
+        for (sname, s) in datasets(2) {
+            let expect = parqp::join::common::twoway_oracle(&r, 1, &s, 0).canonical();
+            for p in [1, 4, 16] {
+                let runs = [
+                    ("hash", twoway::hash_join(&r, 1, &s, 0, p, 9)),
+                    ("skew", twoway::skew_join(&r, 1, &s, 0, p, 9)),
+                    ("sort", twoway::sort_merge_join(&r, 1, &s, 0, p, 9)),
+                    ("broadcast", twoway::broadcast_join(&r, 1, &s, 0, p)),
+                ];
+                for (alg, run) in runs {
+                    assert_eq!(
+                        run.gathered().canonical(),
+                        expect,
+                        "{alg} wrong on {name} ⋈ {sname} at p={p}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multiway_algorithms_match_oracle_on_triangle() {
+    let mut g = generate::random_symmetric_graph(60, 500, 5);
+    for i in 0..80 {
+        g.push(&[0, 200 + i]);
+        g.push(&[200 + i, 0]);
+    }
+    let q = Query::triangle();
+    let rels = vec![g.clone(), g.clone(), g];
+    let expect = evaluate(&q, &rels).canonical();
+    for p in [4, 27, 64] {
+        let hc = multiway::hypercube(&q, &rels, p, 3);
+        let sk = skewhc::skewhc(&q, &rels, p, 3);
+        let bp = plans::binary_join_plan(&q, &rels, p, 3, None);
+        assert_eq!(hc.gathered().canonical(), expect, "hypercube p={p}");
+        assert_eq!(sk.gathered().canonical(), expect, "skewhc p={p}");
+        assert_eq!(bp.gathered().canonical(), expect, "binary plan p={p}");
+    }
+}
+
+#[test]
+fn acyclic_pipeline_gym_vs_oracle_vs_plan() {
+    for q in [Query::chain(4), Query::star(4), Query::slide64_tree()] {
+        let rels: Vec<Relation> = (0..q.num_atoms())
+            .map(|i| generate::uniform(2, 250, 50, 20 + i as u64))
+            .collect();
+        let expect = evaluate(&q, &rels).canonical();
+        let tree = Ghd::join_tree(&q).expect("acyclic");
+        for optimized in [false, true] {
+            let run = gym::gym(&q, &rels, &tree, 8, 7, optimized);
+            assert_eq!(
+                run.gathered().canonical(),
+                expect,
+                "{q} optimized={optimized}"
+            );
+        }
+        let plan = plans::binary_join_plan(&q, &rels, 8, 7, None);
+        assert_eq!(plan.gathered().canonical(), expect, "{q} binary plan");
+    }
+}
+
+#[test]
+fn load_ledger_conserves_messages() {
+    // Σ over servers of received tuples each round equals what was sent;
+    // gathering the per-round totals must equal report.total.
+    let q = Query::triangle();
+    let g = generate::uniform(2, 400, 1 << 20, 9);
+    let rels = vec![g.clone(), g.clone(), g];
+    let run = multiway::hypercube(&q, &rels, 27, 5);
+    let per_round: u64 = run.report.rounds.iter().map(|r| r.total_tuples()).sum();
+    assert_eq!(per_round, run.report.total_tuples());
+    // HyperCube on the triangle replicates each tuple exactly `share`
+    // times: total = Σ_j |S_j| · p^{1/3} for a 3×3×3 cube.
+    assert_eq!(run.report.total_tuples(), 3 * 400 * 3);
+}
+
+#[test]
+fn one_round_algorithms_use_one_round() {
+    let q = Query::triangle();
+    let g = generate::uniform(2, 200, 100, 11);
+    let rels = vec![g.clone(), g.clone(), g];
+    assert_eq!(multiway::hypercube(&q, &rels, 8, 1).report.num_rounds(), 1);
+    assert_eq!(skewhc::skewhc(&q, &rels, 8, 1).report.num_rounds(), 1);
+    let r = generate::uniform(2, 200, 50, 12);
+    let s = generate::uniform(2, 200, 50, 13);
+    assert_eq!(twoway::hash_join(&r, 1, &s, 0, 8, 1).report.num_rounds(), 1);
+    assert_eq!(
+        twoway::broadcast_join(&r, 1, &s, 0, 8).report.num_rounds(),
+        1
+    );
+}
+
+#[test]
+fn sort_crate_composes_with_join_outputs() {
+    // Sort the projection of a distributed join's output — exercises the
+    // public APIs of three crates together.
+    let r = generate::uniform(2, 500, 60, 14);
+    let s = generate::uniform(2, 500, 60, 15);
+    let run = twoway::hash_join(&r, 1, &s, 0, 8, 3);
+    let keys: Vec<u64> = run.gathered().project(&[2]).raw().to_vec();
+    let mut cluster = Cluster::new(8);
+    let local = cluster.scatter(keys.clone());
+    let parts = parqp::sort::psrs(&mut cluster, local);
+    let sorted: Vec<u64> = parts.concat();
+    let mut expect = keys;
+    expect.sort_unstable();
+    assert_eq!(sorted, expect);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    // Same seed ⇒ bit-identical outputs *and* identical cost ledgers;
+    // a different seed keeps the answer but may shuffle the loads.
+    let q = Query::triangle();
+    let g = generate::random_symmetric_graph(50, 400, 21);
+    let rels = vec![g.clone(), g.clone(), g];
+    let a = multiway::hypercube(&q, &rels, 27, 5);
+    let b = multiway::hypercube(&q, &rels, 27, 5);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.gathered(), b.gathered());
+    let c = multiway::hypercube(&q, &rels, 27, 6);
+    assert_eq!(a.gathered().canonical(), c.gathered().canonical());
+
+    let s1 = skewhc::skewhc(&q, &rels, 16, 9);
+    let s2 = skewhc::skewhc(&q, &rels, 16, 9);
+    assert_eq!(s1.report, s2.report);
+}
+
+#[test]
+fn load_bounds_hold_across_seeds() {
+    // Statistical robustness: the HyperCube triangle load stays within
+    // 2× of 3N/p^{2/3} for every hash seed we try — no adversarial-seed
+    // blowups.
+    let q = Query::triangle();
+    let n = 4000;
+    let g = generate::uniform(2, n, 1 << 40, 33);
+    let rels = vec![g.clone(), g.clone(), g];
+    let p = 64;
+    let bound = 3.0 * n as f64 / (p as f64).powf(2.0 / 3.0);
+    for seed in 0..12 {
+        let run = multiway::hypercube(&q, &rels, p, seed);
+        let l = run.report.max_load_tuples() as f64;
+        assert!(l < 2.0 * bound, "seed {seed}: L = {l} vs bound {bound}");
+    }
+}
+
+#[test]
+fn empty_inputs_everywhere() {
+    let q = Query::two_way();
+    let e = Relation::new(2);
+    let r = generate::uniform(2, 50, 10, 16);
+    for run in [
+        twoway::hash_join(&e, 1, &r, 0, 4, 1),
+        twoway::skew_join(&e, 1, &r, 0, 4, 1),
+        twoway::sort_merge_join(&e, 1, &r, 0, 4, 1),
+    ] {
+        assert_eq!(run.output_size(), 0);
+    }
+    let tree = Ghd::join_tree(&q).expect("acyclic");
+    let run = gym::gym(&q, &[e.clone(), r.clone()], &tree, 4, 1, true);
+    assert_eq!(run.output_size(), 0);
+}
