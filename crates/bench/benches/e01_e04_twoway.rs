@@ -1,11 +1,12 @@
-//! Criterion wall-clock benches for the two-way join experiments
+//! Wall-clock benches (parqp-testkit harness) for the two-way join experiments
 //! (E01–E04). The paper's quantities (L, r, C) come from the `tables`
 //! binary; these measure the simulator's throughput on the same
 //! workloads so regressions in the implementations show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parqp::data::generate;
 use parqp::join::{baselines, twoway};
+use parqp_testkit::bench::{BenchmarkId, Criterion};
+use parqp_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_e01_regimes(c: &mut Criterion) {

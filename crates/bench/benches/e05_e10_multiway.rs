@@ -1,10 +1,11 @@
-//! Criterion benches for the multiway one-round experiments (E05–E10):
+//! Wall-clock benches (parqp-testkit harness) for the multiway one-round experiments (E05–E10):
 //! HyperCube, share planning, and SkewHC.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parqp::data::generate;
 use parqp::join::{multiway, skewhc};
 use parqp::prelude::*;
+use parqp_testkit::bench::{BenchmarkId, Criterion};
+use parqp_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_e05_triangle(c: &mut Criterion) {

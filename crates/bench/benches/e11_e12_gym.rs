@@ -1,11 +1,12 @@
-//! Criterion benches for the multi-round experiments (E11–E12): GYM in
+//! Wall-clock benches (parqp-testkit harness) for the multi-round experiments (E11–E12): GYM in
 //! both modes, generalized GHD execution, and the binary-join baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parqp::data::generate;
 use parqp::join::{gym, plans};
 use parqp::prelude::*;
 use parqp_data::Relation;
+use parqp_testkit::bench::{BenchmarkId, Criterion};
+use parqp_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn chain_data(n: usize, tuples: usize) -> Vec<Relation> {

@@ -1,16 +1,16 @@
-//! Criterion benches for the sorting experiments (E13): PSRS and the
+//! Wall-clock benches (parqp-testkit harness) for the sorting experiments (E13): PSRS and the
 //! multi-round splitter-tree sort.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parqp::prelude::*;
 use parqp::sort::{multiround_sort, psrs};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::bench::{BenchmarkId, Criterion};
+use parqp_testkit::Rng;
+use parqp_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn items(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
 }
 
 fn bench_psrs(c: &mut Criterion) {

@@ -1,7 +1,8 @@
-//! Criterion benches for the matrix-multiplication experiments (E14).
+//! Wall-clock benches (parqp-testkit harness) for the matrix-multiplication experiments (E14).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parqp::matmul::{rect_block, sql_matmul, square_block, Matrix};
+use parqp_testkit::bench::{BenchmarkId, Criterion};
+use parqp_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {

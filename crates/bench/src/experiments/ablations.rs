@@ -108,12 +108,11 @@ pub fn run() -> Vec<Table> {
         &["oversample", "max final partition", "ideal N/p", "sort L"],
     );
     {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use parqp_testkit::Rng;
         let n = 64_000usize;
         let ps = 64usize;
-        let mut rng = StdRng::seed_from_u64(11);
-        let items: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut rng = Rng::seed_from_u64(11);
+        let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         for oversample in [1usize, 2, 8, 32] {
             let mut cluster = parqp::mpc::Cluster::new(ps);
             let local = cluster.scatter(items.clone());

@@ -15,12 +15,11 @@ use crate::Table;
 use parqp::model;
 use parqp::prelude::*;
 use parqp::sort::{multiround_sort, psrs};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::Rng;
 
 fn random_items(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
 }
 
 /// Run E13.

@@ -8,14 +8,13 @@
 
 use crate::relation::{Relation, Value};
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::Rng;
 
 /// `n` tuples of the given arity with attributes drawn uniformly from
 /// `0..domain`.
 pub fn uniform(arity: usize, n: usize, domain: u64, seed: u64) -> Relation {
     assert!(domain > 0, "empty domain");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(arity, n);
     let mut row = vec![0; arity];
     for _ in 0..n {
@@ -32,7 +31,7 @@ pub fn uniform(arity: usize, n: usize, domain: u64, seed: u64) -> Relation {
 /// other column is uniform in `0..domain`.
 pub fn key_unique_pairs(n: usize, key_col: usize, domain: u64, seed: u64) -> Relation {
     assert!(key_col < 2, "key column of a binary relation is 0 or 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(2, n);
     for k in 0..n as u64 {
         let other = rng.gen_range(0..domain);
@@ -56,7 +55,7 @@ pub fn uniform_degree_pairs(
     assert!(d > 0, "degree must be positive");
     assert!(key_col < 2, "key column of a binary relation is 0 or 1");
     let keys = n / d;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(2, keys * d);
     for k in 0..keys as u64 {
         for _ in 0..d {
@@ -73,7 +72,7 @@ pub fn uniform_degree_pairs(
 pub fn zipf_pairs(n: usize, domain: usize, alpha: f64, key_col: usize, seed: u64) -> Relation {
     assert!(key_col < 2, "key column of a binary relation is 0 or 1");
     let z = Zipf::new(domain, alpha);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(2, n);
     for _ in 0..n {
         let key = z.sample(&mut rng);
@@ -110,7 +109,7 @@ pub fn planted_heavy_pairs(
         heavy_total <= n,
         "heavy tuples ({heavy_total}) exceed n ({n})"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(2, n);
     for &h in heavy {
         for _ in 0..heavy_degree {
@@ -164,7 +163,7 @@ pub fn random_graph(nodes: u64, m: usize, seed: u64) -> Relation {
     assert!(nodes >= 2, "need at least two nodes");
     let max_edges = (nodes as u128) * (nodes as u128 - 1);
     assert!((m as u128) <= max_edges, "too many edges requested");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut seen = crate::fasthash::FastSet::default();
     let mut rel = Relation::with_capacity(2, m);
     while seen.len() < m {
@@ -195,7 +194,7 @@ pub fn warehouse(
         "dimensions must be non-empty"
     );
     let zc = Zipf::new(n_customers, alpha);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut orders = Relation::with_capacity(2, n_orders);
     for _ in 0..n_orders {
         let c = zc.sample(&mut rng);
@@ -204,11 +203,11 @@ pub fn warehouse(
     }
     let mut customers = Relation::with_capacity(2, n_customers);
     for c in 1..=n_customers as u64 {
-        customers.push(&[c, rng.gen_range(0..16)]);
+        customers.push(&[c, rng.gen_range(0..16u64)]);
     }
     let mut products = Relation::with_capacity(2, n_products);
     for p in 0..n_products as u64 {
-        products.push(&[p, rng.gen_range(0..16)]);
+        products.push(&[p, rng.gen_range(0..16u64)]);
     }
     (orders, customers, products)
 }

@@ -12,8 +12,7 @@
 
 use crate::fasthash::FastMap;
 use crate::relation::{Relation, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::Rng;
 
 /// Degree estimates from a Bernoulli sample of `rel`'s column `col`.
 #[derive(Debug, Clone)]
@@ -51,11 +50,11 @@ impl SampledDegrees {
 pub fn sample_degrees(rel: &Relation, col: usize, rate: f64, seed: u64) -> SampledDegrees {
     assert!(rate > 0.0 && rate <= 1.0, "sample rate must be in (0, 1]");
     assert!(col < rel.arity(), "column out of range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut counts: FastMap<Value, u64> = FastMap::default();
     let mut sample_size = 0;
     for row in rel.iter() {
-        if rng.gen::<f64>() < rate {
+        if rng.gen_f64() < rate {
             *counts.entry(row[col]).or_insert(0) += 1;
             sample_size += 1;
         }

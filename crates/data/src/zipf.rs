@@ -6,7 +6,7 @@
 //! precomputes the CDF once and draws by binary search, so sampling is
 //! `O(log n)` and fully deterministic given the RNG.
 
-use rand::Rng;
+use parqp_testkit::Rng;
 
 /// Zipf(α) distribution over the integers `1..=n`.
 #[derive(Debug, Clone)]
@@ -48,8 +48,8 @@ impl Zipf {
     }
 
     /// Draw one sample in `1..=n`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.gen_f64();
         // partition_point returns the first index whose cdf >= u.
         let idx = self.cdf.partition_point(|&c| c < u);
         (idx.min(self.cdf.len() - 1) + 1) as u64
@@ -70,8 +70,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_alpha_zero() {
@@ -99,7 +97,7 @@ mod tests {
     #[test]
     fn samples_in_support_and_skewed() {
         let z = Zipf::new(50, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = vec![0u64; 51];
         for _ in 0..20_000 {
             let s = z.sample(&mut rng);
@@ -114,7 +112,7 @@ mod tests {
     fn deterministic_given_seed() {
         let z = Zipf::new(10, 1.0);
         let draw = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(draw(3), draw(3));

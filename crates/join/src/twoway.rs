@@ -222,9 +222,7 @@ pub fn skew_join(
         let dr = degree_counts(r, r_col);
         let ds = degree_counts(s, s_col);
         heavy.sort_by_key(|b| {
-            std::cmp::Reverse(
-                dr.get(b).copied().unwrap_or(0) + ds.get(b).copied().unwrap_or(0),
-            )
+            std::cmp::Reverse(dr.get(b).copied().unwrap_or(0) + ds.get(b).copied().unwrap_or(0))
         });
         heavy.truncate(p.saturating_sub(1).max(1));
         heavy.sort_unstable();
@@ -638,7 +636,11 @@ mod tests {
             }
         }
         let run = skew_join(&r, 1, &s, 0, 4, 9);
-        assert!(run.report.servers <= 4, "used {} servers", run.report.servers);
+        assert!(
+            run.report.servers <= 4,
+            "used {} servers",
+            run.report.servers
+        );
         check_against_oracle(&run, &r, 1, &s, 0);
         // p = 1 degenerates to the single-server hash join.
         let run1 = skew_join(&r, 1, &s, 0, 1, 9);

@@ -4,13 +4,13 @@
 use parqp_data::Relation;
 use parqp_join::{gym, multiway, plans, skewhc, twoway};
 use parqp_query::{evaluate, Ghd, Query};
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 /// A random binary relation with a controllable duplicate rate: small
 /// domains produce heavy values, exercising the skew paths.
 fn arb_pairs(max_rows: usize) -> impl Strategy<Value = Relation> {
     (1usize..=max_rows, 1u64..40).prop_flat_map(|(rows, domain)| {
-        proptest::collection::vec((0..domain, 0..domain), rows)
+        collection::vec((0..domain, 0..domain), rows)
             .prop_map(|pairs| Relation::from_rows(2, pairs.iter().map(|&(a, b)| [a, b])))
     })
 }

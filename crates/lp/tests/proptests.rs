@@ -5,23 +5,21 @@ use parqp_lp::{
     fractional_edge_cover, fractional_edge_packing, fractional_vertex_cover, plan_shares,
     predicted_load, solve, Constraint, ConstraintOp, Hypergraph, LinearProgram, LpOutcome,
 };
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 /// A random connected-ish hypergraph: `v` vertices, each of `e` edges a
 /// random non-empty subset. We then make sure every vertex is covered by
 /// appending singleton edges for missed vertices.
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2usize..6, 1usize..6).prop_flat_map(|(v, e)| {
-        proptest::collection::vec(proptest::collection::vec(0..v, 1..=v.min(3)), e).prop_map(
-            move |mut edges| {
-                let covered: std::collections::HashSet<usize> =
-                    edges.iter().flatten().copied().collect();
-                for missing in (0..v).filter(|x| !covered.contains(x)) {
-                    edges.push(vec![missing]);
-                }
-                Hypergraph::new(v, edges)
-            },
-        )
+        collection::vec(collection::vec(0..v, 1..=v.min(3)), e).prop_map(move |mut edges| {
+            let covered: std::collections::HashSet<usize> =
+                edges.iter().flatten().copied().collect();
+            for missing in (0..v).filter(|x| !covered.contains(x)) {
+                edges.push(vec![missing]);
+            }
+            Hypergraph::new(v, edges)
+        })
     })
 }
 
@@ -80,7 +78,7 @@ proptest! {
     #[test]
     fn packing_matches_half_integral_brute_force(
         v in 2usize..6,
-        edges in proptest::collection::vec((0usize..6, 0usize..6), 1..6),
+        edges in collection::vec((0usize..6, 0usize..6), 1..6),
     ) {
         // For ordinary graphs (arity-2 edges) the fractional matching LP
         // has a half-integral optimum, so brute force over u ∈ {0, ½, 1}^m
@@ -127,9 +125,9 @@ proptest! {
     fn lp_optimal_solutions_are_feasible(
         n in 1usize..4,
         m in 1usize..4,
-        coeffs in proptest::collection::vec(-5.0f64..5.0, 16),
-        rhs in proptest::collection::vec(-5.0f64..5.0, 4),
-        obj in proptest::collection::vec(-3.0f64..3.0, 4),
+        coeffs in collection::vec(-5.0f64..5.0, 16),
+        rhs in collection::vec(-5.0f64..5.0, 4),
+        obj in collection::vec(-3.0f64..3.0, 4),
     ) {
         let constraints: Vec<Constraint> = (0..m).map(|i| Constraint::new(
             (0..n).map(|j| coeffs[i * 4 + j]).collect(),

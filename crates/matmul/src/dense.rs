@@ -1,7 +1,6 @@
 //! Dense square matrices and the serial oracle.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::Rng;
 
 /// A dense `n × n` matrix of `f64`, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,17 +30,17 @@ impl Matrix {
 
     /// A random matrix with entries uniform in `[0, 1)`.
     pub fn random(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Self {
             n,
-            data: (0..n * n).map(|_| rng.gen::<f64>()).collect(),
+            data: (0..n * n).map(|_| rng.gen_f64()).collect(),
         }
     }
 
     /// A random matrix with small *integer* entries (exact arithmetic,
     /// used by the SQL cross-check).
     pub fn random_int(n: usize, max: u32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Self {
             n,
             data: (0..n * n)

@@ -13,8 +13,7 @@
 
 use parqp_data::FastMap;
 use parqp_mpc::{Cluster, Grid, HashFamily, LoadReport, Weight};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parqp_testkit::Rng;
 
 /// A dense rectangular matrix, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +52,10 @@ impl RectMatrix {
     /// `1 − density` (sparse generation).
     pub fn random_int(rows: usize, cols: usize, max: u32, density: f64, seed: u64) -> Self {
         assert!(density > 0.0 && density <= 1.0, "density in (0, 1]");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let data = (0..rows * cols)
             .map(|_| {
-                if rng.gen::<f64>() < density {
+                if rng.gen_f64() < density {
                     f64::from(rng.gen_range(1..=max))
                 } else {
                     0.0

@@ -5,7 +5,7 @@
 use parqp_matmul::{
     rect_block, rect_block_nonsquare, sql_matmul, sql_matmul_rect, square_block, Matrix, RectMatrix,
 };
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -2,10 +2,10 @@
 //! conservation, and report composition.
 
 use parqp_mpc::{Cluster, Grid, HashFamily, LoadReport};
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..5, 1..4)
+    collection::vec(1usize..5, 1..4)
 }
 
 proptest! {
@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn exchange_conserves_messages(
         p in 1usize..10,
-        msgs in proptest::collection::vec((0usize..10, 0u64..100), 0..200),
+        msgs in collection::vec((0usize..10, 0u64..100), 0..200),
     ) {
         let mut c = Cluster::new(p);
         let mut ex = c.exchange::<u64>();
@@ -69,8 +69,8 @@ proptest! {
 
     #[test]
     fn parallel_composition_preserves_totals(
-        a_rounds in proptest::collection::vec(proptest::collection::vec(0u64..50, 2), 0..4),
-        b_rounds in proptest::collection::vec(proptest::collection::vec(0u64..50, 3), 0..4),
+        a_rounds in collection::vec(collection::vec(0u64..50, 2), 0..4),
+        b_rounds in collection::vec(collection::vec(0u64..50, 3), 0..4),
     ) {
         let mk = |rounds: &[Vec<u64>], servers: usize| LoadReport {
             servers,

@@ -7,11 +7,11 @@ use parqp_data::Relation;
 use parqp_query::{
     all_residuals, evaluate, generic_join, parse_query, psi_star, yannakakis_serial, Ghd, Query,
 };
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 fn arb_rel(arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
     (1usize..=max_rows, 1u64..20).prop_flat_map(move |(rows, domain)| {
-        proptest::collection::vec(proptest::collection::vec(0..domain, arity), rows)
+        collection::vec(collection::vec(0..domain, arity), rows)
             .prop_map(move |data| Relation::from_rows(arity, data))
     })
 }

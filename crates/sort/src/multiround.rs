@@ -175,8 +175,7 @@ fn sample_keys(items: &[u64], count: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use parqp_testkit::Rng;
 
     fn run(p: usize, fanout: usize, items: Vec<u64>) -> (Vec<Vec<u64>>, parqp_mpc::LoadReport) {
         let mut cluster = Cluster::new(p);
@@ -194,8 +193,8 @@ mod tests {
 
     #[test]
     fn sorts_random_input() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let items: Vec<u64> = (0..8000).map(|_| rng.gen_range(0..100_000)).collect();
+        let mut rng = Rng::seed_from_u64(5);
+        let items: Vec<u64> = (0..8000).map(|_| rng.gen_range(0..100_000u64)).collect();
         let (parts, _) = run(16, 2, items.clone());
         assert_sorted_permutation(&items, &parts);
     }
@@ -221,8 +220,8 @@ mod tests {
 
     #[test]
     fn non_power_of_two_servers() {
-        let mut rng = StdRng::seed_from_u64(6);
-        let items: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..10_000)).collect();
+        let mut rng = Rng::seed_from_u64(6);
+        let items: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..10_000u64)).collect();
         for p in [3, 5, 7, 13] {
             let (parts, _) = run(p, 3, items.clone());
             assert_sorted_permutation(&items, &parts);

@@ -125,8 +125,7 @@ fn choose_splitters<K: Copy>(sorted_samples: &[K], p: usize) -> Vec<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use parqp_testkit::Rng;
 
     fn run_psrs(p: usize, items: Vec<u64>) -> (Vec<Vec<u64>>, parqp_mpc::LoadReport) {
         let mut cluster = Cluster::new(p);
@@ -137,8 +136,10 @@ mod tests {
 
     #[test]
     fn globally_sorted_and_permutation() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let items: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        let items: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(0..1_000_000u64))
+            .collect();
         let (parts, report) = run_psrs(8, items.clone());
         let flat: Vec<u64> = parts.concat();
         let mut expect = items;
@@ -163,8 +164,8 @@ mod tests {
         // Slide 102: L = Θ(N/p) for p ≪ N^{1/3}.
         let n = 64_000u64;
         let p = 16;
-        let mut rng = StdRng::seed_from_u64(3);
-        let items: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut rng = Rng::seed_from_u64(3);
+        let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let (_, report) = run_psrs(p, items);
         let load = report.max_load_tuples() as f64;
         let ideal = n as f64 / p as f64;

@@ -4,7 +4,7 @@
 
 use parqp_mpc::Cluster;
 use parqp_sort::{multiround_sort, psrs, psrs_by};
-use proptest::prelude::*;
+use parqp_testkit::prelude::*;
 
 fn assert_sorted_partitions(items: &[u64], parts: &[Vec<u64>]) {
     let flat: Vec<u64> = parts.concat();
@@ -23,7 +23,7 @@ proptest! {
 
     #[test]
     fn psrs_sorts_anything(
-        items in proptest::collection::vec(any::<u64>(), 0..800),
+        items in collection::vec(any::<u64>(), 0..800),
         p in 1usize..20,
     ) {
         let mut cluster = Cluster::new(p);
@@ -48,7 +48,7 @@ proptest! {
 
     #[test]
     fn multiround_sorts_anything(
-        items in proptest::collection::vec(any::<u64>(), 0..800),
+        items in collection::vec(any::<u64>(), 0..800),
         p in 1usize..20,
         fanout in 2usize..8,
     ) {
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn psrs_by_keeps_payloads(
-        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..500),
+        pairs in collection::vec((any::<u32>(), any::<u32>()), 0..500),
         p in 1usize..10,
     ) {
         let items: Vec<(u64, u64)> =

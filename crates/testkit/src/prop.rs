@@ -1,0 +1,959 @@
+//! A minimal seeded property-testing runner.
+//!
+//! This replaces the `proptest` crate for this workspace: the subset we
+//! need is (a) seeded case generation from composable strategies, (b) a
+//! `proptest!`-style macro so tests read the same as before, and (c)
+//! failure shrinking to a small counterexample. Everything is
+//! deterministic: each test derives a stable base seed from its fully
+//! qualified name, and every failure report prints the case seed plus
+//! the environment variable that replays exactly that case:
+//!
+//! ```text
+//! PARQP_PROPTEST_SEED=<seed> cargo test <test_name>
+//! ```
+//!
+//! Other knobs: `PARQP_PROPTEST_CASES` overrides the number of cases
+//! globally (handy for a quick smoke run or an overnight soak).
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Outcomes
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The case violated a `prop_assume!` precondition; it is discarded
+    /// and does not count toward the case budget.
+    Reject(String),
+    /// The property failed; triggers shrinking.
+    Fail(String),
+}
+
+impl CaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+
+    /// A discarded case (unmet precondition).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        CaseError::Reject(msg.into())
+    }
+}
+
+/// What a property body returns (the `proptest!` macro appends `Ok(())`).
+pub type CaseResult = Result<(), CaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+
+/// A composable generator of test values with optional shrinking.
+///
+/// `generate` must be a pure function of the RNG stream so that a case
+/// seed reproduces the case. `shrink` proposes *strictly simpler*
+/// candidates for a failing value; the runner keeps any candidate that
+/// still fails and iterates to a local minimum. Strategies that cannot
+/// shrink (e.g. mapped ones, where the pre-image is lost) just return
+/// no candidates.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value from the strategy.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose simpler variants of a failing value.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform generated values with `f`. The mapped strategy does not
+    /// shrink (the pre-image of a failing value is not recoverable).
+    fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        W: Clone + Debug,
+        F: Fn(Self::Value) -> W,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a second strategy from each generated value and draw from
+    /// it — the monadic bind. Does not shrink.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, W, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    W: Clone + Debug,
+    F: Fn(S::Value) -> W,
+{
+    type Value = W;
+
+    fn generate(&self, rng: &mut Rng) -> W {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut Rng) -> S2::Value {
+        let seed_value = self.inner.generate(rng);
+        (self.f)(seed_value).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value; never shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice among boxed strategies — the engine of `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let i = rng.gen_below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // We do not track which branch produced the value; pool every
+        // branch's proposals (wrong-branch proposals are harmless — they
+        // only survive if they still fail the property).
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer / float ranges, any::<T>()
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Candidates between `lo` and a failing `value`: the floor itself, the
+/// midpoint, and one step down. Works for signed types because `value`
+/// is always ≥ `lo` for in-range values.
+fn shrink_toward<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + From<bool>, // T::from(true) is a typed `1`
+    T: std::ops::Sub<Output = T> + std::ops::Add<Output = T> + std::ops::Div<Output = T>,
+{
+    let mut out = Vec::new();
+    if value > lo {
+        let one = T::from(true);
+        out.push(lo);
+        let mid = lo + (value - lo) / (one + one);
+        if mid > lo && mid < value {
+            out.push(mid);
+        }
+        let down = value - one;
+        if down > lo {
+            out.push(down);
+        }
+    }
+    out
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let lo = self.start;
+        let mut out = Vec::new();
+        if *value > lo {
+            out.push(lo);
+            let mid = lo + (*value - lo) / 2.0;
+            if mid > lo && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Full-range values of `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-range generator and 0-directed shrinker.
+pub trait Arbitrary: Clone + Debug {
+    /// Draw a full-range value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+    /// Propose values closer to the type's simplest element.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v > 0 {
+                    out.push(0);
+                    if v / 2 > 0 { out.push(v / 2); }
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    out.push(v / 2);
+                    if v < 0 { out.push(-v); }
+                }
+                out.retain(|&c| c != v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng) -> f64 {
+        // Full-range finite doubles are rarely what a property wants;
+        // match proptest's practical default of "reasonable" magnitudes.
+        let mantissa = rng.gen_f64() * 2.0 - 1.0;
+        let exp = rng.gen_range(-64i32..64) as f64;
+        mantissa * exp.exp2()
+    }
+
+    fn shrink_value(&self) -> Vec<f64> {
+        let v = *self;
+        if v == 0.0 {
+            return Vec::new();
+        }
+        vec![0.0, v / 2.0]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+
+macro_rules! tuple_strategy {
+    ($($S:ident => $i:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+
+// ---------------------------------------------------------------------------
+// Collections
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Number of elements a [`vec`] strategy may produce (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let min = self.size.min;
+            if len > min {
+                // Structural shrinks first: halve, then drop single
+                // elements (every position for short vectors, the ends
+                // for long ones — dropping interior elements of a long
+                // vector rarely beats halving).
+                let half = (len / 2).max(min);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len <= 8 {
+                    for i in 0..len {
+                        let mut w = value.clone();
+                        w.remove(i);
+                        out.push(w);
+                    }
+                } else {
+                    out.push(value[..len - 1].to_vec());
+                    out.push(value[1..].to_vec());
+                }
+            }
+            // Then element-wise shrinks (bounded so huge vectors do not
+            // explode the candidate list).
+            for i in 0..len.min(32) {
+                for candidate in self.elem.shrink(&value[i]) {
+                    let mut w = value.clone();
+                    w[i] = candidate;
+                    out.push(w);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + runner
+
+/// Runner configuration; `ProptestConfig` is an alias so migrated tests
+/// read identically to their `proptest` originals.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Cap on shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+}
+
+/// Alias matching the `proptest` name used inside `proptest!` blocks.
+pub type ProptestConfig = Config;
+
+impl Config {
+    /// The default budget (overridable via `PARQP_PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::with_cases(256)
+    }
+}
+
+/// Stable 64-bit hash of a test's fully qualified name: the per-test
+/// base seed, so adding or reordering tests never reshuffles another
+/// test's cases.
+fn name_seed(name: &str) -> u64 {
+    let mut state = 0x706a_7270_7170_6b74; // "parqp tk"-flavored constant
+    for &b in name.as_bytes() {
+        state ^= u64::from(b);
+        splitmix64(&mut state);
+    }
+    state
+}
+
+fn case_seed(base: u64, index: u64) -> u64 {
+    let mut s = base.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    splitmix64(&mut s)
+}
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test body panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run `test` against `cfg.cases` generated values, shrinking the first
+/// failure to a local minimum and panicking with a replayable report.
+///
+/// This is what the `proptest!` macro expands to; call it directly for
+/// strategies or bodies too awkward for the macro form.
+pub fn check<S, F>(name: &str, cfg: &Config, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let run_one = |value: S::Value| -> Outcome {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => Outcome::Pass,
+            Ok(Err(CaseError::Reject(_))) => Outcome::Reject,
+            Ok(Err(CaseError::Fail(m))) => Outcome::Fail(m),
+            Err(p) => Outcome::Fail(panic_message(p)),
+        }
+    };
+
+    let env_seed = std::env::var("PARQP_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+    let cases = match std::env::var("PARQP_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        _ if env_seed.is_some() => 1,
+        Some(n) => n.max(1),
+        None => cfg.cases,
+    };
+    let base = name_seed(name);
+    let max_rejects = (cases as u64) * 16;
+
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut index: u64 = 0;
+    while accepted < cases {
+        let seed = env_seed.unwrap_or_else(|| case_seed(base, index));
+        index += 1;
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        match run_one(value.clone()) {
+            Outcome::Pass => accepted += 1,
+            Outcome::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many rejected cases \
+                     ({rejected} rejects for {accepted} accepts) — \
+                     loosen the prop_assume! or narrow the strategy"
+                );
+            }
+            Outcome::Fail(first_msg) => {
+                let (minimal, msg, steps) =
+                    shrink_failure(&strategy, value, first_msg, cfg.max_shrink_iters, &run_one);
+                let short = name.rsplit("::").next().unwrap_or(name);
+                panic!(
+                    "proptest '{name}' failed after {accepted} passing case(s)\n\
+                     minimal failing input ({steps} shrink steps): {minimal:?}\n\
+                     error: {msg}\n\
+                     replay exactly this case with:\n\
+                     \tPARQP_PROPTEST_SEED={seed} cargo test {short}"
+                );
+            }
+        }
+    }
+}
+
+fn shrink_failure<S, R>(
+    strategy: &S,
+    mut best: S::Value,
+    mut best_msg: String,
+    budget: u32,
+    run_one: &R,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    R: Fn(S::Value) -> Outcome,
+{
+    let mut iters = 0u32;
+    let mut steps = 0u32;
+    'outer: loop {
+        for candidate in strategy.shrink(&best) {
+            if iters >= budget {
+                break 'outer;
+            }
+            iters += 1;
+            if let Outcome::Fail(m) = run_one(candidate.clone()) {
+                best = candidate;
+                best_msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_msg, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+
+/// Declare property tests. Mirrors `proptest::proptest!`: in a test
+/// module, put `#[test]` on each property so cargo's harness runs it.
+///
+/// ```
+/// use parqp_testkit::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::prop::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prop::Config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::prop::check(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    strategy,
+                    |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: fails the case (and shrinks) instead
+/// of unwinding with a bare panic message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::prop::CaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::prop::CaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::prop::CaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), left, right,
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::prop::CaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Discard cases that violate a precondition; does not count against
+/// the case budget (but too many discards fail the test loudly).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::prop::CaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![
+            $($crate::prop::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = collection::vec(0u64..1000, 0..50);
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_floor() {
+        let strat = 10u64..100;
+        let candidates = strat.shrink(&50);
+        assert!(candidates.contains(&10));
+        assert!(candidates.iter().all(|&c| (10..50).contains(&c)));
+        assert!(strat.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let strat = collection::vec(0u64..10, 2..6);
+        let v = vec![5, 5, 5];
+        for cand in strat.shrink(&v) {
+            assert!(cand.len() >= 2, "shrunk below min length: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        // Property "all values < 70" fails; the minimum over 0..100
+        // reachable by our shrinker from any failing start is 70.
+        let strat = 0u64..100;
+        let run = |v: u64| {
+            if v < 70 {
+                Outcome::Pass
+            } else {
+                Outcome::Fail("too big".into())
+            }
+        };
+        let (minimal, _, _) = shrink_failure(&strat, 93, "too big".into(), 1024, &run);
+        assert_eq!(minimal, 70);
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_singleton() {
+        let strat = collection::vec(0u64..1000, 0..20);
+        // Fails whenever the vec contains an element >= 500.
+        let run = |v: Vec<u64>| {
+            if v.iter().any(|&x| x >= 500) {
+                Outcome::Fail("has big".into())
+            } else {
+                Outcome::Pass
+            }
+        };
+        let start = vec![3, 717, 12, 900, 4, 4, 630];
+        let (minimal, _, _) = shrink_failure(&strat, start, "has big".into(), 4096, &run);
+        assert_eq!(minimal, vec![500]);
+    }
+
+    #[test]
+    fn runner_passes_valid_property() {
+        check(
+            "prop::tests::runner_passes_valid_property",
+            &Config::with_cases(64),
+            (0u64..1000, 0u64..1000),
+            |(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn runner_reports_failure_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "prop::tests::runner_reports_failure_with_seed",
+                &Config::with_cases(256),
+                0u64..1000,
+                |v| {
+                    prop_assert!(v < 900, "saw {v}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains("PARQP_PROPTEST_SEED="),
+            "no replay hint: {msg}"
+        );
+        assert!(
+            msg.contains("minimal failing input"),
+            "no shrink report: {msg}"
+        );
+        // The shrinker must reach the boundary counterexample.
+        assert!(msg.contains(": 900"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn assume_rejections_do_not_consume_budget() {
+        let accepted = std::cell::Cell::new(0u32);
+        check(
+            "prop::tests::assume_rejections_do_not_consume_budget",
+            &Config::with_cases(32),
+            0u64..100,
+            |v| {
+                prop_assume!(v % 2 == 0);
+                accepted.set(accepted.get() + 1);
+                prop_assert!(v % 2 == 0);
+                Ok(())
+            },
+        );
+        assert_eq!(accepted.get(), 32);
+    }
+
+    #[test]
+    fn oneof_and_flat_map_compose() {
+        let strat = prop_oneof![Just(2usize), Just(4), Just(8)]
+            .prop_flat_map(|n| collection::vec(0u64..10, n))
+            .prop_map(|v| v.len());
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..200 {
+            let len = strat.generate(&mut rng);
+            assert!(len == 2 || len == 4 || len == 8);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's headline guarantee, checked end to end: on skew-free
+//! input, one round of HyperCube/Shares keeps every server's load
+//! within a constant factor of `IN / p^{1/τ*}`, where `τ*` is the
+//! fractional edge packing value of the query (Beame–Koutris–Suciu).
+//! For the triangle query `τ* = 3/2`, so the bound is `IN / p^{2/3}`.
+//!
+//! We run the triangle on seeded uniform inputs for the three perfect
+//! cubes `p ∈ {8, 27, 64}` (where the share vector is exactly
+//! `(p^{1/3}, p^{1/3}, p^{1/3})` and the theory constant is smallest)
+//! and also assert the whole run is deterministic: same seed, same
+//! bytes, same `(L, r, C)` report.
+
+use parqp::data::generate;
+use parqp::join::multiway;
+use parqp::lp::fractional_edge_packing;
+use parqp::query::Query;
+
+/// Allowed constant over the `IN / p^{1/τ*}` expectation. The analytic
+/// load for the triangle is `3·IN/3 / p^{2/3}` = `IN / p^{2/3}` in
+/// expectation; hashing variance on finite inputs adds a little, so we
+/// accept 2x before declaring the algorithm out of spec.
+const SLACK: f64 = 2.0;
+
+fn triangle_input(n_per_rel: usize, seed: u64) -> Vec<parqp::data::Relation> {
+    // Domain ≫ n keeps degrees near 1 — the skew-free regime the
+    // one-round bound is stated for.
+    let domain = 1 << 30;
+    (0..3)
+        .map(|i| generate::uniform(2, n_per_rel, domain, seed + i))
+        .collect()
+}
+
+#[test]
+fn hypercube_triangle_load_within_constant_of_paper_bound() {
+    let q = Query::triangle();
+    let tau_star = fractional_edge_packing(&q.hypergraph()).value;
+    assert!(
+        (tau_star - 1.5).abs() < 1e-9,
+        "triangle τ* must be 3/2, LP said {tau_star}"
+    );
+
+    let n_per_rel = 30_000;
+    let rels = triangle_input(n_per_rel, 0xC0FFEE);
+    let input_size: usize = rels.iter().map(parqp::data::Relation::len).sum();
+
+    for p in [8usize, 27, 64] {
+        let run = multiway::hypercube(&q, &rels, p, 42);
+        let bound = input_size as f64 / (p as f64).powf(1.0 / tau_star);
+        let max_load = run.report.max_load_tuples() as f64;
+        assert!(
+            max_load <= SLACK * bound,
+            "p = {p}: max load {max_load} exceeds {SLACK}× the paper bound {bound:.0} \
+             (IN = {input_size}, τ* = {tau_star})"
+        );
+        // One communication round — the other half of the guarantee.
+        assert_eq!(run.report.num_rounds(), 1, "HyperCube must be one round");
+        // Sanity: the load bound is not vacuous — every server holding
+        // everything would be p^{2/3}·SLACK× over it.
+        assert!(
+            max_load >= bound / SLACK,
+            "load suspiciously far under bound"
+        );
+    }
+}
+
+#[test]
+fn hypercube_load_decreases_with_p() {
+    let q = Query::triangle();
+    let rels = triangle_input(20_000, 7);
+    let loads: Vec<u64> = [8usize, 27, 64]
+        .iter()
+        .map(|&p| {
+            multiway::hypercube(&q, &rels, p, 42)
+                .report
+                .max_load_tuples()
+        })
+        .collect();
+    assert!(
+        loads.windows(2).all(|w| w[1] < w[0]),
+        "max load must strictly improve along p = 8, 27, 64: {loads:?}"
+    );
+}
+
+#[test]
+fn hypercube_runs_are_byte_identical_across_invocations() {
+    let q = Query::triangle();
+    let rels = triangle_input(5_000, 99);
+    for p in [8usize, 27, 64] {
+        let a = multiway::hypercube(&q, &rels, p, 1234);
+        let b = multiway::hypercube(&q, &rels, p, 1234);
+        // Identical (L, r, C): same per-round, per-server tuple and
+        // word counts...
+        assert_eq!(a.report, b.report, "load reports must replay exactly");
+        // ...and identical output bytes, fragment by fragment.
+        assert_eq!(
+            a.gathered().to_rows(),
+            b.gathered().to_rows(),
+            "output must replay exactly"
+        );
+        // A different seed re-randomizes the hash family but not the
+        // result set.
+        let c = multiway::hypercube(&q, &rels, p, 4321);
+        assert_eq!(
+            a.gathered().canonical(),
+            c.gathered().canonical(),
+            "seed must not change join semantics"
+        );
+    }
+}
