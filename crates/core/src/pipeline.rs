@@ -153,7 +153,7 @@ pub fn run_aggregate(aq: &AggregateQuery, rels: &[Relation], p: usize, seed: u64
         })
         .collect();
 
-    let report = LoadReport::sequential(&[pad(join_run.report, pn), cluster.report()]);
+    let report = LoadReport::sequential(&[join_run.report.padded(pn), cluster.report()]);
     AggregateRun {
         outputs,
         report,
@@ -166,15 +166,6 @@ fn key_digest(key: &[Value]) -> u64 {
     key.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, &v| {
         parqp_mpc::hash::splitmix64(acc ^ v)
     })
-}
-
-fn pad(mut r: LoadReport, p: usize) -> LoadReport {
-    for round in &mut r.rounds {
-        round.tuples.resize(p, 0);
-        round.words.resize(p, 0);
-    }
-    r.servers = p;
-    r
 }
 
 /// Serial oracle: evaluate the join, aggregate in a hash map.

@@ -300,7 +300,7 @@ mod tests {
     fn graph_edges_distinct_no_loops() {
         let g = random_graph(20, 100, 11);
         assert_eq!(g.len(), 100);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in g.iter() {
             assert_ne!(e[0], e[1]);
             assert!(seen.insert((e[0], e[1])));
@@ -310,7 +310,7 @@ mod tests {
     #[test]
     fn symmetric_graph_closed_under_reversal() {
         let g = random_symmetric_graph(20, 60, 13);
-        let set: std::collections::HashSet<(u64, u64)> = g.iter().map(|e| (e[0], e[1])).collect();
+        let set: std::collections::BTreeSet<(u64, u64)> = g.iter().map(|e| (e[0], e[1])).collect();
         for &(a, b) in &set {
             assert!(set.contains(&(b, a)));
         }
@@ -323,7 +323,7 @@ mod tests {
         assert_eq!(customers.len(), 300);
         assert_eq!(products.len(), 100);
         // Order custkeys must be valid foreign keys into Customers.
-        let keys: std::collections::HashSet<u64> = customers.iter().map(|row| row[0]).collect();
+        let keys: std::collections::BTreeSet<u64> = customers.iter().map(|row| row[0]).collect();
         assert!(orders.iter().all(|row| keys.contains(&row[0])));
         // Zipf head: the busiest customer dominates.
         let deg = degree_counts(&orders, 0);

@@ -169,10 +169,7 @@ mod tests {
                 Relation::from_rows(1, [[1]]),
                 Relation::from_rows(1, [[2], [3]]),
             ],
-            report: LoadReport {
-                servers: 2,
-                rounds: vec![],
-            },
+            report: LoadReport::empty(2),
         };
         assert_eq!(run.output_size(), 3);
         assert_eq!(run.gathered().len(), 3);

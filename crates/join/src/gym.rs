@@ -25,7 +25,7 @@
 use crate::common::{scatter, JoinRun};
 use crate::plans::combined_hash;
 use parqp_data::{FastMap, FastSet, Relation, Value};
-use parqp_mpc::{Cluster, Grid, HashFamily, LoadReport, RoundStats, Weight};
+use parqp_mpc::{Cluster, Grid, HashFamily, LoadReport, Weight};
 use parqp_query::{Ghd, Query, Var};
 
 /// A distributed intermediate relation: per-server rows plus the variable
@@ -413,10 +413,7 @@ pub fn gym_ghd(query: &Query, rels: &[Relation], ghd: &Ghd, p: usize, seed: u64)
             let run = if sub_rels.iter().any(Relation::is_empty) {
                 JoinRun {
                     outputs: vec![Relation::new(sub_vars.len()); block],
-                    report: LoadReport {
-                        servers: block,
-                        rounds: vec![RoundStats::zero(block)],
-                    },
+                    report: LoadReport::idle(block, 1),
                 }
             } else {
                 crate::multiway::hypercube(&sub_q, &sub_rels, block, seed ^ bi as u64)
@@ -430,7 +427,7 @@ pub fn gym_ghd(query: &Query, rels: &[Relation], ghd: &Ghd, p: usize, seed: u64)
     let mat_report = if mat_reports.is_empty() {
         None
     } else {
-        Some(pad_report(LoadReport::parallel(&mat_reports), p))
+        Some(LoadReport::parallel(&mat_reports).folded(p))
     };
 
     // Synthetic acyclic query over the bag relations.
@@ -472,25 +469,6 @@ pub fn gym_ghd(query: &Query, rels: &[Relation], ghd: &Ghd, p: usize, seed: u64)
         run.report = LoadReport::sequential(&[mat, run.report]);
     }
     run
-}
-
-/// Extend every round of `r` to `p` servers (zero-padded).
-fn pad_report(r: LoadReport, p: usize) -> LoadReport {
-    LoadReport {
-        servers: p,
-        rounds: r
-            .rounds
-            .into_iter()
-            .map(|mut rs| {
-                rs.tuples.resize(p, 0);
-                rs.words.resize(p, 0);
-                RoundStats {
-                    tuples: rs.tuples,
-                    words: rs.words,
-                }
-            })
-            .collect(),
-    }
 }
 
 /// The three Yannakakis phases over already-distributed bag states.

@@ -138,10 +138,7 @@ pub fn hl_triangle(r: &Relation, s: &Relation, t: &Relation, p: usize, seed: u64
     let light_run = if s_light.is_empty() || t_light.is_empty() || r.is_empty() {
         JoinRun {
             outputs: vec![Relation::new(3); p_light],
-            report: LoadReport {
-                servers: p_light,
-                rounds: vec![],
-            },
+            report: LoadReport::empty(p_light),
         }
     } else {
         crate::multiway::hypercube(&q, &[r.clone(), s_light, t_light], p_light, seed)

@@ -43,10 +43,7 @@ pub fn hypercube(query: &Query, rels: &[Relation], p: usize, seed: u64) -> JoinR
     if rels.iter().any(Relation::is_empty) {
         return JoinRun {
             outputs: vec![Relation::new(query.num_vars()); p],
-            report: parqp_mpc::LoadReport {
-                servers: p,
-                rounds: Vec::new(),
-            },
+            report: parqp_mpc::LoadReport::empty(p),
         };
     }
     let sizes: Vec<u64> = rels.iter().map(|r| r.len() as u64).collect();

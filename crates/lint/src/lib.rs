@@ -1,0 +1,271 @@
+//! `parqp-lint` — in-tree static analysis for the parqp workspace.
+//!
+//! Every theorem this repo reproduces is a statement about the
+//! deterministic `(L, r, C)` accounting of the MPC simulator: load
+//! bounds like the HyperCube `IN/p^{1/τ*}` check in
+//! `tests/hypercube_load_bounds.rs` are only meaningful if (a) runs are
+//! bit-reproducible and (b) every message an algorithm sends is charged
+//! through `parqp_mpc::Cluster::exchange`. This crate enforces those
+//! invariants lexically, with zero dependencies, so the check runs in CI
+//! before anything is even compiled:
+//!
+//! - **determinism** (`PQ001`–`PQ004`, [`rules`]) — no seed-dependent
+//!   hash containers, wall-clock reads, or threads in production code;
+//! - **layering** (`PQ101`–`PQ104`, [`rules`], [`manifest`]) — the crate
+//!   DAG matches DESIGN.md, `parqp-testkit` stays dev-only outside the
+//!   RNG whitelist, and only `parqp-mpc` constructs accounting;
+//! - **panic ratchet** (`PQ201`, [`ratchet`]) — the per-crate count of
+//!   `.unwrap()`/`.expect(`/`panic!`/index sites never grows past the
+//!   committed `lint/baseline.toml`;
+//! - **offline guard** (`PQ301`/`PQ302`, [`manifest`]) — every
+//!   dependency resolves inside the repo, and `rand`/`proptest`/
+//!   `criterion` never return.
+//!
+//! Run it with `cargo run -p parqp-lint`; suppress a finding with an
+//! inline `// parqp-lint: allow(PQxxx)` comment (same line, or a lone
+//! comment on the line above); regenerate the ratchet with
+//! `cargo run -p parqp-lint -- --fix-baseline`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub mod manifest;
+pub mod ratchet;
+pub mod rules;
+pub mod tokenize;
+
+use ratchet::{Baseline, PanicCounts};
+
+/// One finding, with a machine-readable rule ID and a clickable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `"PQ001"`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line, or 0 for whole-crate findings (the ratchet).
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} {}: {}", self.rule, self.path, self.message)
+        } else {
+            write!(
+                f,
+                "{} {}:{}: {}",
+                self.rule, self.path, self.line, self.message
+            )
+        }
+    }
+}
+
+/// Everything one lint run produced.
+pub struct LintReport {
+    /// Hard failures, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Ratchet counters that shrank below the baseline (nudge, not failure).
+    pub stale_baseline: Vec<String>,
+    /// Actual per-crate panic counts (what `--fix-baseline` would write).
+    pub panic_counts: BTreeMap<String, PanicCounts>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Locate the workspace root from this crate's manifest dir (two levels
+/// up), for use by in-tree tests and the binary.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// The workspace's member crate directories (`crates/*`), sorted by name.
+pub fn member_dirs(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for deterministic
+/// diagnostic order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run every rule family over the workspace at `root`.
+///
+/// `baseline` governs the PQ201 ratchet: `Some` compares against it,
+/// `None` skips the comparison (used by `--fix-baseline`, which only
+/// wants the counts back).
+pub fn lint_workspace(root: &Path, baseline: Option<&Baseline>) -> Result<LintReport, String> {
+    let mut diagnostics = Vec::new();
+    let mut panic_counts: BTreeMap<String, PanicCounts> = BTreeMap::new();
+    let mut files_scanned = 0;
+
+    // Workspace-root manifest (offline rules).
+    let ws_manifest_path = root.join("Cargo.toml");
+    let ws_manifest = read(&ws_manifest_path)?;
+    diagnostics.extend(manifest::lint_workspace_manifest(
+        &rel(root, &ws_manifest_path),
+        &ws_manifest,
+    ));
+
+    // Member crates: manifest rules + source rules + panic counting.
+    for dir in member_dirs(root)? {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("unreadable crate dir name under {}", dir.display()))?
+            .to_string();
+
+        let manifest_path = dir.join("Cargo.toml");
+        let toml = read(&manifest_path)?;
+        diagnostics.extend(manifest::lint_manifest(
+            &crate_name,
+            &rel(root, &manifest_path),
+            &toml,
+        ));
+
+        let counts = panic_counts.entry(crate_name.clone()).or_default();
+        for file in rust_files(&dir.join("src")) {
+            let text = read(&file)?;
+            let sanitized = tokenize::sanitize(&text);
+            diagnostics.extend(rules::lint_source(
+                &crate_name,
+                &rel(root, &file),
+                &sanitized,
+            ));
+            counts.add(ratchet::count_file(&sanitized));
+            files_scanned += 1;
+        }
+    }
+
+    let mut stale_baseline = Vec::new();
+    if let Some(baseline) = baseline {
+        let outcome = baseline.compare(&panic_counts);
+        diagnostics.extend(outcome.diagnostics);
+        stale_baseline = outcome.stale;
+    }
+
+    diagnostics
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(LintReport {
+        diagnostics,
+        stale_baseline,
+        panic_counts,
+        files_scanned,
+    })
+}
+
+/// The default baseline location: `lint/baseline.toml` under `root`.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("lint").join("baseline.toml")
+}
+
+/// Load the committed ratchet baseline.
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    Baseline::parse(&read(&baseline_path(root))?)
+}
+
+/// Run only the offline rules (`PQ301`/`PQ302`) over every manifest —
+/// the original `offline_guard` check, now callable as a library so the
+/// testkit guard test and the full lint share one implementation.
+pub fn check_offline(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let ws_manifest_path = root.join("Cargo.toml");
+    let mut out =
+        manifest::lint_workspace_manifest(&rel(root, &ws_manifest_path), &read(&ws_manifest_path)?);
+    for dir in member_dirs(root)? {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let manifest_path = dir.join("Cargo.toml");
+        out.extend(
+            manifest::lint_manifest(
+                &crate_name,
+                &rel(root, &manifest_path),
+                &read(&manifest_path)?,
+            )
+            .into_iter()
+            .filter(|d| d.rule == "PQ301" || d.rule == "PQ302"),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_with_and_without_line() {
+        let d = Diagnostic {
+            rule: "PQ001",
+            path: "crates/mpc/src/hash.rs".into(),
+            line: 141,
+            message: "msg".into(),
+        };
+        assert_eq!(d.to_string(), "PQ001 crates/mpc/src/hash.rs:141: msg");
+        let d0 = Diagnostic { line: 0, ..d };
+        assert_eq!(d0.to_string(), "PQ001 crates/mpc/src/hash.rs: msg");
+    }
+
+    #[test]
+    fn workspace_root_is_a_workspace() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn member_dirs_sorted_and_complete() {
+        let dirs = member_dirs(&workspace_root()).expect("members");
+        let names: Vec<String> = dirs
+            .iter()
+            .map(|d| d.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.iter().any(|n| n == "mpc"));
+        assert!(names.iter().any(|n| n == "lint"));
+    }
+}

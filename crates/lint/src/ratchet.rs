@@ -1,0 +1,333 @@
+//! PQ201 — the panic-surface ratchet.
+//!
+//! A panic inside an algorithm aborts the whole simulated cluster, so
+//! panics are reserved for *documented invariant violations* (the typed
+//! `MpcError` paths in `parqp-mpc`, `assert!`s with messages). This
+//! module counts the implicit panic surface of each crate's non-test
+//! `src/` code — `.unwrap()`, `.expect(`, `panic!`, and slice-index
+//! expressions — and compares it against the committed
+//! `lint/baseline.toml`. A crate whose count *grows* fails the lint; a
+//! crate whose count shrinks prints a reminder to re-run
+//! `cargo run -p parqp-lint -- --fix-baseline` so the ratchet tightens.
+//!
+//! The index-site counter is a lexical heuristic: a `[` immediately
+//! preceded by an identifier character, `)` or `]` is an index (or
+//! range-index) expression, which can panic on out-of-bounds; `vec![`,
+//! attribute `#[`, array types `[u64; 2]` and slice patterns are not
+//! counted. It over- and under-counts in exotic macro positions, but it
+//! is deterministic, which is all a ratchet needs.
+
+use std::collections::BTreeMap;
+
+use crate::tokenize::SourceFile;
+use crate::Diagnostic;
+
+/// Panic-surface counters for one crate's non-test `src/` code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    pub unwrap: usize,
+    pub expect: usize,
+    pub panic: usize,
+    pub index: usize,
+}
+
+impl PanicCounts {
+    pub fn total(&self) -> usize {
+        self.unwrap + self.expect + self.panic + self.index
+    }
+
+    pub fn add(&mut self, other: PanicCounts) {
+        self.unwrap += other.unwrap;
+        self.expect += other.expect;
+        self.panic += other.panic;
+        self.index += other.index;
+    }
+}
+
+/// Count panic sites in one sanitized file, skipping test modules and
+/// lines that allow `PQ201`.
+pub fn count_file(file: &SourceFile) -> PanicCounts {
+    let mut c = PanicCounts::default();
+    for line in &file.lines {
+        if line.in_test || line.allows("PQ201") {
+            continue;
+        }
+        c.unwrap += occurrences(&line.code, ".unwrap()");
+        c.expect += occurrences(&line.code, ".expect(");
+        c.panic += occurrences(&line.code, "panic!");
+        c.index += index_sites(&line.code);
+    }
+    c
+}
+
+fn occurrences(code: &str, needle: &str) -> usize {
+    let mut n = 0;
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        n += 1;
+        start += pos + needle.len();
+    }
+    n
+}
+
+/// Count `[` tokens that open an index (or range-index) expression.
+fn index_sites(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut n = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Per-crate baseline counts, keyed by crate directory name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub crates: BTreeMap<String, PanicCounts>,
+}
+
+impl Baseline {
+    /// Parse the `lint/baseline.toml` format: one `[crate]` table per
+    /// crate with integer `unwrap`/`expect`/`panic`/`index` keys.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut crates: BTreeMap<String, PanicCounts> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                crates.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("baseline line {}: expected `key = n`", idx + 1));
+            };
+            let Some(name) = &current else {
+                return Err(format!(
+                    "baseline line {}: entry outside a [crate] table",
+                    idx + 1
+                ));
+            };
+            let n: usize = value.trim().parse().map_err(|_| {
+                format!(
+                    "baseline line {}: `{}` is not a count",
+                    idx + 1,
+                    value.trim()
+                )
+            })?;
+            let c = crates.get_mut(name).expect("table inserted above");
+            match key.trim() {
+                "unwrap" => c.unwrap = n,
+                "expect" => c.expect = n,
+                "panic" => c.panic = n,
+                "index" => c.index = n,
+                other => {
+                    return Err(format!(
+                        "baseline line {}: unknown counter `{other}`",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Baseline { crates })
+    }
+
+    /// Serialize in the format `parse` reads, with a regeneration hint.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# Panic-surface ratchet baseline (rule PQ201).\n\
+             # Counts of .unwrap() / .expect( / panic! / slice-index sites in each\n\
+             # crate's non-test src/ code. The lint fails if any crate's counters\n\
+             # grow. After genuinely reducing the panic surface, regenerate with:\n\
+             #\n\
+             #   cargo run -p parqp-lint -- --fix-baseline\n",
+        );
+        for (name, c) in &self.crates {
+            out.push_str(&format!(
+                "\n[{name}]\nunwrap = {}\nexpect = {}\npanic = {}\nindex = {}\n",
+                c.unwrap, c.expect, c.panic, c.index
+            ));
+        }
+        out
+    }
+
+    /// Compare actual counts against this baseline. Growth in any
+    /// counter of any crate is a PQ201 diagnostic; so is a crate missing
+    /// from the baseline. Shrinkage is reported via `stale` so the
+    /// caller can nudge (but not fail).
+    pub fn compare(&self, actual: &BTreeMap<String, PanicCounts>) -> RatchetOutcome {
+        let mut diagnostics = Vec::new();
+        let mut stale = Vec::new();
+        for (name, act) in actual {
+            let Some(base) = self.crates.get(name) else {
+                diagnostics.push(Diagnostic {
+                    rule: "PQ201",
+                    path: format!("crates/{name}"),
+                    line: 0,
+                    message: format!(
+                        "crate `{name}` has no baseline entry ({} panic sites); \
+                         run --fix-baseline to record it",
+                        act.total()
+                    ),
+                });
+                continue;
+            };
+            for (counter, a, b) in [
+                ("unwrap", act.unwrap, base.unwrap),
+                ("expect", act.expect, base.expect),
+                ("panic", act.panic, base.panic),
+                ("index", act.index, base.index),
+            ] {
+                if a > b {
+                    diagnostics.push(Diagnostic {
+                        rule: "PQ201",
+                        path: format!("crates/{name}"),
+                        line: 0,
+                        message: format!(
+                            "panic surface grew: {counter} sites {b} → {a}; convert to typed \
+                             errors or invariant-documenting asserts, or annotate with \
+                             `// parqp-lint: allow(PQ201)` and justify"
+                        ),
+                    });
+                } else if a < b {
+                    stale.push(format!("{name}.{counter} {b} → {a}"));
+                }
+            }
+        }
+        RatchetOutcome { diagnostics, stale }
+    }
+}
+
+/// Result of a ratchet comparison.
+pub struct RatchetOutcome {
+    /// Hard failures: counters that grew or missing entries.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Counters that shrank: the baseline should be regenerated.
+    pub stale: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::sanitize;
+
+    fn counts(src: &str) -> PanicCounts {
+        count_file(&sanitize(src))
+    }
+
+    #[test]
+    fn counts_unwrap_expect_panic() {
+        let c = counts("let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\n");
+        assert_eq!((c.unwrap, c.expect, c.panic), (1, 1, 1));
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_counted() {
+        let c = counts("let a = x.unwrap_or(0).unwrap_or_else(f).unwrap_or_default();\n");
+        assert_eq!(c.unwrap, 0);
+    }
+
+    #[test]
+    fn index_heuristic() {
+        // Counted: indexing and range-indexing.
+        assert_eq!(counts("let a = v[0] + m[i][j];\n").index, 3);
+        assert_eq!(counts("let s = &buf[..n];\n").index, 1);
+        // Not counted: attributes, macros, array types/literals, slices.
+        assert_eq!(counts("#[derive(Debug)]\n").index, 0);
+        assert_eq!(counts("let v = vec![0; 8];\n").index, 0);
+        assert_eq!(counts("fn f(x: &[u64], y: [u8; 4]) {}\n").index, 0);
+    }
+
+    #[test]
+    fn test_modules_and_allows_skipped() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   let y = z.unwrap(); // parqp-lint: allow(PQ201)\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n";
+        assert_eq!(counts(src).unwrap, 1);
+    }
+
+    #[test]
+    fn strings_not_counted() {
+        assert_eq!(counts("let s = \"please don't panic!()\";\n").panic, 0);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut b = Baseline::default();
+        b.crates.insert(
+            "mpc".to_string(),
+            PanicCounts {
+                unwrap: 1,
+                expect: 2,
+                panic: 3,
+                index: 4,
+            },
+        );
+        b.crates.insert("sort".to_string(), PanicCounts::default());
+        let parsed = Baseline::parse(&b.serialize()).expect("roundtrip");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("unwrap = 3\n").is_err()); // outside a table
+        assert!(Baseline::parse("[mpc]\nunwrap = many\n").is_err());
+        assert!(Baseline::parse("[mpc]\nfoo = 3\n").is_err());
+    }
+
+    #[test]
+    fn growth_fails_shrinkage_nudges() {
+        let base = Baseline::parse("[mpc]\nunwrap = 2\nexpect = 5\n").expect("baseline");
+        let mut actual = BTreeMap::new();
+        actual.insert(
+            "mpc".to_string(),
+            PanicCounts {
+                unwrap: 3,
+                expect: 1,
+                panic: 0,
+                index: 0,
+            },
+        );
+        let out = base.compare(&actual);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "PQ201");
+        assert!(out.diagnostics[0].message.contains("2 → 3"));
+        assert_eq!(out.stale, vec!["mpc.expect 5 → 1"]);
+    }
+
+    #[test]
+    fn missing_crate_fails() {
+        let base = Baseline::default();
+        let mut actual = BTreeMap::new();
+        actual.insert("newbie".to_string(), PanicCounts::default());
+        let out = base.compare(&actual);
+        assert_eq!(out.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn accumulate() {
+        let mut a = PanicCounts {
+            unwrap: 1,
+            expect: 0,
+            panic: 0,
+            index: 2,
+        };
+        a.add(PanicCounts {
+            unwrap: 1,
+            expect: 1,
+            panic: 1,
+            index: 1,
+        });
+        assert_eq!(a.total(), 7);
+    }
+}

@@ -1,0 +1,376 @@
+//! The source-level rule families and their `PQxxx` IDs.
+//!
+//! Every rule is stated in terms of the MPC cost model the repo
+//! reproduces: the `(L, r, C)` accounting of `parqp_mpc::Cluster` is
+//! only meaningful if runs are bit-reproducible (determinism rules) and
+//! if all communication actually flows through the simulator (layering
+//! rules). See `DESIGN.md` § "Static analysis & determinism invariants"
+//! for the rationale of each rule.
+//!
+//! | ID    | family      | what it forbids (non-test code)                         |
+//! |-------|-------------|---------------------------------------------------------|
+//! | PQ000 | meta        | malformed rule ID inside an `allow(...)` annotation     |
+//! | PQ001 | determinism | std `HashMap`/`HashSet` (seeded, order-unstable)        |
+//! | PQ002 | determinism | `RandomState` / `DefaultHasher` (per-process seeds)     |
+//! | PQ003 | determinism | `Instant::now` / `SystemTime` (wall clock)              |
+//! | PQ004 | determinism | `thread::spawn` / `std::thread` (scheduling order)      |
+//! | PQ103 | layering    | OS side channels (`std::fs`, `std::io`, …) in algorithm |
+//! |       |             | and simulator crates                                    |
+//! | PQ104 | layering    | constructing accounting types (`RoundStats`, literal    |
+//! |       |             | `LoadReport`, an `Exchange` type) outside `parqp-mpc`   |
+//!
+//! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
+//! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
+//! [`crate::ratchet`].
+
+use crate::tokenize::SourceFile;
+use crate::Diagnostic;
+
+/// Crate names whose `src/` the side-channel rule PQ103 applies to:
+/// the simulator and the pure algorithm crates. `data` (file I/O),
+/// `core` (CLI), `bench` (CSV output), `testkit` (env-var knobs) and
+/// `lint` (this tool) legitimately touch the OS.
+pub const SIDE_CHANNEL_SCOPE: &[&str] = &["mpc", "lp", "query", "join", "sort", "matmul"];
+
+/// A banned token with its rule, message, and crate scope.
+struct TokenRule {
+    rule: &'static str,
+    token: &'static str,
+    message: &'static str,
+    /// `None` = all crates; `Some(crates)` = only these crate dirs.
+    scope: Option<&'static [&'static str]>,
+    /// Crates exempt even when `scope` is `None`.
+    exempt: &'static [&'static str],
+}
+
+const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        rule: "PQ001",
+        token: "HashMap",
+        message: "std HashMap iterates in seed-dependent order; use data::FastMap or BTreeMap",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ001",
+        token: "HashSet",
+        message: "std HashSet iterates in seed-dependent order; use data::FastSet or BTreeSet",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ002",
+        token: "RandomState",
+        message: "RandomState draws a per-process seed; hashing must be reproducible",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ002",
+        token: "DefaultHasher",
+        message: "DefaultHasher is RandomState-seeded; use data::FxHasher or mpc::HashFamily",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ003",
+        token: "Instant::now",
+        message: "wall-clock reads make runs irreproducible; time only inside parqp-testkit's bench harness",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ003",
+        token: "SystemTime",
+        message: "wall-clock reads make runs irreproducible; derive seeds explicitly instead",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ004",
+        token: "thread::spawn",
+        message: "OS threads reorder message arrival; the MPC simulator is single-threaded by design",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ004",
+        token: "std::thread",
+        message: "OS threads reorder message arrival; the MPC simulator is single-threaded by design",
+        scope: None,
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::fs",
+        message: "algorithm/simulator crates must not touch the filesystem; I/O belongs in parqp-data::io",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::io",
+        message: "algorithm/simulator crates must not do OS I/O; it bypasses the exchange ledger",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::net",
+        message: "real sockets bypass Cluster::exchange; all communication must be charged to the ledger",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::process",
+        message: "spawning processes bypasses the simulator; algorithm crates stay pure",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::env",
+        message: "environment reads make runs machine-dependent; pass configuration explicitly",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ103",
+        token: "std::sync",
+        message: "shared-memory synchronization has no MPC counterpart; servers share nothing",
+        scope: Some(SIDE_CHANNEL_SCOPE),
+        exempt: &[],
+    },
+    TokenRule {
+        rule: "PQ104",
+        token: "RoundStats",
+        message: "only parqp-mpc may fabricate round accounting; use Cluster::record_round or a LoadReport combinator",
+        scope: None,
+        exempt: &["mpc"],
+    },
+    TokenRule {
+        rule: "PQ104",
+        token: "struct Exchange",
+        message: "only parqp-mpc owns the exchange primitive; route communication through Cluster::exchange",
+        scope: None,
+        exempt: &["mpc"],
+    },
+];
+
+/// Lint one sanitized source file belonging to crate `crate_name`
+/// (the directory name under `crates/`, e.g. `"mpc"`). `path` is used
+/// verbatim in diagnostics.
+pub fn lint_source(crate_name: &str, path: &str, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        // Malformed allow IDs are reported even on test lines: a typo'd
+        // annotation silently fails open otherwise.
+        for a in &line.allows {
+            if !is_valid_rule_id(a) {
+                out.push(Diagnostic {
+                    rule: "PQ000",
+                    path: path.to_string(),
+                    line: line.number,
+                    message: format!("malformed rule ID `{a}` in parqp-lint allow annotation"),
+                });
+            }
+        }
+        if line.in_test {
+            continue;
+        }
+        for tr in TOKEN_RULES {
+            if let Some(scope) = tr.scope {
+                if !scope.contains(&crate_name) {
+                    continue;
+                }
+            }
+            if tr.exempt.contains(&crate_name) || line.allows(tr.rule) {
+                continue;
+            }
+            if contains_token(&line.code, tr.token) {
+                out.push(Diagnostic {
+                    rule: tr.rule,
+                    path: path.to_string(),
+                    line: line.number,
+                    message: format!("`{}`: {}", tr.token, tr.message),
+                });
+            }
+        }
+        // PQ104 second form: a `LoadReport { … }` struct literal. The
+        // token alone is legal everywhere (it is the public result type);
+        // only *construction* outside mpc fabricates accounting. A `{`
+        // directly after the token in a non-return-type position is a
+        // struct literal.
+        if crate_name != "mpc"
+            && !line.allows("PQ104")
+            && find_struct_literal(&line.code, "LoadReport").is_some()
+        {
+            out.push(Diagnostic {
+                rule: "PQ104",
+                path: path.to_string(),
+                line: line.number,
+                message: "`LoadReport { … }` literal: only parqp-mpc may fabricate load reports; \
+                          use LoadReport::empty/idle/padded or compose with parallel/sequential"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether `id` looks like a rule ID this tool could own (`PQ` + 3 digits).
+pub fn is_valid_rule_id(id: &str) -> bool {
+    id.len() == 5 && id.starts_with("PQ") && id[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Substring match with identifier boundaries on both ends, so that
+/// `FxHashMap` does not match `HashMap` and `std::fs` does not match
+/// inside `std::fsevent`. `::` inside the token matches literally.
+pub fn contains_token(code: &str, token: &str) -> bool {
+    let bytes = code.as_bytes();
+    let tb = token.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let end = at + tb.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Find `Token {` (a struct literal) that is not a function return type
+/// (`-> Token {`). Returns the byte offset of the token.
+fn find_struct_literal(code: &str, token: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let end = at + token.len();
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let rest = code[end..].trim_start();
+        let brace_follows = rest.starts_with('{');
+        let is_return_type = code[..at].trim_end().ends_with("->");
+        if before_ok && brace_follows && !is_return_type {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::sanitize;
+
+    fn rules_of(crate_name: &str, src: &str) -> Vec<(&'static str, usize)> {
+        lint_source(crate_name, "test.rs", &sanitize(src))
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_with_line() {
+        let v = rules_of("join", "fn f() {}\nuse std::collections::HashMap;\n");
+        assert_eq!(v, vec![("PQ001", 2)]);
+    }
+
+    #[test]
+    fn fxhashmap_not_flagged() {
+        assert!(rules_of("join", "use rustc_hash::FxHashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn test_module_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(rules_of("join", src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "use std::collections::HashMap; // parqp-lint: allow(PQ001)\n";
+        assert!(rules_of("data", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere() {
+        assert_eq!(
+            rules_of("bench", "let t = Instant::now();\n"),
+            vec![("PQ003", 1)]
+        );
+        assert_eq!(
+            rules_of("mpc", "use std::time::SystemTime;\n"),
+            vec![("PQ003", 1)]
+        );
+    }
+
+    #[test]
+    fn threads_flagged() {
+        assert_eq!(
+            rules_of("sort", "std::thread::spawn(|| {});\n"),
+            vec![("PQ004", 1), ("PQ004", 1)]
+        );
+    }
+
+    #[test]
+    fn side_channels_only_in_algorithm_crates() {
+        assert_eq!(rules_of("join", "use std::fs;\n"), vec![("PQ103", 1)]);
+        // data owns io.rs; core owns the CLI.
+        assert!(rules_of("data", "use std::fs;\n").is_empty());
+        assert!(rules_of("core", "use std::env;\n").is_empty());
+    }
+
+    #[test]
+    fn accounting_construction_flagged_outside_mpc() {
+        assert_eq!(
+            rules_of("join", "let r = RoundStats::zero(p);\n"),
+            vec![("PQ104", 1)]
+        );
+        assert_eq!(
+            rules_of(
+                "join",
+                "let r = LoadReport { servers: p, rounds: vec![] };\n"
+            ),
+            vec![("PQ104", 1)]
+        );
+        assert!(rules_of("mpc", "let r = RoundStats::zero(p);\n").is_empty());
+    }
+
+    #[test]
+    fn load_report_return_type_not_flagged() {
+        assert!(rules_of("join", "fn pad(r: LoadReport, p: usize) -> LoadReport {\n").is_empty());
+        assert!(rules_of("join", "let l: LoadReport = run.report;\n").is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_ignored() {
+        let src = "// HashMap would be wrong here\nlet s = \"std::thread\";\n";
+        assert!(rules_of("mpc", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_reported() {
+        let v = rules_of("join", "let x = 1; // parqp-lint: allow(PQ1)\n");
+        assert_eq!(v, vec![("PQ000", 1)]);
+    }
+
+    #[test]
+    fn valid_rule_ids() {
+        assert!(is_valid_rule_id("PQ001"));
+        assert!(is_valid_rule_id("PQ301"));
+        assert!(!is_valid_rule_id("PQ1"));
+        assert!(!is_valid_rule_id("pq001"));
+        assert!(!is_valid_rule_id("PQ00a"));
+    }
+}

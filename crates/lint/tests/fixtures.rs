@@ -1,0 +1,179 @@
+//! End-to-end rule tests over the seeded sources in `tests/fixtures/`.
+//!
+//! Each rule family gets a positive fixture (a planted violation that
+//! must be reported with the right `PQxxx` ID and `file:line`) and a
+//! negative fixture (idiomatic or annotated code that must pass). The
+//! fixtures live in a subdirectory so cargo never compiles them, and
+//! only `crates/*/src` is walked by the workspace lint, so the planted
+//! violations cannot leak into a real run.
+
+use std::collections::BTreeMap;
+
+use parqp_lint::manifest::lint_manifest;
+use parqp_lint::ratchet::{count_file, Baseline, PanicCounts};
+use parqp_lint::rules::lint_source;
+use parqp_lint::tokenize::sanitize;
+use parqp_lint::Diagnostic;
+
+/// Reduce diagnostics to comparable `(rule, line)` pairs.
+fn hits(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+    let mut out: Vec<(&'static str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------- PQ001–PQ004
+
+#[test]
+fn determinism_violations_reported_with_rule_and_line() {
+    let src = include_str!("fixtures/determinism_bad.rs");
+    let diags = lint_source("join", "fixtures/determinism_bad.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ001", 3),  // use std::collections::HashMap
+            ("PQ001", 6),  // HashMap in a signature
+            ("PQ001", 7),  // HashMap::new()
+            ("PQ002", 4),  // RandomState
+            ("PQ003", 11), // Instant::now()
+            ("PQ004", 15), // std::thread::spawn
+        ]
+    );
+    // Diagnostics carry the path verbatim for clickable file:line output.
+    assert!(diags
+        .iter()
+        .all(|d| d.path == "fixtures/determinism_bad.rs"));
+}
+
+#[test]
+fn determinism_clean_file_passes() {
+    let src = include_str!("fixtures/determinism_ok.rs");
+    let diags = lint_source("join", "fixtures/determinism_ok.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![],
+        "aliases, allows, and test modules pass"
+    );
+}
+
+// ---------------------------------------------------------------- PQ103/PQ104
+
+#[test]
+fn side_channel_and_accounting_violations_reported() {
+    let src = include_str!("fixtures/side_channel_bad.rs");
+    let diags = lint_source("join", "fixtures/side_channel_bad.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ103", 6),  // std::fs in an algorithm crate
+            ("PQ104", 3),  // use ... RoundStats
+            ("PQ104", 10), // LoadReport { … } literal
+            ("PQ104", 12), // RoundStats::zero
+        ]
+    );
+    // Line 9's `-> LoadReport {` return type must NOT be flagged.
+    assert!(!hits(&diags).contains(&("PQ104", 9)));
+}
+
+#[test]
+fn mpc_is_exempt_from_accounting_ownership() {
+    // The same file inside `mpc` keeps only the side-channel finding:
+    // mpc owns RoundStats/LoadReport, but still may not touch the fs.
+    let src = include_str!("fixtures/side_channel_bad.rs");
+    let diags = lint_source("mpc", "fixtures/side_channel_bad.rs", &sanitize(src));
+    assert_eq!(hits(&diags), vec![("PQ103", 6)]);
+}
+
+#[test]
+fn combinator_accounting_passes() {
+    let src = include_str!("fixtures/side_channel_ok.rs");
+    let diags = lint_source("join", "fixtures/side_channel_ok.rs", &sanitize(src));
+    assert_eq!(hits(&diags), vec![]);
+}
+
+// ---------------------------------------------------------------- PQ101/PQ102
+
+#[test]
+fn layering_dag_violations_reported() {
+    let toml = include_str!("fixtures/layering_bad.toml");
+    let diags = lint_manifest("sort", "fixtures/layering_bad.toml", toml);
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ101", 7), // sort → join is not a DAG edge
+            ("PQ102", 8), // testkit as a runtime dependency
+        ]
+    );
+}
+
+#[test]
+fn layering_clean_manifest_passes() {
+    let toml = include_str!("fixtures/layering_ok.toml");
+    let diags = lint_manifest("sort", "fixtures/layering_ok.toml", toml);
+    assert_eq!(hits(&diags), vec![]);
+}
+
+// --------------------------------------------------------------------- PQ201
+
+#[test]
+fn ratchet_reports_growth_and_only_growth() {
+    let counts = count_file(&sanitize(include_str!("fixtures/panics.rs")));
+    assert_eq!(
+        counts,
+        PanicCounts {
+            unwrap: 1,
+            expect: 1,
+            panic: 1,
+            index: 1,
+        },
+        "test-module panic sites are not counted"
+    );
+
+    let mut actual = BTreeMap::new();
+    actual.insert("join".to_string(), counts);
+
+    // Baseline at zero: every counter grew → four PQ201 diagnostics.
+    let mut zero = Baseline::default();
+    zero.crates
+        .insert("join".to_string(), PanicCounts::default());
+    let grown = zero.compare(&actual);
+    assert_eq!(grown.diagnostics.len(), 4);
+    assert!(grown.diagnostics.iter().all(|d| d.rule == "PQ201"));
+    assert!(grown.diagnostics.iter().all(|d| d.path == "crates/join"));
+
+    // Baseline at the actual counts: clean, nothing stale.
+    let mut exact = Baseline::default();
+    exact.crates.insert("join".to_string(), counts);
+    let level = exact.compare(&actual);
+    assert!(level.diagnostics.is_empty());
+    assert!(level.stale.is_empty());
+
+    // Baseline above the actual counts: no failure, but a stale nudge.
+    let mut above = Baseline::default();
+    above.crates.insert(
+        "join".to_string(),
+        PanicCounts {
+            unwrap: 5,
+            ..counts
+        },
+    );
+    let shrunk = above.compare(&actual);
+    assert!(shrunk.diagnostics.is_empty());
+    assert_eq!(shrunk.stale, vec!["join.unwrap 5 → 1"]);
+}
+
+// --------------------------------------------------------------- PQ301/PQ302
+
+#[test]
+fn offline_violations_reported() {
+    let toml = include_str!("fixtures/offline_bad.toml");
+    let diags = lint_manifest("sort", "fixtures/offline_bad.toml", toml);
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ301", 7),  // serde = "1.0" — registry dependency
+            ("PQ302", 10), // rand, banned even as a path dependency
+        ]
+    );
+}

@@ -1,0 +1,16 @@
+//! Fixture: seeded determinism violations (rules PQ001–PQ004).
+
+use std::collections::HashMap;
+use std::collections::hash_map::RandomState;
+
+pub fn lookup() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn stamp() -> std::time::Duration {
+    std::time::Instant::now().elapsed()
+}
+
+pub fn race() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,26 @@
+//! Fixture: determinism-clean file — aliases, annotations, test modules.
+
+use parqp_data::{FastMap, FastSet};
+
+pub fn counts() -> FastMap<u64, u64> {
+    FastMap::default()
+}
+
+pub fn seen() -> FastSet<u64> {
+    FastSet::default()
+}
+
+pub type Legacy = std::collections::HashMap<u64, u64>; // parqp-lint: allow(PQ001)
+
+// A mention of HashMap in a comment is not a use of HashMap.
+pub const DOC: &str = "prefer FastMap over HashMap";
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_only_usage_is_fine() {
+        let _m: HashMap<u64, u64> = HashMap::new();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: panic-surface counting (rule PQ201).
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+pub fn second(v: &[u64]) -> u64 {
+    v.get(1).copied().expect("two elements")
+}
+
+pub fn third(v: &[u64]) -> u64 {
+    if v.len() < 3 {
+        panic!("too short");
+    }
+    v[2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_do_not_count() {
+        assert_eq!(super::first(&[1, 2, 3]), [1u64][0]);
+        "7".parse::<u64>().unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: MPC-layering violations in an algorithm crate (PQ103/PQ104).
+
+use parqp_mpc::{LoadReport, RoundStats};
+
+pub fn leak() -> String {
+    std::fs::read_to_string("/tmp/x").expect("read")
+}
+
+pub fn fabricate(p: usize) -> LoadReport {
+    LoadReport {
+        servers: p,
+        rounds: vec![RoundStats::zero(p)],
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: layering-clean accounting — combinators only, no literals.
+
+use parqp_mpc::LoadReport;
+
+pub fn silent(p: usize) -> LoadReport {
+    LoadReport::empty(p)
+}
+
+pub fn sat_out(p: usize) -> LoadReport {
+    LoadReport::idle(p, 1)
+}
+
+pub fn combined(a: &LoadReport, b: &LoadReport) -> LoadReport {
+    LoadReport::sequential(&[a.clone(), b.clone()])
+}

@@ -13,7 +13,7 @@ use parqp_testkit::prelude::*;
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2usize..6, 1usize..6).prop_flat_map(|(v, e)| {
         collection::vec(collection::vec(0..v, 1..=v.min(3)), e).prop_map(move |mut edges| {
-            let covered: std::collections::HashSet<usize> =
+            let covered: std::collections::BTreeSet<usize> =
                 edges.iter().flatten().copied().collect();
             for missing in (0..v).filter(|x| !covered.contains(x)) {
                 edges.push(vec![missing]);
@@ -91,7 +91,7 @@ proptest! {
             })
             .collect();
         // Cover stragglers so constructors stay happy downstream.
-        let covered: std::collections::HashSet<usize> = es.iter().flatten().copied().collect();
+        let covered: std::collections::BTreeSet<usize> = es.iter().flatten().copied().collect();
         for missing in (0..v).filter(|x| !covered.contains(x)) {
             es.push(vec![missing, (missing + 1) % v]);
         }

@@ -31,6 +31,7 @@
 //! server for the current round, producing the `(L, r, C)` cost summary
 //! that the paper's theorems are about.
 
+use crate::error::MpcError;
 use crate::grid::Grid;
 use crate::stats::{LoadReport, RoundStats};
 use crate::weight::Weight;
@@ -46,13 +47,24 @@ impl Cluster {
     /// Create a cluster of `p` servers.
     ///
     /// # Panics
-    /// Panics if `p == 0`.
+    /// Panics if `p == 0`; use [`Cluster::try_new`] to handle that case.
     pub fn new(p: usize) -> Self {
-        assert!(p > 0, "a cluster needs at least one server");
-        Self {
+        match Self::try_new(p) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Cluster::new`]: errors on an empty cluster instead of
+    /// panicking, for callers sizing clusters from untrusted input.
+    pub fn try_new(p: usize) -> Result<Self, MpcError> {
+        if p == 0 {
+            return Err(MpcError::EmptyTopology { what: "cluster" });
+        }
+        Ok(Self {
             p,
             rounds: Vec::new(),
-        }
+        })
     }
 
     /// Number of servers `p`.
@@ -87,10 +99,28 @@ impl Cluster {
     /// `words[s]` words, without routing actual messages. Used by
     /// algorithms that account for communication analytically (e.g. when a
     /// phase's messages are a deterministic permutation).
+    ///
+    /// # Panics
+    /// Panics if either vector's length differs from `p`; use
+    /// [`Cluster::try_record_round`] to handle that case.
     pub fn record_round(&mut self, tuples: Vec<u64>, words: Vec<u64>) {
-        assert_eq!(tuples.len(), self.p);
-        assert_eq!(words.len(), self.p);
+        if let Err(e) = self.try_record_round(tuples, words) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Cluster::record_round`].
+    pub fn try_record_round(&mut self, tuples: Vec<u64>, words: Vec<u64>) -> Result<(), MpcError> {
+        for len in [tuples.len(), words.len()] {
+            if len != self.p {
+                return Err(MpcError::BadArity {
+                    got: len,
+                    expected: self.p,
+                });
+            }
+        }
         self.rounds.push(RoundStats { tuples, words });
+        Ok(())
     }
 
     /// The `(L, r, C)` summary of all rounds recorded so far.
@@ -134,12 +164,32 @@ impl<T: Weight> Exchange<'_, T> {
     /// Send `msg` to server `dest`.
     ///
     /// # Panics
-    /// Panics if `dest` is not a valid server rank.
+    /// Panics if `dest` is not a valid server rank; use
+    /// [`Exchange::try_send`] to handle that case.
     #[inline]
     pub fn send(&mut self, dest: usize, msg: T) {
+        if let Err(e) = self.try_send(dest, msg) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Exchange::send`]: errors on an out-of-range destination
+    /// instead of panicking. This is the simulator's hottest path — the
+    /// single bounds probe below is the only check, and the two charged
+    /// counters are in-bounds by construction (all three vectors share
+    /// length `p`).
+    #[inline]
+    pub fn try_send(&mut self, dest: usize, msg: T) -> Result<(), MpcError> {
+        let Some(inbox) = self.inboxes.get_mut(dest) else {
+            return Err(MpcError::BadServer {
+                dest,
+                p: self.cluster.p,
+            });
+        };
         self.tuples[dest] += 1;
         self.words[dest] += msg.words();
-        self.inboxes[dest].push(msg);
+        inbox.push(msg);
+        Ok(())
     }
 
     /// Send `msg` to every server (a broadcast costs `p` messages).
@@ -286,5 +336,26 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert!(Cluster::try_new(0).is_err());
+        assert_eq!(Cluster::try_new(3).map(|c| c.p()), Ok(3));
+
+        let mut c = Cluster::new(2);
+        let mut ex = c.exchange::<u64>();
+        assert_eq!(
+            ex.try_send(5, 1),
+            Err(crate::error::MpcError::BadServer { dest: 5, p: 2 })
+        );
+        assert_eq!(ex.try_send(1, 7), Ok(()));
+        let inboxes = ex.finish();
+        assert_eq!(inboxes[1], vec![7]);
+        // The failed send must not have been charged to the ledger.
+        assert_eq!(c.report().total_tuples(), 1);
+
+        assert!(c.try_record_round(vec![1], vec![1, 2]).is_err());
+        assert_eq!(c.report().num_rounds(), 1);
     }
 }

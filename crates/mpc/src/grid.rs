@@ -7,6 +7,8 @@
 //! i.e. a broadcast along the unconstrained dimensions. [`Grid`] provides
 //! the rank ↔ coordinate mapping and the `*`-match enumeration.
 
+use crate::error::MpcError;
+
 /// A `k`-dimensional grid of servers with side lengths `dims`.
 ///
 /// Ranks are assigned in row-major order: the last dimension varies fastest.
@@ -19,13 +21,22 @@ impl Grid {
     /// Create a grid with the given per-dimension sizes (the *shares*).
     ///
     /// # Panics
-    /// Panics if any dimension is zero.
+    /// Panics if any dimension is zero; use [`Grid::try_new`] to handle
+    /// that case.
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "grid dimensions must be positive: {dims:?}"
-        );
-        Self { dims }
+        match Self::try_new(dims) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Grid::new`]: errors on a zero dimension instead of
+    /// panicking, for callers deriving shares from untrusted input.
+    pub fn try_new(dims: Vec<usize>) -> Result<Self, MpcError> {
+        if dims.contains(&0) {
+            return Err(MpcError::EmptyTopology { what: "grid" });
+        }
+        Ok(Self { dims })
     }
 
     /// A 1-dimensional grid of `p` servers (plain hash partitioning).
@@ -56,37 +67,63 @@ impl Grid {
     /// The rank of the server at `coords`.
     ///
     /// # Panics
-    /// Panics if `coords` has the wrong length or a coordinate is out of range.
+    /// Panics if `coords` has the wrong length or a coordinate is out of
+    /// range; use [`Grid::try_rank`] to handle those cases.
     pub fn rank(&self, coords: &[usize]) -> usize {
-        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        match self.try_rank(coords) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Grid::rank`].
+    pub fn try_rank(&self, coords: &[usize]) -> Result<usize, MpcError> {
+        if coords.len() != self.dims.len() {
+            return Err(MpcError::BadArity {
+                got: coords.len(),
+                expected: self.dims.len(),
+            });
+        }
         let mut r = 0;
-        for (c, d) in coords.iter().zip(&self.dims) {
-            assert!(
-                c < d,
-                "coordinate {c} out of range for dimension of size {d}"
-            );
+        for (&c, &d) in coords.iter().zip(&self.dims) {
+            if c >= d {
+                return Err(MpcError::BadCoordinate {
+                    coord: c,
+                    dim_size: d,
+                });
+            }
             r = r * d + c;
         }
-        r
+        Ok(r)
     }
 
     /// The coordinates of server `rank`.
     ///
     /// # Panics
-    /// Panics if `rank >= self.len()`.
+    /// Panics if `rank >= self.len()`; use [`Grid::try_coords`] to handle
+    /// that case.
     pub fn coords(&self, rank: usize) -> Vec<usize> {
-        assert!(
-            rank < self.len(),
-            "rank {rank} out of range for grid of {}",
-            self.len()
-        );
+        match self.try_coords(rank) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Grid::coords`].
+    pub fn try_coords(&self, rank: usize) -> Result<Vec<usize>, MpcError> {
+        if rank >= self.len() {
+            return Err(MpcError::BadRank {
+                rank,
+                size: self.len(),
+            });
+        }
         let mut rest = rank;
         let mut out = vec![0; self.dims.len()];
-        for i in (0..self.dims.len()).rev() {
-            out[i] = rest % self.dims[i];
-            rest /= self.dims[i];
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            out[i] = rest % d;
+            rest /= d;
         }
-        out
+        Ok(out)
     }
 
     /// Enumerate the ranks of all servers matching a partial coordinate,
@@ -95,16 +132,29 @@ impl Grid {
     /// This is the HyperCube broadcast set: e.g. for the triangle query,
     /// `R(a,b)` goes to `(h_x(a), h_y(b), *)` — every server whose first
     /// two coordinates match, across the whole third dimension.
+    ///
+    /// # Panics
+    /// Panics if `partial` has the wrong arity; use [`Grid::try_matching`]
+    /// to handle that case.
     pub fn matching(&self, partial: &[Option<usize>]) -> Vec<usize> {
-        assert_eq!(
-            partial.len(),
-            self.dims.len(),
-            "partial coordinate arity mismatch"
-        );
+        match self.try_matching(partial) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Grid::matching`].
+    pub fn try_matching(&self, partial: &[Option<usize>]) -> Result<Vec<usize>, MpcError> {
+        if partial.len() != self.dims.len() {
+            return Err(MpcError::BadArity {
+                got: partial.len(),
+                expected: self.dims.len(),
+            });
+        }
         let mut out = Vec::new();
         let mut coords = vec![0usize; self.dims.len()];
         self.matching_rec(partial, 0, &mut coords, &mut out);
-        out
+        Ok(out)
     }
 
     fn matching_rec(
@@ -201,9 +251,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
+    #[should_panic(expected = "at least one server")]
     fn zero_dim_rejected() {
         Grid::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        use crate::error::MpcError;
+        assert_eq!(
+            Grid::try_new(vec![2, 0]),
+            Err(MpcError::EmptyTopology { what: "grid" })
+        );
+        let g = Grid::new(vec![2, 3]);
+        assert_eq!(g.try_rank(&[1, 2]), Ok(5));
+        assert_eq!(
+            g.try_rank(&[1]),
+            Err(MpcError::BadArity {
+                got: 1,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            g.try_rank(&[0, 3]),
+            Err(MpcError::BadCoordinate {
+                coord: 3,
+                dim_size: 3
+            })
+        );
+        assert_eq!(g.try_coords(5), Ok(vec![1, 2]));
+        assert_eq!(g.try_coords(6), Err(MpcError::BadRank { rank: 6, size: 6 }));
+        assert!(g.try_matching(&[None]).is_err());
+        assert_eq!(g.try_matching(&[Some(1), None]).map(|m| m.len()), Ok(3));
     }
 
     #[test]

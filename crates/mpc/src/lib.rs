@@ -23,6 +23,8 @@
 //! ## Modules
 //!
 //! * [`cluster`] — the cluster, exchanges, and round accounting;
+//! * [`error`] — typed invariant violations ([`MpcError`]); every
+//!   panicking entry point has a `try_*` sibling returning these;
 //! * [`stats`] — per-round statistics and the final [`LoadReport`];
 //! * [`grid`] — `p₁ × … × p_k` hypercube topologies with `*`-broadcast
 //!   (the HyperCube algorithm's addressing primitive, slide 35);
@@ -30,12 +32,14 @@
 //! * [`weight`] — how many words a message counts for.
 
 pub mod cluster;
+pub mod error;
 pub mod grid;
 pub mod hash;
 pub mod stats;
 pub mod weight;
 
 pub use cluster::{Cluster, Exchange};
+pub use error::MpcError;
 pub use grid::Grid;
 pub use hash::HashFamily;
 pub use stats::{LoadReport, RoundStats};

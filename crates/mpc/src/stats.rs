@@ -54,6 +54,83 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
+    /// A report of zero rounds on `servers` servers: the cost of an
+    /// algorithm that never communicated (e.g. a join with an empty
+    /// input). Algorithm crates must use this (or [`LoadReport::idle`])
+    /// instead of fabricating report literals — constructing accounting
+    /// outside `parqp-mpc` is a layering violation (`parqp-lint` PQ104).
+    pub fn empty(servers: usize) -> LoadReport {
+        LoadReport {
+            servers,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// A report of `rounds` rounds in which nobody received anything:
+    /// the cost of servers that sat out phases other groups spent
+    /// communicating (round synchronization is global in the MPC model).
+    pub fn idle(servers: usize, rounds: usize) -> LoadReport {
+        LoadReport {
+            servers,
+            rounds: vec![RoundStats::zero(servers); rounds],
+        }
+    }
+
+    /// Re-shape this report onto a cluster of `p ≥ servers` servers: the
+    /// extra servers received nothing in every round. Used when a phase
+    /// ran on a sub-cluster (e.g. the light half of a skew join) and its
+    /// cost must be composed with full-cluster phases.
+    ///
+    /// # Panics
+    /// Panics if `p` is smaller than the report's server count —
+    /// shrinking a report would silently drop recorded load.
+    pub fn padded(mut self, p: usize) -> LoadReport {
+        assert!(
+            p >= self.servers,
+            "cannot pad a report of {} servers down to {p}",
+            self.servers
+        );
+        for round in &mut self.rounds {
+            round.tuples.resize(p, 0);
+            round.words.resize(p, 0);
+        }
+        self.servers = p;
+        self
+    }
+
+    /// Re-shape this report onto a cluster of exactly `p` servers by
+    /// assigning virtual server `i` to physical server `i % p`. Used when
+    /// parallel sub-cluster blocks are laid out over the real cluster:
+    /// with more blocks than servers the blocks time-share, and a
+    /// physical server's load in a round is the sum of its virtual
+    /// servers' loads. Total load `C` is preserved; when `p >= servers`
+    /// this is exactly [`LoadReport::padded`].
+    ///
+    /// # Panics
+    /// Panics if `p` is zero.
+    pub fn folded(self, p: usize) -> LoadReport {
+        assert!(p > 0, "cluster must have at least one server");
+        if p >= self.servers {
+            return self.padded(p);
+        }
+        let rounds = self
+            .rounds
+            .into_iter()
+            .map(|rs| {
+                let mut tuples = vec![0; p];
+                let mut words = vec![0; p];
+                for (i, t) in rs.tuples.into_iter().enumerate() {
+                    tuples[i % p] += t;
+                }
+                for (i, w) in rs.words.into_iter().enumerate() {
+                    words[i % p] += w;
+                }
+                RoundStats { tuples, words }
+            })
+            .collect();
+        LoadReport { servers: p, rounds }
+    }
+
     /// Number of communication rounds `r`.
     pub fn num_rounds(&self) -> usize {
         self.rounds.len()
@@ -258,6 +335,37 @@ mod tests {
     }
 
     #[test]
+    fn folded_time_shares_virtual_servers() {
+        let r = LoadReport {
+            servers: 5,
+            rounds: vec![RoundStats {
+                tuples: vec![1, 2, 3, 4, 5],
+                words: vec![1, 2, 3, 4, 5],
+            }],
+        };
+        let total = r.total_tuples();
+        let f = r.folded(2);
+        assert_eq!(f.servers, 2);
+        // Virtual servers 0,2,4 → physical 0; 1,3 → physical 1.
+        assert_eq!(f.rounds[0].tuples, vec![1 + 3 + 5, 2 + 4]);
+        assert_eq!(f.total_tuples(), total, "folding preserves C");
+    }
+
+    #[test]
+    fn folded_up_equals_padded() {
+        let r = LoadReport {
+            servers: 2,
+            rounds: vec![RoundStats {
+                tuples: vec![7, 8],
+                words: vec![7, 8],
+            }],
+        };
+        let f = r.folded(4);
+        assert_eq!(f.servers, 4);
+        assert_eq!(f.rounds[0].tuples, vec![7, 8, 0, 0]);
+    }
+
+    #[test]
     fn sequential_composition_concats_rounds() {
         let a = LoadReport {
             servers: 2,
@@ -277,6 +385,34 @@ mod tests {
         assert_eq!(s.num_rounds(), 2);
         assert_eq!(s.max_load_tuples(), 5);
         assert_eq!(s.total_tuples(), 8);
+    }
+
+    #[test]
+    fn empty_and_idle_reports() {
+        let e = LoadReport::empty(4);
+        assert_eq!(e.servers, 4);
+        assert_eq!(e.num_rounds(), 0);
+        let i = LoadReport::idle(3, 2);
+        assert_eq!(i.num_rounds(), 2);
+        assert_eq!(i.max_load_tuples(), 0);
+        assert_eq!(i.rounds[0].tuples.len(), 3);
+    }
+
+    #[test]
+    fn padded_extends_every_round() {
+        let p = sample().padded(5);
+        assert_eq!(p.servers, 5);
+        assert_eq!(p.rounds[0].tuples, vec![5, 2, 1, 0, 0]);
+        assert_eq!(p.rounds[1].words, vec![0, 14, 6, 0, 0]);
+        // Padding preserves the measured cost.
+        assert_eq!(p.max_load_tuples(), sample().max_load_tuples());
+        assert_eq!(p.total_words(), sample().total_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pad")]
+    fn padding_down_rejected() {
+        sample().padded(2);
     }
 
     #[test]

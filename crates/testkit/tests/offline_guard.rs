@@ -2,128 +2,40 @@
 //!
 //! Every dependency in every manifest must resolve inside the repo —
 //! either `path = "…"` directly, or `workspace = true` pointing at a
-//! `[workspace.dependencies]` entry that is itself a path dependency.
-//! If someone reintroduces a crates.io (or git) dependency, this test
-//! names the offending manifest and line instead of letting the next
-//! offline `cargo build` die on dependency resolution.
+//! `[workspace.dependencies]` entry that is itself a path dependency —
+//! and the crates the testkit replaced (`rand`, `proptest`,
+//! `criterion`) must never come back. The checks themselves live in
+//! `parqp-lint` (rules `PQ301`/`PQ302`, see `crates/lint/src/manifest.rs`)
+//! so this guard, the `cargo run -p parqp-lint` CI step, and the lint
+//! crate's own tests share one implementation; this test keeps the
+//! historical name and the testkit's fast `cargo test -p parqp-testkit`
+//! feedback loop.
 
-use std::path::{Path, PathBuf};
+use parqp_lint::{check_offline, member_dirs, workspace_root};
 
-fn workspace_root() -> PathBuf {
-    // crates/testkit → two levels up.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("testkit lives two levels under the workspace root")
-        .to_path_buf()
-}
-
-/// The `key = value` dependency entries of a named TOML section,
-/// skipping blank lines and full-line comments. Good enough for this
-/// workspace's hand-written manifests; not a general TOML parser.
-fn section_entries(toml: &str, section: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    let mut in_section = false;
-    for line in toml.lines() {
-        let line = line.trim();
-        if line.starts_with('[') {
-            in_section = line == format!("[{section}]");
-            continue;
-        }
-        if !in_section || line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some((key, value)) = line.split_once('=') {
-            out.push((key.trim().to_string(), value.trim().to_string()));
-        }
-    }
-    out
-}
-
-fn is_offline_dep(value: &str) -> bool {
-    value.contains("path =") || value.contains("path=") || value.contains("workspace = true")
+#[test]
+fn no_registry_or_banned_dependencies_anywhere() {
+    let root = workspace_root();
+    let findings = check_offline(&root).expect("manifests readable");
+    assert!(
+        findings.is_empty(),
+        "registry/git/banned dependencies would break the offline build:\n  {}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
 }
 
 #[test]
-fn no_registry_dependencies_anywhere() {
-    let root = workspace_root();
-    let mut offenders = Vec::new();
-
-    // Workspace-level table: everything must be a path dependency.
-    let ws_manifest =
-        std::fs::read_to_string(root.join("Cargo.toml")).expect("workspace Cargo.toml");
-    for (name, value) in section_entries(&ws_manifest, "workspace.dependencies") {
-        if !value.contains("path") {
-            offenders.push(format!(
-                "Cargo.toml [workspace.dependencies]: {name} = {value}"
-            ));
-        }
-    }
-
-    // Every member crate.
-    let crates_dir = root.join("crates");
-    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
-        .expect("crates/ directory")
-        .map(|e| e.expect("readable dir entry").path().join("Cargo.toml"))
-        .filter(|p| p.is_file())
-        .collect();
-    members.sort();
+fn guard_actually_walked_the_workspace() {
+    // If member discovery drifts (crates/ moved, glob broken) the guard
+    // above would pass vacuously; pin the member count floor instead.
+    let members = member_dirs(&workspace_root()).expect("crates/ directory");
     assert!(
         members.len() >= 9,
-        "expected at least 9 member crates, found {}: glob drifted?",
+        "expected at least 9 member crates, found {}: discovery drifted?",
         members.len()
     );
-    for manifest_path in &members {
-        let toml = std::fs::read_to_string(manifest_path).expect("readable manifest");
-        let rel = manifest_path
-            .strip_prefix(&root)
-            .expect("member under root")
-            .display();
-        for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
-            for (name, value) in section_entries(&toml, section) {
-                if !is_offline_dep(&value) {
-                    offenders.push(format!("{rel} [{section}]: {name} = {value}"));
-                }
-                if value.contains("git =") || value.contains("registry =") {
-                    offenders.push(format!(
-                        "{rel} [{section}]: {name} = {value} (non-path source)"
-                    ));
-                }
-            }
-        }
-    }
-
-    assert!(
-        offenders.is_empty(),
-        "registry/git dependencies would break the offline build:\n  {}",
-        offenders.join("\n  ")
-    );
-}
-
-#[test]
-fn known_banned_crates_absent() {
-    // The three crates the testkit replaced must never come back as
-    // dependencies in any form (workspace entries included).
-    let root = workspace_root();
-    let mut manifests = vec![root.join("Cargo.toml")];
-    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ directory") {
-        manifests.push(entry.expect("readable dir entry").path().join("Cargo.toml"));
-    }
-    for manifest_path in manifests.into_iter().filter(|p| p.is_file()) {
-        let toml = std::fs::read_to_string(&manifest_path).expect("readable manifest");
-        for banned in ["rand", "proptest", "criterion"] {
-            for line in toml.lines() {
-                let line = line.trim();
-                if line.starts_with(&format!("{banned} ="))
-                    || line.starts_with(&format!("{banned}="))
-                {
-                    panic!(
-                        "{}: banned dependency `{banned}` reintroduced: {line}\n\
-                         use parqp-testkit instead (crates/testkit)",
-                        manifest_path.display()
-                    );
-                }
-            }
-        }
-    }
 }
