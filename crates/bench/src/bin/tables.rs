@@ -7,7 +7,9 @@
 //! ```
 //!
 //! With `--csv <dir>` each table is also written as a CSV file named
-//! `<experiment>_<index>.csv` under the directory.
+//! `<experiment>_<index>.csv` under the directory. With `--trace <dir>`
+//! each experiment additionally runs under a trace recorder and its
+//! round-level event stream is written as `<experiment>.trace.jsonl`.
 
 use parqp_bench::experiments;
 use std::io::Write;
@@ -15,12 +17,18 @@ use std::io::Write;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
             csv_dir = Some(it.next().unwrap_or_else(|| {
                 eprintln!("--csv requires a directory argument");
+                std::process::exit(2);
+            }));
+        } else if a == "--trace" {
+            trace_dir = Some(it.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a directory argument");
                 std::process::exit(2);
             }));
         } else {
@@ -43,7 +51,15 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for id in &ids {
-        let tables = experiments::run(id);
+        let tables = if let Some(dir) = &trace_dir {
+            let (tables, recorder) = parqp_bench::run_traced(id);
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            let path = format!("{dir}/{id}.trace.jsonl");
+            std::fs::write(&path, parqp_trace::export::jsonl(&recorder)).expect("write trace");
+            tables
+        } else {
+            experiments::run(id)
+        };
         for (i, t) in tables.iter().enumerate() {
             writeln!(out, "{}", t.render()).expect("stdout");
             if let Some(dir) = &csv_dir {

@@ -17,3 +17,24 @@ pub mod experiments;
 pub mod table;
 
 pub use table::Table;
+
+/// Run one experiment with a trace recorder installed, returning its
+/// tables plus the captured round-level event stream. The `tables`
+/// binary uses this for `--trace <dir>`, persisting a
+/// `<id>.trace.jsonl` next to each experiment's CSV output.
+pub fn run_traced(id: &str) -> (Vec<Table>, parqp_trace::Recorder) {
+    let (recorder, tables) = parqp_trace::Recorder::capture(|| experiments::run(id));
+    (tables, recorder)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn run_traced_captures_rounds() {
+        let (tables, rec) = super::run_traced("e06");
+        assert!(!tables.is_empty());
+        let totals = parqp_trace::analyze::totals(&rec);
+        assert!(totals.rounds >= 1);
+        assert!(totals.tuples > 0);
+    }
+}

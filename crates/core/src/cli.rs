@@ -7,6 +7,7 @@
 //! parqp run      --query "R(a,b), S(b,c)" --data r.csv s.csv --out out.csv
 //! parqp stats    --data r.csv --servers 64
 //! parqp generate --kind zipf --rows 10000 --domain 1000 --alpha 1.1 --out r.csv
+//! parqp trace    --experiment triangle-hypercube --servers 64 --format heatmap
 //! ```
 //!
 //! The logic lives in [`dispatch`] (pure: args in, report text out) so
@@ -31,20 +32,24 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "run" => plan_cmd(&opts, true),
         "stats" => stats(&opts),
         "generate" => generate(&opts),
+        "trace" => trace_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
      run      --query Q --data F... [--servers P] [--seed S] [--out F]\n\
      stats    --data F [--servers P]            degrees & heavy hitters\n\
      generate --kind uniform|zipf|graph --rows N [--domain D] [--alpha A]\n\
-              [--seed S] --out F                write a synthetic relation\n"
+              [--seed S] --out F                write a synthetic relation\n\
+     trace    --experiment E [--servers P] [--seed S] [--out F]\n\
+              [--format summary|heatmap|jsonl|chrome]\n\
+              trace a named experiment (no --experiment: list them)\n"
         .into()
 }
 
@@ -59,6 +64,8 @@ struct Opts {
     rows: usize,
     domain: u64,
     alpha: f64,
+    experiment: Option<String>,
+    format: Option<String>,
 }
 
 impl Opts {
@@ -73,6 +80,8 @@ impl Opts {
             rows: 10_000,
             domain: 1000,
             alpha: 1.0,
+            experiment: None,
+            format: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -120,6 +129,8 @@ impl Opts {
                         .parse()
                         .map_err(|e| format!("--alpha: {e}"))?;
                 }
+                "--experiment" => o.experiment = Some(value("--experiment")?),
+                "--format" => o.format = Some(value("--format")?),
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -253,6 +264,46 @@ fn generate(o: &Opts) -> Result<String, String> {
     Ok(format!("wrote {} tuples to {out}\n", rel.len()))
 }
 
+fn trace_cmd(o: &Opts) -> Result<String, String> {
+    use parqp_trace::{analyze, export};
+
+    let Some(name) = o.experiment.as_deref() else {
+        let mut s = String::from("available experiments (--experiment <name>):\n");
+        for e in crate::observe::EXPERIMENTS {
+            let _ = writeln!(s, "  {:<20} {}", e.name, e.description);
+        }
+        return Ok(s);
+    };
+    let rec = crate::observe::run_experiment(name, o.servers, o.seed)?;
+    let body = match o.format.as_deref().unwrap_or("summary") {
+        "summary" => {
+            let loads = analyze::round_loads(&rec);
+            let totals = analyze::totals(&rec);
+            let mut s = format!(
+                "experiment {name} on p = {} (seed {}): {} round(s), \
+                 {} tuples, {} words\n",
+                o.servers, o.seed, totals.rounds, totals.tuples, totals.words
+            );
+            s.push_str(&analyze::summary_table(&loads));
+            s
+        }
+        "heatmap" => analyze::heatmap(&analyze::round_loads(&rec), 16),
+        "jsonl" => export::jsonl(&rec),
+        "chrome" => export::chrome_trace(&rec),
+        other => {
+            return Err(format!(
+                "unknown --format {other:?} (summary|heatmap|jsonl|chrome)"
+            ))
+        }
+    };
+    if let Some(out) = &o.out {
+        std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n", body.len()))
+    } else {
+        Ok(body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +408,72 @@ mod tests {
     fn help_text() {
         let h = dispatch(&argv(&["help"])).expect("help");
         assert!(h.contains("usage: parqp"));
+    }
+
+    #[test]
+    fn trace_lists_experiments_without_name() {
+        let out = dispatch(&argv(&["trace"])).expect("listing works");
+        assert!(out.contains("triangle-hypercube"));
+        assert!(out.contains("psrs"));
+    }
+
+    #[test]
+    fn trace_summary_and_heatmap() {
+        let base = ["trace", "--experiment", "twoway-hash", "--servers", "8"];
+        let summary = dispatch(&argv(&base)).expect("summary works");
+        assert!(summary.contains("experiment twoway-hash on p = 8"));
+        assert!(summary.contains("L_max"));
+        let mut args = base.to_vec();
+        args.extend(["--format", "heatmap"]);
+        let heat = dispatch(&argv(&args)).expect("heatmap works");
+        assert!(heat.contains("load heatmap: 8 servers"));
+    }
+
+    #[test]
+    fn trace_jsonl_is_deterministic() {
+        let args = argv(&[
+            "trace",
+            "--experiment",
+            "psrs",
+            "--servers",
+            "4",
+            "--seed",
+            "9",
+            "--format",
+            "jsonl",
+        ]);
+        let a = dispatch(&args).expect("jsonl works");
+        let b = dispatch(&args).expect("jsonl works");
+        assert_eq!(a, b);
+        assert!(a.contains("\"round_begin\""));
+        assert!(a.contains("\"span_begin\""));
+    }
+
+    #[test]
+    fn trace_rejects_unknowns() {
+        assert!(dispatch(&argv(&["trace", "--experiment", "wat"])).is_err());
+        assert!(dispatch(&argv(&["trace", "--experiment", "psrs", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_writes_file() {
+        let dir = tmpdir("trace_out");
+        let f = dir.join("t.jsonl");
+        let out = dispatch(&argv(&[
+            "trace",
+            "--experiment",
+            "twoway-hash",
+            "--servers",
+            "4",
+            "--format",
+            "jsonl",
+            "--out",
+            f.to_str().expect("utf8"),
+        ]))
+        .expect("trace --out works");
+        assert!(out.contains("wrote"));
+        let body = std::fs::read_to_string(&f).expect("file written");
+        assert!(body.contains("\"round_end\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

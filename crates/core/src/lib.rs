@@ -39,8 +39,11 @@
 //! * [`planner`] — a heuristic that picks the right algorithm per input;
 //! * [`pipeline`] — join-then-aggregate pipelines (slide 52's
 //!   `GROUP BY` query);
+//! * [`trace`] — deterministic round-level observability (recorders,
+//!   exporters, load analysis);
+//! * [`observe`] — named trace experiments for `parqp trace`;
 //! * [`cli`] — the `parqp` command-line tool (plan/run/analyze/stats/
-//!   generate over CSV relations).
+//!   generate/trace over CSV relations).
 
 pub use parqp_data as data;
 pub use parqp_join as join;
@@ -49,9 +52,11 @@ pub use parqp_matmul as matmul;
 pub use parqp_mpc as mpc;
 pub use parqp_query as query;
 pub use parqp_sort as sort;
+pub use parqp_trace as trace;
 
 pub mod cli;
 pub mod model;
+pub mod observe;
 pub mod pipeline;
 pub mod planner;
 

@@ -1,0 +1,160 @@
+//! Named, deterministic trace experiments for the `parqp trace`
+//! subcommand and the CI smoke test.
+//!
+//! Each experiment builds a synthetic input from the seed, runs one of
+//! the tutorial's algorithms under an installed [`parqp_trace::Recorder`]
+//! and returns the captured event stream. Everything downstream of the
+//! `(name, servers, seed)` triple is deterministic — running the same
+//! experiment twice yields byte-identical JSONL exports, which the
+//! `trace_invariants` integration test asserts.
+
+use parqp_data::generate;
+use parqp_query::Query;
+use parqp_trace::Recorder;
+
+/// A named experiment: a deterministic algorithm run to trace.
+pub struct Experiment {
+    /// CLI name (`--experiment <name>`).
+    pub name: &'static str,
+    /// One-line description shown by `parqp trace` without arguments.
+    pub description: &'static str,
+}
+
+/// Every experiment `parqp trace` knows about.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "triangle-hypercube",
+        description: "HyperCube triangle join over a random symmetric graph",
+    },
+    Experiment {
+        name: "twoway-hash",
+        description: "two-way hash join of uniform relations",
+    },
+    Experiment {
+        name: "twoway-skew",
+        description: "skew join of a zipf-skewed relation against a uniform one",
+    },
+    Experiment {
+        name: "chain-binary",
+        description: "3-atom chain query via the binary join plan (multi-round)",
+    },
+    Experiment {
+        name: "skewhc-triangle",
+        description: "SkewHC triangle join over zipf-skewed edges",
+    },
+    Experiment {
+        name: "psrs",
+        description: "2-round parallel sorting by regular sampling",
+    },
+    Experiment {
+        name: "multiround-sort",
+        description: "splitter-tree distribution sort, fan-out 4",
+    },
+    Experiment {
+        name: "matmul-square",
+        description: "multi-round square-block matrix multiplication",
+    },
+];
+
+/// Run the named experiment on `servers` simulated servers, capturing
+/// its trace. Returns `Err` for unknown names (with the known ones
+/// listed).
+pub fn run_experiment(name: &str, servers: usize, seed: u64) -> Result<Recorder, String> {
+    assert!(servers >= 1, "need at least one server");
+    let run: fn(usize, u64) = match name {
+        "triangle-hypercube" => |p, s| {
+            let q = Query::triangle();
+            let g = generate::random_symmetric_graph(120, 900, s);
+            parqp_join::multiway::hypercube(&q, &[g.clone(), g.clone(), g], p, s);
+        },
+        "twoway-hash" => |p, s| {
+            let r = generate::uniform(2, 4000, 500, s);
+            let t = generate::uniform(2, 4000, 500, s.wrapping_add(1));
+            parqp_join::twoway::hash_join(&r, 1, &t, 0, p, s);
+        },
+        "twoway-skew" => |p, s| {
+            let r = generate::zipf_pairs(4000, 1000, 1.2, 0, s);
+            let t = generate::uniform(2, 4000, 1000, s.wrapping_add(1));
+            parqp_join::twoway::skew_join(&r, 0, &t, 0, p, s);
+        },
+        "chain-binary" => |p, s| {
+            let q = Query::chain(3);
+            let rels: Vec<_> = (0..3)
+                .map(|i| generate::uniform(2, 800, 120, s.wrapping_add(i)))
+                .collect();
+            parqp_join::plans::binary_join_plan(&q, &rels, p, s, None);
+        },
+        "skewhc-triangle" => |p, s| {
+            let q = Query::triangle();
+            let rels: Vec<_> = (0..3)
+                .map(|i| generate::zipf_pairs(1500, 400, 1.1, 0, s.wrapping_add(i)))
+                .collect();
+            parqp_join::skewhc::skewhc(&q, &rels, p, s);
+        },
+        "psrs" => |p, s| {
+            let keys = sort_input(20_000, s);
+            let mut cluster = parqp_mpc::Cluster::new(p);
+            let local = cluster.scatter(keys);
+            parqp_sort::psrs(&mut cluster, local);
+        },
+        "multiround-sort" => |p, s| {
+            let keys = sort_input(20_000, s);
+            let mut cluster = parqp_mpc::Cluster::new(p);
+            let local = cluster.scatter(keys);
+            parqp_sort::multiround_sort(&mut cluster, local, 4);
+        },
+        "matmul-square" => |p, s| {
+            let a = parqp_matmul::Matrix::random(24, s);
+            let b = parqp_matmul::Matrix::random(24, s.wrapping_add(1));
+            parqp_matmul::square_block(&a, &b, 4, p);
+        },
+        other => {
+            let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+            return Err(format!(
+                "unknown experiment {other:?}; known: {}",
+                known.join(", ")
+            ));
+        }
+    };
+    let (recorder, ()) = Recorder::capture(|| run(servers, seed));
+    Ok(recorder)
+}
+
+/// Deterministic sort input: `n` keys drawn through the data
+/// generator's seeded hashing (no global RNG involved).
+fn sort_input(n: usize, seed: u64) -> Vec<u64> {
+    let rel = generate::uniform(1, n, 1 << 32, seed);
+    rel.iter().map(|row| row[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parqp_trace::analyze;
+
+    #[test]
+    fn every_listed_experiment_runs_and_traces() {
+        for e in EXPERIMENTS {
+            let rec = run_experiment(e.name, 8, 7).expect("known experiment");
+            let totals = analyze::totals(&rec);
+            assert!(totals.rounds >= 1, "{}: no rounds traced", e.name);
+            assert!(totals.tuples > 0, "{}: no tuples traced", e.name);
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_lists_known_names() {
+        let err = run_experiment("nope", 4, 1).expect_err("unknown name");
+        assert!(err.contains("triangle-hypercube"));
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = run_experiment("twoway-hash", 8, 3).expect("runs");
+        let b = run_experiment("twoway-hash", 8, 3).expect("runs");
+        assert_eq!(
+            a.events().collect::<Vec<_>>(),
+            b.events().collect::<Vec<_>>()
+        );
+    }
+}

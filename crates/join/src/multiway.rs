@@ -15,7 +15,7 @@
 
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::Relation;
-use parqp_mpc::{Cluster, Grid, HashFamily};
+use parqp_mpc::{trace, Cluster, Grid, HashFamily};
 use parqp_query::{evaluate, Query};
 
 /// Run the HyperCube algorithm with LP-optimal integer shares.
@@ -75,10 +75,12 @@ pub fn hypercube_with_shares(
     let mut cluster = Cluster::new(grid.len());
     let h = HashFamily::new(seed, query.num_vars());
 
+    let shuffle = trace::span("hypercube/shuffle");
     let mut ex = cluster.exchange::<Tagged>();
     for (j, rel) in rels.iter().enumerate() {
         let atom = &query.atoms()[j];
-        for part in scatter(rel, grid.len()) {
+        for (sid, part) in scatter(rel, grid.len()).into_iter().enumerate() {
+            ex.set_sender(sid);
             for row in part.iter() {
                 let mut partial: Vec<Option<usize>> = vec![None; query.num_vars()];
                 for (pos, &v) in atom.vars.iter().enumerate() {
@@ -89,7 +91,9 @@ pub fn hypercube_with_shares(
         }
     }
     let inboxes = ex.finish();
+    drop(shuffle);
 
+    let evaluate_span = trace::span("hypercube/evaluate");
     let outputs = inboxes
         .into_iter()
         .map(|inbox| {
@@ -104,6 +108,7 @@ pub fn hypercube_with_shares(
             evaluate(query, &fragments)
         })
         .collect();
+    drop(evaluate_span);
     JoinRun {
         outputs,
         report: cluster.report(),

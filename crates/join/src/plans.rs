@@ -13,7 +13,7 @@
 
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::{FastMap, Relation, Value};
-use parqp_mpc::{Cluster, Grid, HashFamily};
+use parqp_mpc::{trace, Cluster, Grid, HashFamily};
 use parqp_query::{Query, Var};
 
 const TAG_LEFT: u32 = 0;
@@ -88,12 +88,14 @@ pub fn binary_join_plan(
 
         let inboxes = if shared_left.is_empty() {
             // Cartesian round on a product grid.
+            let _span = trace::span("binary_plan/cartesian");
             let left_n: usize = parts.iter().map(Vec::len).sum();
             let (p1, p2) = crate::twoway::product_grid(left_n, rels[next].len(), p);
             let grid = Grid::new(vec![p1, p2]);
             let mut ex = cluster.exchange::<Tagged>();
             let mut idx = 0u64;
-            for part in &parts {
+            for (sid, part) in parts.iter().enumerate() {
+                ex.set_sender(sid);
                 for row in part {
                     let band = (h.digest(0, idx) % p1 as u64) as usize;
                     idx += 1;
@@ -103,7 +105,8 @@ pub fn binary_join_plan(
                 }
             }
             idx = 0;
-            for part in &right_parts {
+            for (sid, part) in right_parts.iter().enumerate() {
+                ex.set_sender(sid);
                 for row in part.iter() {
                     let band = (h.digest(0, !idx) % p2 as u64) as usize;
                     idx += 1;
@@ -116,14 +119,17 @@ pub fn binary_join_plan(
             boxes.resize_with(p, Vec::new); // grid may use fewer than p servers
             boxes
         } else {
+            let _span = trace::span("binary_plan/join");
             let mut ex = cluster.exchange::<Tagged>();
-            for part in &parts {
+            for (sid, part) in parts.iter().enumerate() {
+                ex.set_sender(sid);
                 for row in part {
                     let dest = (combined_hash(&h, row, &shared_left) % p as u64) as usize;
                     ex.send(dest, Tagged::new(TAG_LEFT, row.clone()));
                 }
             }
-            for part in &right_parts {
+            for (sid, part) in right_parts.iter().enumerate() {
+                ex.set_sender(sid);
                 for row in part.iter() {
                     let dest = (combined_hash(&h, row, &shared_right) % p as u64) as usize;
                     ex.send(dest, Tagged::new(TAG_RIGHT, row.to_vec()));

@@ -25,7 +25,7 @@
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::stats::degree_counts;
 use parqp_data::{FastSet, Relation, Value};
-use parqp_mpc::{Cluster, Grid, HashFamily};
+use parqp_mpc::{trace, Cluster, Grid, HashFamily};
 use parqp_query::{evaluate, residual, Query};
 
 /// One heavy/light combination's execution plan.
@@ -136,10 +136,12 @@ pub fn skewhc_with_plans(
     let grids: Vec<Grid> = plans.iter().map(|c| Grid::new(c.shares.clone())).collect();
 
     // One round: every tuple goes to each compatible combination's grid.
+    let shuffle = trace::span("skewhc/shuffle");
     let mut ex = cluster.exchange::<Tagged>();
     for (j, rel) in rels.iter().enumerate() {
         let atom = &query.atoms()[j];
-        for part in scatter(rel, total_servers) {
+        for (sid, part) in scatter(rel, total_servers).into_iter().enumerate() {
+            ex.set_sender(sid);
             for row in part.iter() {
                 // Status of the atom's own variables.
                 let mut own_mask = 0usize;
@@ -170,7 +172,9 @@ pub fn skewhc_with_plans(
         }
     }
     let inboxes = ex.finish();
+    drop(shuffle);
 
+    let _span = trace::span("skewhc/evaluate");
     let outputs = inboxes
         .into_iter()
         .map(|inbox| {

@@ -14,7 +14,7 @@
 use crate::common::{joined_arity, local_hash_join, merge_rows, scatter, JoinRun, Tagged};
 use parqp_data::stats::{degree_counts, join_heavy_hitters, join_output_size};
 use parqp_data::{Relation, Value};
-use parqp_mpc::{Cluster, HashFamily, LoadReport, Weight};
+use parqp_mpc::{trace, Cluster, HashFamily, LoadReport, Weight};
 
 const TAG_R: u32 = 0;
 const TAG_S: u32 = 1;
@@ -49,13 +49,16 @@ pub fn hash_join(
     let r_parts = scatter(r, p);
     let s_parts = scatter(s, p);
 
+    let _span = trace::span("hash_join/partition");
     let mut ex = cluster.exchange::<Tagged>();
-    for part in &r_parts {
+    for (sid, part) in r_parts.iter().enumerate() {
+        ex.set_sender(sid);
         for row in part.iter() {
             ex.send(h.hash(0, row[r_col], p), Tagged::new(TAG_R, row.to_vec()));
         }
     }
-    for part in &s_parts {
+    for (sid, part) in s_parts.iter().enumerate() {
+        ex.set_sender(sid);
         for row in part.iter() {
             ex.send(h.hash(0, row[s_col], p), Tagged::new(TAG_S, row.to_vec()));
         }
@@ -85,8 +88,10 @@ pub fn broadcast_join(r: &Relation, r_col: usize, s: &Relation, s_col: usize, p:
     let r_parts = scatter(r, p);
     let s_parts = scatter(s, p);
 
+    let _span = trace::span("broadcast_join/replicate");
     let mut ex = cluster.exchange::<Vec<Value>>();
-    for part in &r_parts {
+    for (sid, part) in r_parts.iter().enumerate() {
+        ex.set_sender(sid);
         for row in part.iter() {
             ex.broadcast(row.to_vec());
         }
@@ -149,9 +154,11 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
     let r_parts = scatter(r, grid.len());
     let s_parts = scatter(s, grid.len());
 
+    let _span = trace::span("cartesian/scatter");
     let mut ex = cluster.exchange::<Tagged>();
     let mut index = 0u64;
-    for part in &r_parts {
+    for (sid, part) in r_parts.iter().enumerate() {
+        ex.set_sender(sid);
         for row in part.iter() {
             let band = h.hash(0, index, p1);
             index += 1;
@@ -159,7 +166,8 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
         }
     }
     index = 0;
-    for part in &s_parts {
+    for (sid, part) in s_parts.iter().enumerate() {
+        ex.set_sender(sid);
         for row in part.iter() {
             let band = h.hash(1, index, p2);
             index += 1;
@@ -277,10 +285,13 @@ pub fn skew_join(
     // Run each group on its own sub-cluster; they share the single round.
     let mut outputs = Vec::new();
     let mut reports = Vec::new();
+    let light_span = trace::span("skew_join/light");
     let light_run = hash_join(&r_light, r_col, &s_light, s_col, alloc[0], seed);
+    drop(light_span);
     outputs.extend(light_run.outputs);
     reports.push(light_run.report);
 
+    let _span = trace::span("skew_join/heavy");
     for (i, &b) in heavy.iter().enumerate() {
         let rb = r.filter(|row| row[r_col] == b);
         let sb = s.filter(|row| row[s_col] == b);
@@ -360,14 +371,18 @@ pub fn sort_merge_join(
         });
     }
     let local = cluster.scatter(items);
+    let psrs_span = trace::span("sort_merge/psrs");
     let parts = parqp_sort::psrs_by(&mut cluster, local, |it| (it.key, it.tie));
+    drop(psrs_span);
 
     // Boundary exchange: everyone learns every server's key span plus the
     // per-side row counts at the two boundary keys, so all servers can
     // agree on the *size-aware* grid for every crossing key (a crossing
     // key is the min or max of each of its holders).
+    let boundary_span = trace::span("sort_merge/boundaries");
     let mut ex = cluster.exchange::<Vec<u64>>();
     for (sid, part) in parts.iter().enumerate() {
+        ex.set_sender(sid);
         if let (Some(first), Some(last)) = (part.first(), part.last()) {
             let count = |key: Value, tag: u32| -> u64 {
                 part.iter()
@@ -386,6 +401,7 @@ pub fn sort_merge_join(
         }
     }
     let spans_raw = ex.finish();
+    drop(boundary_span);
     let spans: Vec<(usize, Value, Value)> = spans_raw[0]
         .iter()
         .map(|m| (m[0] as usize, m[1], m[2]))
@@ -428,8 +444,10 @@ pub fn sort_merge_join(
 
     // Redistribution round: rows of crossing keys go to a grid inside the
     // key's holder range; everything else joins locally, no communication.
+    let _span = trace::span("sort_merge/crossing");
     let mut ex = cluster.exchange::<SortItem>();
-    for part in &parts {
+    for (sid, part) in parts.iter().enumerate() {
+        ex.set_sender(sid);
         for item in part {
             if !crossing_keys.contains(&item.key) {
                 continue;

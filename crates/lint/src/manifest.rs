@@ -25,22 +25,25 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     (
         "bench",
         &[
-            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "testkit",
+            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "testkit",
         ],
     ),
     (
         "core",
-        &["mpc", "data", "lp", "query", "join", "sort", "matmul"],
+        &[
+            "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace",
+        ],
     ),
     ("data", &["testkit"]),
     ("join", &["mpc", "data", "lp", "query", "sort"]),
     ("lint", &[]),
     ("lp", &[]),
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
-    ("mpc", &[]),
+    ("mpc", &["trace"]),
     ("query", &["data", "lp"]),
     ("sort", &["mpc", "data"]),
     ("testkit", &[]),
+    ("trace", &[]),
 ];
 
 /// Crates whose algorithms are *defined* in terms of seeded randomness
@@ -267,8 +270,9 @@ mod tests {
 
     #[test]
     fn dag_matches_design_doc_shape() {
-        // Spot-check the table itself: mpc and lp are leaves, core sees
-        // every algorithm crate, nothing depends on lint.
+        // Spot-check the table itself: trace and lp are leaves, mpc sees
+        // only the trace sink, core sees every algorithm crate, nothing
+        // depends on lint.
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -276,9 +280,11 @@ mod tests {
                 .map(|(_, d)| *d)
                 .expect("crate in table")
         };
-        assert!(find("mpc").is_empty());
+        assert_eq!(find("mpc"), &["trace"]);
+        assert!(find("trace").is_empty());
         assert!(find("lp").is_empty());
         assert!(find("core").contains(&"join"));
+        assert!(find("core").contains(&"trace"));
         for (_, deps) in ALLOWED_DEPS {
             assert!(!deps.contains(&"lint"), "nothing may depend on the linter");
         }

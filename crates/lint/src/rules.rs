@@ -18,6 +18,9 @@
 //! |       |             | and simulator crates                                    |
 //! | PQ104 | layering    | constructing accounting types (`RoundStats`, literal    |
 //! |       |             | `LoadReport`, an `Exchange` type) outside `parqp-mpc`   |
+//! | PQ105 | layering    | fabricating trace events (`TraceEvent`, `trace::emit`)  |
+//! |       |             | outside `parqp-mpc`/`parqp-trace`; algorithm crates     |
+//! |       |             | may only open `trace::span` labels                      |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -27,10 +30,10 @@ use crate::tokenize::SourceFile;
 use crate::Diagnostic;
 
 /// Crate names whose `src/` the side-channel rule PQ103 applies to:
-/// the simulator and the pure algorithm crates. `data` (file I/O),
-/// `core` (CLI), `bench` (CSV output), `testkit` (env-var knobs) and
-/// `lint` (this tool) legitimately touch the OS.
-pub const SIDE_CHANNEL_SCOPE: &[&str] = &["mpc", "lp", "query", "join", "sort", "matmul"];
+/// the simulator, the trace sink and the pure algorithm crates. `data`
+/// (file I/O), `core` (CLI), `bench` (CSV output), `testkit` (env-var
+/// knobs) and `lint` (this tool) legitimately touch the OS.
+pub const SIDE_CHANNEL_SCOPE: &[&str] = &["mpc", "lp", "query", "join", "sort", "matmul", "trace"];
 
 /// A banned token with its rule, message, and crate scope.
 struct TokenRule {
@@ -155,6 +158,20 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc owns the exchange primitive; route communication through Cluster::exchange",
         scope: None,
         exempt: &["mpc"],
+    },
+    TokenRule {
+        rule: "PQ105",
+        token: "TraceEvent",
+        message: "only parqp-mpc fabricates communication trace events (in Cluster::exchange); algorithm crates may only open trace::span labels",
+        scope: None,
+        exempt: &["mpc", "trace"],
+    },
+    TokenRule {
+        rule: "PQ105",
+        token: "trace::emit",
+        message: "only parqp-mpc emits trace events, so traces mirror the exchange ledger exactly; use trace::span for labels",
+        scope: None,
+        exempt: &["mpc", "trace"],
     },
 ];
 
@@ -329,6 +346,24 @@ mod tests {
         // data owns io.rs; core owns the CLI.
         assert!(rules_of("data", "use std::fs;\n").is_empty());
         assert!(rules_of("core", "use std::env;\n").is_empty());
+        // the trace sink is as pure as the simulator it observes.
+        assert_eq!(rules_of("trace", "use std::fs;\n"), vec![("PQ103", 1)]);
+    }
+
+    #[test]
+    fn trace_event_fabrication_flagged_outside_mpc_and_trace() {
+        let emit = "trace::emit(TraceEvent::RoundEnd { round, tuples, words });\n";
+        assert_eq!(rules_of("join", emit), vec![("PQ105", 1), ("PQ105", 1)]);
+        assert_eq!(rules_of("core", emit), vec![("PQ105", 1), ("PQ105", 1)]);
+        assert!(rules_of("mpc", emit).is_empty());
+        assert!(rules_of("trace", emit).is_empty());
+    }
+
+    #[test]
+    fn trace_spans_allowed_everywhere() {
+        let src = "let _span = trace::span(\"hypercube/shuffle\");\n";
+        assert!(rules_of("join", src).is_empty());
+        assert!(rules_of("sort", src).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::dense::Matrix;
 use crate::MatMulRun;
-use parqp_mpc::{Cluster, Grid, Weight};
+use parqp_mpc::{trace, Cluster, Grid, Weight};
 
 /// A contiguous vector of matrix elements on the wire, tagged with the
 /// row/column index it came from. Each element is one word; the tag is
@@ -52,6 +52,7 @@ pub fn rect_block(a: &Matrix, b: &Matrix, t: usize) -> MatMulRun {
     // One round: row i of A goes to every processor in row-group i/t;
     // column j of B to every processor in column-group j/t. Ids ≥ n mark
     // columns so receivers can split their inbox.
+    let scatter_span = trace::span("matmul_rect/scatter");
     let mut ex = cluster.exchange::<Strip>();
     for i in 0..n {
         let strip = Strip {
@@ -68,8 +69,10 @@ pub fn rect_block(a: &Matrix, b: &Matrix, t: usize) -> MatMulRun {
         ex.send_matching(&grid, &[None, Some(j / t)], strip);
     }
     let inboxes = ex.finish();
+    drop(scatter_span);
 
     // Local: each processor multiplies its rows × columns block.
+    let _span = trace::span("matmul_rect/multiply");
     let mut c = Matrix::zeros(n);
     for (rank, inbox) in inboxes.into_iter().enumerate() {
         let coords = grid.coords(rank);

@@ -20,7 +20,7 @@
 
 use crate::dense::Matrix;
 use crate::MatMulRun;
-use parqp_mpc::{Cluster, Weight};
+use parqp_mpc::{trace, Cluster, Weight};
 
 /// An `nb × nb` block on the wire (row-major), with its block coordinates.
 #[derive(Debug, Clone)]
@@ -67,6 +67,7 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
     let mut partial: Vec<parqp_data::FastMap<(usize, usize), Vec<f64>>> =
         vec![parqp_data::FastMap::default(); p];
 
+    let multiply_span = trace::span("matmul_square/multiply");
     for round in 0..rounds {
         let mut ex = cluster.exchange::<BlockMsg>();
         let lo = round * p;
@@ -131,6 +132,7 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
             }
         }
     }
+    drop(multiply_span);
 
     // Aggregation: if several processors hold partials of the same C
     // block, one more round routes them to the block's owner (slide 121).
@@ -141,8 +143,10 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
         .any(|(proc, m)| m.keys().any(|&(i, k)| owner(i, k) != proc));
     let mut c = Matrix::zeros(n);
     if needs_aggregation {
+        let _span = trace::span("matmul_square/aggregate");
         let mut ex = cluster.exchange::<BlockMsg>();
         for (proc, blocks) in partial.iter().enumerate() {
+            ex.set_sender(proc);
             for (&(i, k), vals) in blocks {
                 let dest = owner(i, k);
                 if dest != proc {

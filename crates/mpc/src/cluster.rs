@@ -35,6 +35,7 @@ use crate::error::MpcError;
 use crate::grid::Grid;
 use crate::stats::{LoadReport, RoundStats};
 use crate::weight::Weight;
+use parqp_trace::{self as trace, TraceEvent};
 
 /// A simulated MPC cluster of `p` shared-nothing servers.
 #[derive(Debug)]
@@ -57,6 +58,7 @@ impl Cluster {
 
     /// Fallible [`Cluster::new`]: errors on an empty cluster instead of
     /// panicking, for callers sizing clusters from untrusted input.
+    #[must_use = "the cluster (or the sizing error) must be inspected"]
     pub fn try_new(p: usize) -> Result<Self, MpcError> {
         if p == 0 {
             return Err(MpcError::EmptyTopology { what: "cluster" });
@@ -80,6 +82,7 @@ impl Cluster {
             inboxes: (0..self.p).map(|_| Vec::new()).collect(),
             tuples: vec![0; self.p],
             words: vec![0; self.p],
+            trace: trace::is_enabled().then(|| Box::new(ExchangeTrace::new(self.p))),
             cluster: self,
         }
     }
@@ -110,6 +113,7 @@ impl Cluster {
     }
 
     /// Fallible [`Cluster::record_round`].
+    #[must_use = "an Err means the round was NOT recorded"]
     pub fn try_record_round(&mut self, tuples: Vec<u64>, words: Vec<u64>) -> Result<(), MpcError> {
         for len in [tuples.len(), words.len()] {
             if len != self.p {
@@ -118,6 +122,9 @@ impl Cluster {
                     expected: self.p,
                 });
             }
+        }
+        if trace::is_enabled() {
+            emit_round_events(self.rounds.len(), self.p, &tuples, &words, None, None);
         }
         self.rounds.push(RoundStats { tuples, words });
         Ok(())
@@ -142,6 +149,85 @@ impl Cluster {
     }
 }
 
+/// Per-exchange trace state, allocated only while a sink is installed
+/// (see [`parqp_trace::install`]): send-side attribution and the grid
+/// the round routed over. Boxed so the untraced hot path pays one
+/// `Option` discriminant, not three vectors.
+#[derive(Debug)]
+struct ExchangeTrace {
+    /// Server whose sends are currently being attributed, set by
+    /// [`Exchange::set_sender`]; `None` = unattributed.
+    sender: Option<usize>,
+    sent_msgs: Vec<u64>,
+    sent_words: Vec<u64>,
+    dims: Option<Vec<usize>>,
+}
+
+impl ExchangeTrace {
+    fn new(p: usize) -> Self {
+        Self {
+            sender: None,
+            sent_msgs: vec![0; p],
+            sent_words: vec![0; p],
+            dims: None,
+        }
+    }
+}
+
+/// Emit one round's trace block: `RoundBegin`, optional `Topology`,
+/// per-server `Send`s (attributed fan-out) and `Recv`s (nonzero loads
+/// only — `RoundBegin.servers` reconstructs the zeros), `RoundEnd`
+/// with the round totals. This free function is the single place
+/// communication events are born; everything downstream of it only
+/// *reads* the stream (lint rule PQ105).
+fn emit_round_events(
+    round: usize,
+    servers: usize,
+    tuples: &[u64],
+    words: &[u64],
+    sent: Option<(&[u64], &[u64])>,
+    dims: Option<&[usize]>,
+) {
+    trace::emit(TraceEvent::RoundBegin { round, servers });
+    if let Some(dims) = dims {
+        trace::emit(TraceEvent::Topology {
+            round,
+            dims: dims.to_vec(),
+        });
+    }
+    if let Some((msgs, sent_words)) = sent {
+        for (server, (&m, &w)) in msgs.iter().zip(sent_words).enumerate() {
+            if m > 0 {
+                trace::emit(TraceEvent::Send {
+                    round,
+                    server,
+                    msgs: m,
+                    words: w,
+                });
+            }
+        }
+    }
+    let mut total_tuples = 0;
+    let mut total_words = 0;
+    for (server, (&t, &w)) in tuples.iter().zip(words).enumerate() {
+        total_tuples += t;
+        total_words += w;
+        if t > 0 || w > 0 {
+            trace::emit(TraceEvent::Recv {
+                round,
+                server,
+                tuples: t,
+                words: w,
+            });
+        }
+    }
+    trace::emit(TraceEvent::RoundEnd {
+        round,
+        tuples: total_tuples,
+        words: total_words,
+    });
+}
+
 /// An in-progress communication round on a [`Cluster`].
 ///
 /// Created by [`Cluster::exchange`]; every `send` charges the destination
@@ -153,6 +239,8 @@ pub struct Exchange<'c, T: Weight> {
     inboxes: Vec<Vec<T>>,
     tuples: Vec<u64>,
     words: Vec<u64>,
+    /// `Some` iff a trace sink was installed when the exchange began.
+    trace: Option<Box<ExchangeTrace>>,
 }
 
 impl<T: Weight> Exchange<'_, T> {
@@ -177,8 +265,10 @@ impl<T: Weight> Exchange<'_, T> {
     /// instead of panicking. This is the simulator's hottest path — the
     /// single bounds probe below is the only check, and the two charged
     /// counters are in-bounds by construction (all three vectors share
-    /// length `p`).
+    /// length `p`). The trace branch costs one predictable-`None` test
+    /// when no sink is installed.
     #[inline]
+    #[must_use = "an Err means the message was NOT sent or charged"]
     pub fn try_send(&mut self, dest: usize, msg: T) -> Result<(), MpcError> {
         let Some(inbox) = self.inboxes.get_mut(dest) else {
             return Err(MpcError::BadServer {
@@ -186,10 +276,29 @@ impl<T: Weight> Exchange<'_, T> {
                 p: self.cluster.p,
             });
         };
+        let w = msg.words();
         self.tuples[dest] += 1;
-        self.words[dest] += msg.words();
+        self.words[dest] += w;
         inbox.push(msg);
+        if let Some(tr) = &mut self.trace {
+            if let Some(s) = tr.sender {
+                tr.sent_msgs[s] += 1;
+                tr.sent_words[s] += w;
+            }
+        }
         Ok(())
+    }
+
+    /// Declare that subsequent sends originate from server `sender`, for
+    /// the trace's per-server fan-out attribution. Purely observational:
+    /// the ledger charges destinations regardless, and the call is a
+    /// no-op when no trace sink is installed. Out-of-range senders are
+    /// recorded as unattributed.
+    #[inline]
+    pub fn set_sender(&mut self, sender: usize) {
+        if let Some(tr) = &mut self.trace {
+            tr.sender = (sender < tr.sent_msgs.len()).then_some(sender);
+        }
     }
 
     /// Send `msg` to every server (a broadcast costs `p` messages).
@@ -211,13 +320,33 @@ impl<T: Weight> Exchange<'_, T> {
         T: Clone,
     {
         debug_assert_eq!(grid.len(), self.cluster.p, "grid does not span the cluster");
+        if let Some(tr) = &mut self.trace {
+            if tr.dims.is_none() {
+                tr.dims = Some(grid.dims().to_vec());
+            }
+        }
         for dest in grid.matching(partial) {
             self.send(dest, msg.clone());
         }
     }
 
-    /// Deliver all messages, record the round, and return per-server inboxes.
+    /// Deliver all messages, record the round, and return per-server
+    /// inboxes. When a trace sink is installed this also emits the
+    /// round's event block ([`TraceEvent::RoundBegin`] … `RoundEnd`),
+    /// mirroring exactly what the ledger records — dropped and
+    /// [`finish_untracked`](Exchange::finish_untracked) exchanges emit
+    /// nothing, so trace totals always agree with the [`LoadReport`].
     pub fn finish(self) -> Vec<Vec<T>> {
+        if let Some(tr) = &self.trace {
+            emit_round_events(
+                self.cluster.rounds.len(),
+                self.cluster.p,
+                &self.tuples,
+                &self.words,
+                Some((&tr.sent_msgs, &tr.sent_words)),
+                tr.dims.as_deref(),
+            );
+        }
         self.cluster.rounds.push(RoundStats {
             tuples: self.tuples,
             words: self.words,
@@ -336,6 +465,124 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn traced_exchange_emits_round_block() {
+        use parqp_trace::{Recorder, TraceEvent};
+        let (rec, report) = Recorder::capture(|| {
+            let mut c = Cluster::new(3);
+            let mut ex = c.exchange::<Vec<u64>>();
+            ex.set_sender(1);
+            ex.send(0, vec![1, 2]);
+            ex.send(2, vec![3]);
+            ex.finish();
+            c.report()
+        });
+        let events: Vec<&TraceEvent> = rec.events().collect();
+        assert_eq!(
+            events[0],
+            &TraceEvent::RoundBegin {
+                round: 0,
+                servers: 3
+            }
+        );
+        assert_eq!(
+            events[1],
+            &TraceEvent::Send {
+                round: 0,
+                server: 1,
+                msgs: 2,
+                words: 3
+            }
+        );
+        // Zero-load server 1 is elided from the Recv events.
+        assert_eq!(
+            events[2],
+            &TraceEvent::Recv {
+                round: 0,
+                server: 0,
+                tuples: 1,
+                words: 2
+            }
+        );
+        assert_eq!(
+            events[3],
+            &TraceEvent::Recv {
+                round: 0,
+                server: 2,
+                tuples: 1,
+                words: 1
+            }
+        );
+        assert_eq!(
+            events[4],
+            &TraceEvent::RoundEnd {
+                round: 0,
+                tuples: 2,
+                words: 3
+            }
+        );
+        assert_eq!(events.len(), 5);
+        assert_eq!(report.total_tuples(), 2);
+    }
+
+    #[test]
+    fn traced_send_matching_carries_topology() {
+        use parqp_trace::{Recorder, TraceEvent};
+        let (rec, ()) = Recorder::capture(|| {
+            let mut c = Cluster::new(6);
+            let g = Grid::new(vec![2, 3]);
+            let mut ex = c.exchange::<u64>();
+            ex.send_matching(&g, &[Some(1), None], 7);
+            ex.finish();
+        });
+        assert!(rec.events().any(|e| matches!(
+            e,
+            TraceEvent::Topology { round: 0, dims } if dims == &vec![2, 3]
+        )));
+    }
+
+    #[test]
+    fn untracked_and_dropped_exchanges_emit_nothing() {
+        use parqp_trace::Recorder;
+        let (rec, ()) = Recorder::capture(|| {
+            let mut c = Cluster::new(2);
+            let mut ex = c.exchange::<u64>();
+            ex.send(0, 1);
+            ex.finish_untracked();
+            let mut ex = c.exchange::<u64>();
+            ex.send(1, 2);
+            drop(ex);
+        });
+        assert!(rec.is_empty(), "trace must mirror the ledger exactly");
+    }
+
+    #[test]
+    fn traced_record_round_emits_block() {
+        use parqp_trace::{Recorder, TraceEvent};
+        let (rec, ()) = Recorder::capture(|| {
+            let mut c = Cluster::new(2);
+            c.record_round(vec![3, 0], vec![6, 0]);
+        });
+        let events: Vec<&TraceEvent> = rec.events().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[1],
+            &TraceEvent::Recv {
+                round: 0,
+                server: 0,
+                tuples: 3,
+                words: 6
+            }
+        );
+    }
+
+    #[test]
+    fn untraced_run_allocates_no_trace_state() {
+        let mut c = Cluster::new(2);
+        let ex = c.exchange::<u64>();
+        assert!(ex.trace.is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@ impl Grid {
 
     /// Fallible [`Grid::new`]: errors on a zero dimension instead of
     /// panicking, for callers deriving shares from untrusted input.
+    #[must_use = "the grid (or the sizing error) must be inspected"]
     pub fn try_new(dims: Vec<usize>) -> Result<Self, MpcError> {
         if dims.contains(&0) {
             return Err(MpcError::EmptyTopology { what: "grid" });
@@ -77,6 +78,7 @@ impl Grid {
     }
 
     /// Fallible [`Grid::rank`].
+    #[must_use = "ranks are pure lookups; ignoring the result does nothing"]
     pub fn try_rank(&self, coords: &[usize]) -> Result<usize, MpcError> {
         if coords.len() != self.dims.len() {
             return Err(MpcError::BadArity {
@@ -110,6 +112,7 @@ impl Grid {
     }
 
     /// Fallible [`Grid::coords`].
+    #[must_use = "coordinates are pure lookups; ignoring the result does nothing"]
     pub fn try_coords(&self, rank: usize) -> Result<Vec<usize>, MpcError> {
         if rank >= self.len() {
             return Err(MpcError::BadRank {
@@ -144,6 +147,7 @@ impl Grid {
     }
 
     /// Fallible [`Grid::matching`].
+    #[must_use = "the broadcast set is a pure enumeration; ignoring the result does nothing"]
     pub fn try_matching(&self, partial: &[Option<usize>]) -> Result<Vec<usize>, MpcError> {
         if partial.len() != self.dims.len() {
             return Err(MpcError::BadArity {

@@ -29,7 +29,13 @@
 //! * [`grid`] — `p₁ × … × p_k` hypercube topologies with `*`-broadcast
 //!   (the HyperCube algorithm's addressing primitive, slide 35);
 //! * [`hash`] — a seeded family of independent hash functions;
-//! * [`weight`] — how many words a message counts for.
+//! * [`weight`] — how many words a message counts for;
+//! * [`trace`] — re-export of `parqp-trace`: install a
+//!   [`trace::Recorder`] (e.g. via [`trace::Recorder::capture`]) and
+//!   every recorded round also emits structured [`trace::TraceEvent`]s
+//!   (per-server loads, send fan-out, grid topology). Only this crate
+//!   emits communication events (lint rule PQ105); algorithm crates
+//!   label their phases with [`trace::span`].
 
 pub mod cluster;
 pub mod error;
@@ -37,6 +43,8 @@ pub mod grid;
 pub mod hash;
 pub mod stats;
 pub mod weight;
+
+pub use parqp_trace as trace;
 
 pub use cluster::{Cluster, Exchange};
 pub use error::MpcError;

@@ -59,6 +59,7 @@ impl LoadReport {
     /// input). Algorithm crates must use this (or [`LoadReport::idle`])
     /// instead of fabricating report literals — constructing accounting
     /// outside `parqp-mpc` is a layering violation (`parqp-lint` PQ104).
+    #[must_use]
     pub fn empty(servers: usize) -> LoadReport {
         LoadReport {
             servers,
@@ -69,6 +70,7 @@ impl LoadReport {
     /// A report of `rounds` rounds in which nobody received anything:
     /// the cost of servers that sat out phases other groups spent
     /// communicating (round synchronization is global in the MPC model).
+    #[must_use]
     pub fn idle(servers: usize, rounds: usize) -> LoadReport {
         LoadReport {
             servers,
@@ -84,6 +86,7 @@ impl LoadReport {
     /// # Panics
     /// Panics if `p` is smaller than the report's server count —
     /// shrinking a report would silently drop recorded load.
+    #[must_use = "padded consumes the report and returns the re-shaped one"]
     pub fn padded(mut self, p: usize) -> LoadReport {
         assert!(
             p >= self.servers,
@@ -108,6 +111,7 @@ impl LoadReport {
     ///
     /// # Panics
     /// Panics if `p` is zero.
+    #[must_use = "folded consumes the report and returns the re-shaped one"]
     pub fn folded(self, p: usize) -> LoadReport {
         assert!(p > 0, "cluster must have at least one server");
         if p >= self.servers {
@@ -412,7 +416,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot pad")]
     fn padding_down_rejected() {
-        sample().padded(2);
+        let _ = sample().padded(2);
     }
 
     #[test]

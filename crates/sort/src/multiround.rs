@@ -17,7 +17,7 @@
 //! fan-out is what a load budget `L` admits. Larger fan-out `f` = fewer
 //! rounds but a larger per-round splitter/sample load; E13 sweeps this.
 
-use parqp_mpc::Cluster;
+use parqp_mpc::{trace, Cluster};
 
 /// Default oversampling factor: samples collected per subgroup boundary.
 const OVERSAMPLE: usize = 8;
@@ -64,8 +64,10 @@ pub fn multiround_sort_with_oversample(
     // ordered by key range.
     let mut groups: Vec<(usize, usize)> = vec![(0, p)];
 
+    let _span = trace::span("multiround_sort/levels");
     while groups.iter().any(|&(lo, hi)| hi - lo > 1) {
         // Round A: members send evenly spaced samples to group leaders.
+        let sample_span = trace::span("multiround_sort/sample");
         let mut ex = cluster.exchange::<u64>();
         for &(lo, hi) in &groups {
             let g = hi - lo;
@@ -75,18 +77,22 @@ pub fn multiround_sort_with_oversample(
             let subgroups = fanout.min(g);
             let want = subgroups * oversample;
             let per_member = want.div_ceil(g);
-            for member in &data[lo..hi] {
+            for (m, member) in data[lo..hi].iter().enumerate() {
+                ex.set_sender(lo + m);
                 for k in sample_keys(member, per_member) {
                     ex.send(lo, k);
                 }
             }
         }
         let sample_boxes = ex.finish();
+        drop(sample_span);
 
         // Leaders pick splitters; Round B: broadcast them to the group.
+        let splitter_span = trace::span("multiround_sort/splitters");
         let mut ex = cluster.exchange::<u64>();
         let mut group_splitters: Vec<Vec<u64>> = Vec::with_capacity(groups.len());
         for &(lo, hi) in &groups {
+            ex.set_sender(lo);
             let g = hi - lo;
             if g <= 1 {
                 group_splitters.push(Vec::new());
@@ -112,11 +118,13 @@ pub fn multiround_sort_with_oversample(
             group_splitters.push(splitters);
         }
         ex.finish();
+        drop(splitter_span);
 
         // Round C: members route items into subgroups (round-robin within
         // a subgroup's servers for balance); groups subdivide. Servers in
         // singleton groups keep their data in place — the model charges
         // only for data that actually moves.
+        let route_span = trace::span("multiround_sort/route");
         let mut next_groups = Vec::new();
         let mut kept: Vec<Vec<u64>> = vec![Vec::new(); p];
         let mut ex = cluster.exchange::<u64>();
@@ -134,7 +142,8 @@ pub fn multiround_sort_with_oversample(
             for i in 0..subgroups {
                 next_groups.push((bounds[i], bounds[i + 1].max(bounds[i] + 1).min(hi)));
             }
-            for member in &data[lo..hi] {
+            for (m, member) in data[lo..hi].iter().enumerate() {
+                ex.set_sender(lo + m);
                 for (idx, &k) in member.iter().enumerate() {
                     let sub = splitters.partition_point(|&sp| sp < k);
                     let (slo, shi) = (bounds[sub], bounds[sub + 1].max(bounds[sub] + 1).min(hi));
@@ -144,6 +153,7 @@ pub fn multiround_sort_with_oversample(
             }
         }
         data = ex.finish();
+        drop(route_span);
         for (s, k) in kept.into_iter().enumerate() {
             if !k.is_empty() {
                 data[s] = k;

@@ -14,7 +14,7 @@
 //! duplicate-heavy inputs, which is exactly the skew effect the sort-based
 //! join must handle (slide 31).
 
-use parqp_mpc::{Cluster, Weight};
+use parqp_mpc::{trace, Cluster, Weight};
 
 /// Sort `u64` keys across the cluster. Returns per-server partitions,
 /// globally sorted. See [`psrs_by`] for the generic version.
@@ -63,13 +63,16 @@ where
         part.sort_by_key(|t| key(t));
     }
     // Round 1: broadcast regular samples (p−1 keys per server).
+    let sample_span = trace::span("psrs/sample-broadcast");
     let mut ex = cluster.exchange::<K>();
-    for part in &local {
+    for (sid, part) in local.iter().enumerate() {
+        ex.set_sender(sid);
         for s in regular_sample(part, p, &key) {
             ex.broadcast(s);
         }
     }
     let samples = ex.finish();
+    drop(sample_span);
 
     // Phase 2: identical splitter computation everywhere. All inboxes see
     // the same multiset; we compute once and assert agreement in debug.
@@ -83,8 +86,10 @@ where
     let splitters = choose_splitters(&all, p);
 
     // Round 2: route every item to its interval's server; local sort.
+    let _span = trace::span("psrs/route");
     let mut ex = cluster.exchange::<T>();
-    for part in local {
+    for (sid, part) in local.into_iter().enumerate() {
+        ex.set_sender(sid);
         for item in part {
             let k = key(&item);
             let dest = splitters.partition_point(|&s| s < k);

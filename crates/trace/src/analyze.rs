@@ -1,0 +1,479 @@
+//! Analysis passes over a recorded trace: per-round load
+//! reconstruction, skew summaries, histograms, and the ASCII
+//! servers × rounds heatmap.
+//!
+//! Everything here consumes the *receive* side of the event stream —
+//! `Recv` events are what the ledger charges, so they are the ground
+//! truth for the load `L` the paper's theorems bound. Send fan-out
+//! and topology events are carried along for display only.
+
+use crate::event::TraceEvent;
+use crate::recorder::Recorder;
+
+/// Dense per-server load of one recorded round, reconstructed from a
+/// `RoundBegin … RoundEnd` block (elided zero-load servers filled in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundLoad {
+    /// Cluster-local round index (restarts when a capture spans
+    /// several clusters; the position in the returned `Vec` is the
+    /// global round ordinal).
+    pub round: usize,
+    /// Cluster size `p` for this round.
+    pub servers: usize,
+    /// Tuples received per server (length `servers`).
+    pub tuples: Vec<u64>,
+    /// Words received per server (length `servers`).
+    pub words: Vec<u64>,
+    /// Grid dimensions, when the round used HyperCube addressing.
+    pub dims: Option<Vec<usize>>,
+}
+
+impl RoundLoad {
+    /// Maximum tuples received by any server this round.
+    pub fn max_tuples(&self) -> u64 {
+        self.tuples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total tuples received this round.
+    pub fn total_tuples(&self) -> u64 {
+        self.tuples.iter().sum()
+    }
+
+    /// Total words received this round.
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().sum()
+    }
+}
+
+/// Reconstruct every complete round block in the trace, in order.
+///
+/// Events outside a `RoundBegin … RoundEnd` block (spans) are
+/// ignored; a truncated leading block (its `RoundBegin` fell off the
+/// ring) is discarded rather than reported with partial loads.
+pub fn round_loads(rec: &Recorder) -> Vec<RoundLoad> {
+    let mut out = Vec::new();
+    let mut open: Option<RoundLoad> = None;
+    for ev in rec.events() {
+        match ev {
+            TraceEvent::RoundBegin { round, servers } => {
+                open = Some(RoundLoad {
+                    round: *round,
+                    servers: *servers,
+                    tuples: vec![0; *servers],
+                    words: vec![0; *servers],
+                    dims: None,
+                });
+            }
+            TraceEvent::Topology { dims, .. } => {
+                if let Some(rl) = &mut open {
+                    rl.dims = Some(dims.clone());
+                }
+            }
+            TraceEvent::Recv {
+                server,
+                tuples,
+                words,
+                ..
+            } => {
+                if let Some(rl) = &mut open {
+                    if let Some(t) = rl.tuples.get_mut(*server) {
+                        *t = *tuples;
+                    }
+                    if let Some(w) = rl.words.get_mut(*server) {
+                        *w = *words;
+                    }
+                }
+            }
+            TraceEvent::RoundEnd { .. } => {
+                if let Some(rl) = open.take() {
+                    out.push(rl);
+                }
+            }
+            TraceEvent::Send { .. } | TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => {
+            }
+        }
+    }
+    out
+}
+
+/// Whole-trace communication totals, from the `RoundEnd` events.
+///
+/// Exact only when [`Recorder::dropped`] is zero — a truncated ring
+/// loses the oldest rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Totals {
+    /// Number of complete recorded rounds in the trace.
+    pub rounds: usize,
+    /// Total tuples communicated across all rounds.
+    pub tuples: u64,
+    /// Total words communicated across all rounds.
+    pub words: u64,
+}
+
+/// Sum the `RoundEnd` totals over the retained trace.
+pub fn totals(rec: &Recorder) -> Totals {
+    let mut t = Totals {
+        rounds: 0,
+        tuples: 0,
+        words: 0,
+    };
+    for ev in rec.events() {
+        if let TraceEvent::RoundEnd { tuples, words, .. } = ev {
+            t.rounds += 1;
+            t.tuples += tuples;
+            t.words += words;
+        }
+    }
+    t
+}
+
+/// Skew summary of one round: the per-round statistics the tutorial's
+/// load-balance arguments are about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Global round ordinal (position in the trace).
+    pub index: usize,
+    /// Cluster size `p`.
+    pub servers: usize,
+    /// `L_max`: maximum tuples received by any server.
+    pub max_tuples: u64,
+    /// 99th-percentile (nearest-rank) per-server tuple load.
+    pub p99_tuples: u64,
+    /// `L_mean = C_round / p`.
+    pub mean_tuples: f64,
+    /// Skew ratio `L_max / L_mean` (0 when the round moved nothing).
+    pub skew: f64,
+    /// Total tuples this round.
+    pub total_tuples: u64,
+    /// Total words this round.
+    pub total_words: u64,
+}
+
+/// Nearest-rank percentile of an unsorted load vector.
+fn percentile(values: &[u64], pct: u64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = (sorted.len() as u64 * pct).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// Summarize each round's load distribution.
+pub fn summarize(loads: &[RoundLoad]) -> Vec<RoundSummary> {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(index, rl)| {
+            let total_tuples = rl.total_tuples();
+            let max_tuples = rl.max_tuples();
+            let mean_tuples = if rl.servers == 0 {
+                0.0
+            } else {
+                total_tuples as f64 / rl.servers as f64
+            };
+            let skew = if mean_tuples > 0.0 {
+                max_tuples as f64 / mean_tuples
+            } else {
+                0.0
+            };
+            RoundSummary {
+                index,
+                servers: rl.servers,
+                max_tuples,
+                p99_tuples: percentile(&rl.tuples, 99),
+                mean_tuples,
+                skew,
+                total_tuples,
+                total_words: rl.total_words(),
+            }
+        })
+        .collect()
+}
+
+/// Render [`summarize`] as an aligned text table (one row per round).
+pub fn summary_table(loads: &[RoundLoad]) -> String {
+    let mut out = String::from(
+        "round        p      L_max        p99       mean   skew     tuples      words\n",
+    );
+    for s in summarize(loads) {
+        out.push_str(&format!(
+            "{:>5} {:>8} {:>10} {:>10} {:>10.1} {:>6.2} {:>10} {:>10}\n",
+            s.index,
+            s.servers,
+            s.max_tuples,
+            s.p99_tuples,
+            s.mean_tuples,
+            s.skew,
+            s.total_tuples,
+            s.total_words
+        ));
+    }
+    out
+}
+
+/// One bucket of a load histogram: servers whose tuple load fell in
+/// `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Number of servers in the bucket.
+    pub count: usize,
+}
+
+/// Power-of-two load histogram of one round: bucket 0 is exactly-zero
+/// load, bucket `k ≥ 1` covers `[2^(k-1), 2^k - 1]`.
+pub fn histogram(load: &RoundLoad) -> Vec<HistBucket> {
+    let max = load.max_tuples();
+    let nbuckets = if max == 0 {
+        1
+    } else {
+        2 + max.ilog2() as usize
+    };
+    let mut buckets: Vec<HistBucket> = (0..nbuckets)
+        .map(|k| {
+            if k == 0 {
+                HistBucket {
+                    lo: 0,
+                    hi: 0,
+                    count: 0,
+                }
+            } else {
+                HistBucket {
+                    lo: 1 << (k - 1),
+                    hi: (1 << k) - 1,
+                    count: 0,
+                }
+            }
+        })
+        .collect();
+    for &t in &load.tuples {
+        let k = if t == 0 { 0 } else { 1 + t.ilog2() as usize };
+        buckets[k].count += 1;
+    }
+    buckets
+}
+
+/// Intensity ramp for the heatmap, blank → densest.
+const RAMP: &str = " .:-=+*#%@";
+
+/// Render a servers × rounds ASCII heatmap of per-server tuple load.
+///
+/// Rows are servers (bucketed by taking the *maximum* load within the
+/// bucket when there are more than `max_rows` servers — max is the
+/// quantity the theorems bound, so bucketing never hides a hot spot);
+/// columns are rounds in trace order. Intensity is scaled to the
+/// whole-trace maximum, printed in the legend.
+pub fn heatmap(loads: &[RoundLoad], max_rows: usize) -> String {
+    let max_rows = max_rows.max(1);
+    let servers = loads.iter().map(|rl| rl.servers).max().unwrap_or(0);
+    if servers == 0 || loads.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let per_row = servers.div_ceil(max_rows);
+    let nrows = servers.div_ceil(per_row);
+    // cell[row][col] = max tuple load over the row's server bucket.
+    let mut cells = vec![vec![0u64; loads.len()]; nrows];
+    for (col, rl) in loads.iter().enumerate() {
+        for (s, &t) in rl.tuples.iter().enumerate() {
+            let row = s / per_row;
+            if t > cells[row][col] {
+                cells[row][col] = t;
+            }
+        }
+    }
+    let global_max = cells
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let label_of = |row: usize| {
+        let lo = row * per_row;
+        let hi = (lo + per_row - 1).min(servers - 1);
+        if per_row == 1 {
+            format!("s{lo}")
+        } else {
+            format!("s{lo}-{hi}")
+        }
+    };
+    let label_width = (0..nrows).map(|r| label_of(r).len()).max().unwrap_or(2);
+    let mut out = format!(
+        "load heatmap: {servers} servers ({nrows} rows) x {} rounds, L_max={global_max} tuples\n",
+        loads.len()
+    );
+    for (row, row_cells) in cells.iter().enumerate() {
+        out.push_str(&format!("{:>label_width$} |", label_of(row)));
+        for &v in row_cells {
+            let idx = if v == 0 || global_max == 0 {
+                0
+            } else {
+                (1 + v as usize * (RAMP.len() - 2) / global_max as usize).min(RAMP.len() - 1)
+            };
+            out.push(RAMP.as_bytes()[idx] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:>label_width$} |{}|\n",
+        "round",
+        (0..loads.len())
+            .map(|c| char::from_digit((c % 10) as u32, 10).unwrap_or('?'))
+            .collect::<String>()
+    ));
+    out.push_str(&format!("scale: \"{RAMP}\" = 0..L_max\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceSink;
+
+    fn record_round(rec: &mut Recorder, round: usize, servers: usize, tuples: &[(usize, u64)]) {
+        rec.record(TraceEvent::RoundBegin { round, servers });
+        let mut total = 0;
+        for &(s, t) in tuples {
+            rec.record(TraceEvent::Recv {
+                round,
+                server: s,
+                tuples: t,
+                words: 2 * t,
+            });
+            total += t;
+        }
+        rec.record(TraceEvent::RoundEnd {
+            round,
+            tuples: total,
+            words: 2 * total,
+        });
+    }
+
+    #[test]
+    fn round_loads_fill_elided_zeros() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 4, &[(1, 5), (3, 2)]);
+        let loads = round_loads(&rec);
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].tuples, vec![0, 5, 0, 2]);
+        assert_eq!(loads[0].words, vec![0, 10, 0, 4]);
+        assert_eq!(loads[0].max_tuples(), 5);
+    }
+
+    #[test]
+    fn truncated_leading_block_discarded() {
+        let mut rec = Recorder::new();
+        // Recv/RoundEnd with no RoundBegin (as if it fell off the ring).
+        rec.record(TraceEvent::Recv {
+            round: 0,
+            server: 0,
+            tuples: 9,
+            words: 9,
+        });
+        rec.record(TraceEvent::RoundEnd {
+            round: 0,
+            tuples: 9,
+            words: 9,
+        });
+        record_round(&mut rec, 1, 2, &[(0, 1)]);
+        let loads = round_loads(&rec);
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].round, 1);
+    }
+
+    #[test]
+    fn totals_sum_round_ends() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 2, &[(0, 3)]);
+        record_round(&mut rec, 1, 2, &[(1, 4)]);
+        let t = totals(&rec);
+        assert_eq!(t.rounds, 2);
+        assert_eq!(t.tuples, 7);
+        assert_eq!(t.words, 14);
+    }
+
+    #[test]
+    fn summarize_computes_skew() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 4, &[(0, 8), (1, 4), (2, 4), (3, 0)]);
+        let s = summarize(&round_loads(&rec));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].max_tuples, 8);
+        assert_eq!(s[0].total_tuples, 16);
+        assert!((s[0].mean_tuples - 4.0).abs() < 1e-9);
+        assert!((s[0].skew - 2.0).abs() < 1e-9);
+        assert_eq!(s[0].p99_tuples, 8);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 99), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let rl = RoundLoad {
+            round: 0,
+            servers: 5,
+            tuples: vec![0, 1, 2, 3, 8],
+            words: vec![0; 5],
+            dims: None,
+        };
+        let h = histogram(&rl);
+        // buckets: [0], [1], [2,3], [4,7], [8,15]
+        assert_eq!(h.len(), 5);
+        assert_eq!((h[0].lo, h[0].hi, h[0].count), (0, 0, 1));
+        assert_eq!((h[1].lo, h[1].hi, h[1].count), (1, 1, 1));
+        assert_eq!((h[2].lo, h[2].hi, h[2].count), (2, 3, 2));
+        assert_eq!((h[3].lo, h[3].hi, h[3].count), (4, 7, 0));
+        assert_eq!((h[4].lo, h[4].hi, h[4].count), (8, 15, 1));
+    }
+
+    #[test]
+    fn heatmap_marks_hot_servers() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 3, &[(0, 10)]);
+        record_round(&mut rec, 1, 3, &[(2, 1)]);
+        let map = heatmap(&round_loads(&rec), 8);
+        assert!(map.contains("L_max=10"));
+        let rows: Vec<&str> = map.lines().collect();
+        // Row s0: hot in round 0, idle in round 1.
+        assert!(
+            rows[1].starts_with("   s0 |@ |") || rows[1].contains("s0 |@ |"),
+            "got {map}"
+        );
+        // Row s2: idle then minimal.
+        assert!(rows[3].contains("s2 | .|"), "got {map}");
+    }
+
+    #[test]
+    fn heatmap_buckets_servers() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 100, &[(0, 1), (99, 9)]);
+        let map = heatmap(&round_loads(&rec), 4);
+        assert!(map.contains("(4 rows)"), "got {map}");
+        assert!(map.contains("s75-99"), "got {map}");
+    }
+
+    #[test]
+    fn empty_heatmap() {
+        assert_eq!(heatmap(&[], 8), "(empty trace)\n");
+    }
+
+    #[test]
+    fn summary_table_has_one_row_per_round() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 2, &[(0, 3)]);
+        record_round(&mut rec, 1, 2, &[(1, 4)]);
+        let table = summary_table(&round_loads(&rec));
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.lines().next().unwrap().contains("skew"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # parqp-trace — deterministic round-level observability for the MPC simulator
+//!
+//! Every theorem the tutorial states is about *per-round, per-server*
+//! communication load, but a [`LoadReport`](../parqp_mpc/stats/struct.LoadReport.html)
+//! collapses a whole run into scalar summaries. This crate records the
+//! run as a stream of structured [`TraceEvent`]s instead — round
+//! boundaries, per-server receive loads, per-server send fan-out, grid
+//! topology, and algorithm-supplied span labels — so skew, stragglers,
+//! and round structure become visible and diffable.
+//!
+//! The trace is **fully deterministic**: the only clock is the logical
+//! event sequence number (`seq`), assigned by the [`Recorder`] in
+//! emission order. There is no wall time anywhere (PQ002/PQ003-clean),
+//! so a fixed-seed run produces a byte-identical trace every time.
+//!
+//! ## Layering
+//!
+//! Only `parqp-mpc` *emits* communication events — the same accounting
+//! monopoly that PQ104 enforces for `LoadReport` extends to the event
+//! stream (lint rule PQ105). Algorithm crates may only open [`span`]s
+//! (via the `parqp_mpc::trace` re-export), labelling phases like
+//! `"hypercube/shuffle"`. Exporters and analyses consume a borrowed
+//! [`Recorder`], never raw events, so downstream crates (`core`,
+//! `bench`) stay out of the emission business entirely.
+//!
+//! ## Modules
+//!
+//! * [`event`] — the [`TraceEvent`] model and the [`TraceSink`] trait;
+//! * [`recorder`] — the ring-buffered [`Recorder`], the thread-local
+//!   sink registry ([`install`]/[`emit`]/[`span`]), and
+//!   [`Recorder::capture`];
+//! * [`export`] — [`export::jsonl`] and the Chrome `trace_event`
+//!   exporter [`export::chrome_trace`] (loadable in Perfetto /
+//!   `about://tracing`);
+//! * [`analyze`] — per-round load reconstruction, max/p99/mean/skew
+//!   summaries, load histograms, and the ASCII servers × rounds
+//!   heatmap.
+
+pub mod analyze;
+pub mod event;
+pub mod export;
+pub mod recorder;
+
+pub use event::{TraceEvent, TraceSink};
+pub use recorder::{emit, install, is_enabled, span, Recorder, SinkGuard, Span};

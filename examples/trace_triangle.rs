@@ -1,0 +1,43 @@
+//! Round-level observability: trace a HyperCube triangle join on
+//! p = 64 servers and render the per-server load heatmap.
+//!
+//! The trace recorder sits behind `Cluster::exchange`, so every event
+//! mirrors the simulator's `(L, r, C)` ledger exactly — the hottest
+//! heatmap cell *is* the reported load `L`. The same data drives
+//! `parqp trace` (summary / heatmap / JSONL / Chrome formats); load the
+//! Chrome export in Perfetto or `chrome://tracing` to see the span
+//! labels (`hypercube/shuffle`, `hypercube/evaluate`) on a timeline.
+//!
+//! ```text
+//! cargo run --release --example trace_triangle
+//! ```
+
+use parqp::join::multiway;
+use parqp::prelude::*;
+use parqp::trace::{analyze, Recorder};
+
+fn main() {
+    let p = 64;
+    let query = Query::triangle();
+    let edges = parqp::data::generate::random_symmetric_graph(2000, 20_000, 7);
+    let rels = vec![edges.clone(), edges.clone(), edges];
+
+    let (recorder, run) = Recorder::capture(|| multiway::hypercube(&query, &rels, p, 42));
+
+    println!(
+        "triangle join on p = {p}: {} outputs, L = {} tuples in {} round(s)\n",
+        run.output_size(),
+        run.report.max_load_tuples(),
+        run.report.num_rounds(),
+    );
+
+    let loads = analyze::round_loads(&recorder);
+    println!("{}", analyze::summary_table(&loads));
+    println!("{}", analyze::heatmap(&loads, 16));
+
+    let hist = analyze::histogram(&loads[0]);
+    println!("round 0 load distribution (tuples → servers):");
+    for b in hist.iter().filter(|b| b.count > 0) {
+        println!("  [{:>6}, {:>6}]  {:>3} server(s)", b.lo, b.hi, b.count);
+    }
+}

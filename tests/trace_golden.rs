@@ -1,0 +1,52 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! A fixed-seed 2-round run (a 3-atom chain query through the binary
+//! join plan — two hash-join rounds) must export byte-for-byte the JSON
+//! committed under `tests/golden/`. This pins the exporter's format:
+//! Perfetto/`chrome://tracing` load these files, so silent format drift
+//! is a regression even when every unit test passes.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```text
+//! PARQP_UPDATE_GOLDEN=1 cargo test --test trace_golden
+//! ```
+
+use parqp::data::generate;
+use parqp::join::plans;
+use parqp::query::Query;
+use parqp::trace::{export, Recorder};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/chain_binary.chrome.json")
+}
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let q = Query::chain(3);
+    let rels: Vec<_> = (0..3)
+        .map(|i| generate::uniform(2, 40, 12, 100 + i))
+        .collect();
+    let (rec, run) = Recorder::capture(|| plans::binary_join_plan(&q, &rels, 4, 9, None));
+    assert_eq!(
+        run.report.num_rounds(),
+        2,
+        "plan shape changed: not 2 rounds"
+    );
+    let chrome = export::chrome_trace(&rec);
+
+    let path = golden_path();
+    if std::env::var_os("PARQP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &chrome).expect("write golden file");
+        return;
+    }
+    let expect = std::fs::read_to_string(&path).expect(
+        "golden file missing; regenerate with PARQP_UPDATE_GOLDEN=1 cargo test --test trace_golden",
+    );
+    assert_eq!(
+        chrome, expect,
+        "Chrome trace drifted from tests/golden/chain_binary.chrome.json; \
+         if intentional, regenerate with PARQP_UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,146 @@
+//! Trace/ledger consistency: the event stream captured by
+//! `parqp_trace::Recorder` must mirror `Cluster`'s accounting exactly.
+//!
+//! For every algorithm the trace's totals (Σ tuples, Σ words) equal the
+//! `LoadReport`'s, and for algorithms whose reports are built round by
+//! round the traced round count matches `num_rounds()` too. Algorithms
+//! that compose reports with `LoadReport::parallel` (the skew joins run
+//! their heavy and light parts on server *groups* side by side) merge
+//! rounds in the report, so there the trace — which sees every exchange
+//! as its own round — may have more rounds, never fewer.
+//!
+//! Also asserted here: the acceptance criterion that a fixed-seed run
+//! produces byte-identical JSONL on two consecutive invocations.
+
+use parqp::data::generate;
+use parqp::join::{multiway, plans, skewhc, twoway};
+use parqp::matmul::{rect_block, square_block, Matrix};
+use parqp::mpc::{Cluster, LoadReport};
+use parqp::query::Query;
+use parqp::trace::{analyze, export, Recorder};
+use parqp_testkit::Rng;
+
+/// Run `f` under a recorder and check trace totals against the report
+/// it returns. `rounds_exact` is false for `LoadReport::parallel`
+/// compositions (see module docs).
+fn assert_trace_matches(name: &str, rounds_exact: bool, f: impl FnOnce() -> LoadReport) {
+    let (rec, report) = Recorder::capture(f);
+    assert_eq!(rec.dropped(), 0, "{name}: ring buffer overflowed");
+    let totals = analyze::totals(&rec);
+    assert_eq!(totals.tuples, report.total_tuples(), "{name}: Σ tuples");
+    assert_eq!(totals.words, report.total_words(), "{name}: Σ words");
+    if rounds_exact {
+        assert_eq!(totals.rounds, report.num_rounds(), "{name}: rounds");
+        // Per-round maxima agree too: the heatmap's hottest cell is the
+        // report's L.
+        let loads = analyze::round_loads(&rec);
+        let max = loads.iter().map(analyze::RoundLoad::max_tuples).max();
+        assert_eq!(max.unwrap_or(0), report.max_load_tuples(), "{name}: L_max");
+    } else {
+        assert!(
+            totals.rounds >= report.num_rounds(),
+            "{name}: trace has {} rounds, report merged to {}",
+            totals.rounds,
+            report.num_rounds()
+        );
+    }
+}
+
+#[test]
+fn join_traces_match_reports() {
+    let mut rng = Rng::seed_from_u64(0x7ace);
+    for _ in 0..3 {
+        let seed = rng.next_u64();
+        let r = generate::uniform(2, 1200, 150, seed);
+        let s = generate::uniform(2, 1200, 150, seed ^ 1);
+        assert_trace_matches("hash_join", true, || {
+            twoway::hash_join(&r, 1, &s, 0, 8, seed).report
+        });
+        assert_trace_matches("broadcast_join", true, || {
+            twoway::broadcast_join(&r, 1, &s, 0, 8).report
+        });
+        assert_trace_matches("cartesian", true, || {
+            twoway::cartesian(&r, &s, 6, seed).report
+        });
+        assert_trace_matches("sort_merge_join", true, || {
+            twoway::sort_merge_join(&r, 1, &s, 0, 8, seed).report
+        });
+        let z = generate::zipf_pairs(1500, 300, 1.2, 0, seed);
+        assert_trace_matches("skew_join", false, || {
+            twoway::skew_join(&z, 0, &s, 0, 8, seed).report
+        });
+    }
+}
+
+#[test]
+fn multiway_traces_match_reports() {
+    let q = Query::triangle();
+    let g = generate::random_symmetric_graph(80, 500, 11);
+    let rels = vec![g.clone(), g.clone(), g];
+    assert_trace_matches("hypercube", true, || {
+        multiway::hypercube(&q, &rels, 27, 11).report
+    });
+    assert_trace_matches("skewhc", false, || skewhc::skewhc(&q, &rels, 27, 11).report);
+    let chain = Query::chain(3);
+    let crels: Vec<_> = (0..3)
+        .map(|i| generate::uniform(2, 400, 80, 20 + i))
+        .collect();
+    assert_trace_matches("binary_join_plan", true, || {
+        plans::binary_join_plan(&chain, &crels, 16, 13, None).report
+    });
+}
+
+#[test]
+fn sort_traces_match_reports() {
+    let mut rng = Rng::seed_from_u64(0x50f7);
+    let items: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+    assert_trace_matches("psrs", true, || {
+        let mut cluster = Cluster::new(16);
+        let local = cluster.scatter(items.clone());
+        parqp::sort::psrs(&mut cluster, local);
+        cluster.report()
+    });
+    assert_trace_matches("multiround_sort", true, || {
+        let mut cluster = Cluster::new(16);
+        let local = cluster.scatter(items.clone());
+        parqp::sort::multiround_sort(&mut cluster, local, 4);
+        cluster.report()
+    });
+}
+
+#[test]
+fn matmul_traces_match_reports() {
+    let a = Matrix::random(24, 1);
+    let b = Matrix::random(24, 2);
+    assert_trace_matches("square_block", true, || square_block(&a, &b, 4, 8).report);
+    assert_trace_matches("rect_block", true, || rect_block(&a, &b, 6).report);
+}
+
+#[test]
+fn fixed_seed_jsonl_is_byte_identical_across_invocations() {
+    let export_once = || {
+        let q = Query::triangle();
+        let g = generate::random_symmetric_graph(60, 400, 3);
+        let (rec, _) =
+            Recorder::capture(|| multiway::hypercube(&q, &[g.clone(), g.clone(), g], 8, 3));
+        export::jsonl(&rec)
+    };
+    let first = export_once();
+    let second = export_once();
+    assert!(!first.is_empty());
+    assert_eq!(first, second);
+}
+
+#[test]
+fn untraced_runs_report_identically_to_traced_runs() {
+    // Instrumentation must be observational: same seed, same report,
+    // recorder installed or not.
+    let r = generate::uniform(2, 800, 100, 5);
+    let s = generate::uniform(2, 800, 100, 6);
+    let bare = twoway::hash_join(&r, 1, &s, 0, 8, 7).report;
+    let (_, traced) = Recorder::capture(|| twoway::hash_join(&r, 1, &s, 0, 8, 7).report);
+    assert_eq!(bare.total_tuples(), traced.total_tuples());
+    assert_eq!(bare.total_words(), traced.total_words());
+    assert_eq!(bare.num_rounds(), traced.num_rounds());
+    assert_eq!(bare.max_load_tuples(), traced.max_load_tuples());
+}
