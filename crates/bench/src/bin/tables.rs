@@ -10,6 +10,11 @@
 //! `<experiment>_<index>.csv` under the directory. With `--trace <dir>`
 //! each experiment additionally runs under a trace recorder and its
 //! round-level event stream is written as `<experiment>.trace.jsonl`.
+//! With `--faults <seed>` each experiment runs under a seeded fault
+//! plan (see `parqp-faults`): recovery overhead is charged to every
+//! reported load, a `# faults:` summary line precedes each experiment,
+//! and with `--trace <dir>` the fault-annotated stream is written as
+//! `<experiment>.faults.trace.jsonl` instead.
 
 use parqp_bench::experiments;
 use std::io::Write;
@@ -18,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -29,6 +35,15 @@ fn main() {
         } else if a == "--trace" {
             trace_dir = Some(it.next().unwrap_or_else(|| {
                 eprintln!("--trace requires a directory argument");
+                std::process::exit(2);
+            }));
+        } else if a == "--faults" {
+            let seed = it.next().unwrap_or_else(|| {
+                eprintln!("--faults requires a seed argument");
+                std::process::exit(2);
+            });
+            fault_seed = Some(seed.parse().unwrap_or_else(|e| {
+                eprintln!("--faults: {e}");
                 std::process::exit(2);
             }));
         } else {
@@ -51,7 +66,24 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for id in &ids {
-        let tables = if let Some(dir) = &trace_dir {
+        let tables = if let Some(seed) = fault_seed {
+            let (tables, log, recorder) = parqp_bench::run_with_faults(id, seed);
+            writeln!(
+                out,
+                "# faults: {id} seed={seed} fired={} recovery: +{} round(s), +{} tuples, +{} words",
+                log.injected.len(),
+                log.recovery_rounds,
+                log.recovery_tuples,
+                log.recovery_words,
+            )
+            .expect("stdout");
+            if let Some(dir) = &trace_dir {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+                let path = format!("{dir}/{id}.faults.trace.jsonl");
+                std::fs::write(&path, parqp_trace::export::jsonl(&recorder)).expect("write trace");
+            }
+            tables
+        } else if let Some(dir) = &trace_dir {
             let (tables, recorder) = parqp_bench::run_traced(id);
             std::fs::create_dir_all(dir).expect("create trace dir");
             let path = format!("{dir}/{id}.trace.jsonl");

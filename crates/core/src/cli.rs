@@ -8,6 +8,7 @@
 //! parqp stats    --data r.csv --servers 64
 //! parqp generate --kind zipf --rows 10000 --domain 1000 --alpha 1.1 --out r.csv
 //! parqp trace    --experiment triangle-hypercube --servers 64 --format heatmap
+//! parqp faults   --experiment twoway-hash --seed 42 --strategy replication
 //! ```
 //!
 //! The logic lives in [`dispatch`] (pure: args in, report text out) so
@@ -33,13 +34,14 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "stats" => stats(&opts),
         "generate" => generate(&opts),
         "trace" => trace_cmd(&opts),
+        "faults" => faults_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -49,7 +51,13 @@ fn usage() -> String {
               [--seed S] --out F                write a synthetic relation\n\
      trace    --experiment E [--servers P] [--seed S] [--out F]\n\
               [--format summary|heatmap|jsonl|chrome]\n\
-              trace a named experiment (no --experiment: list them)\n"
+              trace a named experiment (no --experiment: list them)\n\
+     faults   --experiment E [--servers P] [--seed S] [--out F]\n\
+              [--strategy checkpoint|replication] [--every K] [--replicas R]\n\
+              [--crashes N] [--drops N] [--duplicates N] [--stragglers N]\n\
+              [--horizon H] [--format summary|heatmap|jsonl|chrome]\n\
+              run a named experiment under a seeded fault plan and\n\
+              report recovery overhead (no --experiment: list them)\n"
         .into()
 }
 
@@ -66,6 +74,14 @@ struct Opts {
     alpha: f64,
     experiment: Option<String>,
     format: Option<String>,
+    strategy: Option<String>,
+    every: usize,
+    replicas: usize,
+    crashes: usize,
+    drops: usize,
+    duplicates: usize,
+    stragglers: usize,
+    horizon: usize,
 }
 
 impl Opts {
@@ -82,6 +98,14 @@ impl Opts {
             alpha: 1.0,
             experiment: None,
             format: None,
+            strategy: None,
+            every: 4,
+            replicas: 3,
+            crashes: 1,
+            drops: 1,
+            duplicates: 1,
+            stragglers: 1,
+            horizon: 8,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -131,6 +155,20 @@ impl Opts {
                 }
                 "--experiment" => o.experiment = Some(value("--experiment")?),
                 "--format" => o.format = Some(value("--format")?),
+                "--strategy" => o.strategy = Some(value("--strategy")?),
+                "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
+                | "--stragglers" | "--horizon" => {
+                    let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                    match flag.as_str() {
+                        "--every" => o.every = parsed,
+                        "--replicas" => o.replicas = parsed,
+                        "--crashes" => o.crashes = parsed,
+                        "--drops" => o.drops = parsed,
+                        "--duplicates" => o.duplicates = parsed,
+                        "--stragglers" => o.stragglers = parsed,
+                        _ => o.horizon = parsed,
+                    }
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -304,6 +342,115 @@ fn trace_cmd(o: &Opts) -> Result<String, String> {
     }
 }
 
+fn faults_cmd(o: &Opts) -> Result<String, String> {
+    use parqp_faults::{capture, FaultPlan, FaultSpec, RecoveryStrategy};
+    use parqp_trace::{analyze, export};
+
+    let Some(name) = o.experiment.as_deref() else {
+        let mut s = String::from("available experiments (--experiment <name>):\n");
+        for e in crate::observe::EXPERIMENTS {
+            let _ = writeln!(s, "  {:<20} {}", e.name, e.description);
+        }
+        return Ok(s);
+    };
+    let strategy = match o.strategy.as_deref().unwrap_or("checkpoint") {
+        "checkpoint" => RecoveryStrategy::Checkpoint {
+            every: o.every.max(1),
+        },
+        "replication" => RecoveryStrategy::Replication {
+            replicas: o.replicas.max(1),
+        },
+        other => {
+            return Err(format!(
+                "unknown --strategy {other:?} (checkpoint|replication)"
+            ))
+        }
+    };
+    let spec = FaultSpec {
+        crashes: o.crashes,
+        drops: o.drops,
+        duplicates: o.duplicates,
+        stragglers: o.stragglers,
+        max_batch: 8,
+    };
+    let plan = FaultPlan::random(o.seed, o.servers, o.horizon, &spec);
+    let clean = crate::observe::run_experiment_full(name, o.servers, o.seed)?;
+    let (log, faulty) = capture(plan.clone(), strategy, || {
+        crate::observe::run_experiment_full(name, o.servers, o.seed)
+    });
+    let faulty = faulty?;
+    let body = match o.format.as_deref().unwrap_or("summary") {
+        "summary" => {
+            let mut s = format!(
+                "experiment {name} on p = {} (seed {}), strategy {}\n",
+                o.servers,
+                o.seed,
+                match strategy {
+                    RecoveryStrategy::Checkpoint { every } => format!("checkpoint(every {every})"),
+                    RecoveryStrategy::Replication { replicas } =>
+                        format!("replication(r = {replicas})"),
+                }
+            );
+            let _ = writeln!(
+                s,
+                "fault plan : {} scheduled over a {}-round horizon",
+                plan.len(),
+                o.horizon
+            );
+            for (round, server, kind) in plan.schedule() {
+                let _ = writeln!(s, "  round {round:>2} server {server:>3}: {kind}");
+            }
+            let _ = writeln!(s, "fired      : {} fault(s)", log.fired());
+            for f in &log.injected {
+                let _ = writeln!(
+                    s,
+                    "  ledger round {:>2} server {:>3}: {}",
+                    f.round, f.server, f.kind
+                );
+            }
+            for (label, run) in [("clean", &clean), ("faulty", &faulty)] {
+                let _ = writeln!(
+                    s,
+                    "{label:<11}: L = {} tuples, r = {}, C = {} tuples",
+                    run.report.max_load_tuples(),
+                    run.report.num_rounds(),
+                    run.report.total_tuples(),
+                );
+            }
+            let _ = writeln!(
+                s,
+                "recovery   : +{} round(s), +{} tuples, +{} words charged",
+                log.recovery_rounds, log.recovery_tuples, log.recovery_words
+            );
+            let _ = writeln!(
+                s,
+                "output     : {} (digest {:#018x})",
+                if faulty.digest == clean.digest {
+                    "byte-identical to fault-free run"
+                } else {
+                    "DIVERGED from fault-free run"
+                },
+                faulty.digest
+            );
+            s
+        }
+        "heatmap" => analyze::heatmap(&analyze::round_loads(&faulty.recorder), 16),
+        "jsonl" => export::jsonl(&faulty.recorder),
+        "chrome" => export::chrome_trace(&faulty.recorder),
+        other => {
+            return Err(format!(
+                "unknown --format {other:?} (summary|heatmap|jsonl|chrome)"
+            ))
+        }
+    };
+    if let Some(out) = &o.out {
+        std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n", body.len()))
+    } else {
+        Ok(body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +600,101 @@ mod tests {
     fn trace_rejects_unknowns() {
         assert!(dispatch(&argv(&["trace", "--experiment", "wat"])).is_err());
         assert!(dispatch(&argv(&["trace", "--experiment", "psrs", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn faults_lists_experiments_without_name() {
+        let out = dispatch(&argv(&["faults"])).expect("listing works");
+        assert!(out.contains("triangle-hypercube"));
+        assert!(out.contains("matmul-square"));
+    }
+
+    #[test]
+    fn faults_summary_reports_recovery_and_identical_output() {
+        let out = dispatch(&argv(&[
+            "faults",
+            "--experiment",
+            "psrs",
+            "--servers",
+            "8",
+            "--seed",
+            "42",
+            "--crashes",
+            "2",
+        ]))
+        .expect("faults summary works");
+        assert!(out.contains("strategy checkpoint(every 4)"), "got: {out}");
+        assert!(out.contains("fault plan"), "got: {out}");
+        assert!(
+            out.contains("byte-identical to fault-free run"),
+            "got: {out}"
+        );
+    }
+
+    #[test]
+    fn faults_replication_strategy() {
+        let out = dispatch(&argv(&[
+            "faults",
+            "--experiment",
+            "twoway-hash",
+            "--servers",
+            "8",
+            "--strategy",
+            "replication",
+            "--replicas",
+            "2",
+            "--horizon",
+            "1",
+        ]))
+        .expect("replication works");
+        assert!(out.contains("replication(r = 2)"), "got: {out}");
+        assert!(out.contains("byte-identical"), "got: {out}");
+    }
+
+    #[test]
+    fn faults_jsonl_is_deterministic_and_carries_fault_events() {
+        let args = argv(&[
+            "faults",
+            "--experiment",
+            "multiround-sort",
+            "--servers",
+            "8",
+            "--seed",
+            "42",
+            "--crashes",
+            "1",
+            "--horizon",
+            "3",
+            "--format",
+            "jsonl",
+        ]);
+        let a = dispatch(&args).expect("jsonl works");
+        let b = dispatch(&args).expect("jsonl works");
+        assert_eq!(a, b, "fixed seed must export byte-identical JSONL");
+        assert!(a.contains("\"fault_injected\""), "got: {a}");
+        assert!(a.contains("\"recovery_begin\""));
+        assert!(a.contains("\"recovery_end\""));
+    }
+
+    #[test]
+    fn faults_rejects_unknowns() {
+        assert!(dispatch(&argv(&["faults", "--experiment", "wat"])).is_err());
+        assert!(dispatch(&argv(&[
+            "faults",
+            "--experiment",
+            "psrs",
+            "--strategy",
+            "wat"
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "faults",
+            "--experiment",
+            "psrs",
+            "--format",
+            "wat"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -41,11 +41,16 @@
 //!   `GROUP BY` query);
 //! * [`trace`] — deterministic round-level observability (recorders,
 //!   exporters, load analysis);
-//! * [`observe`] — named trace experiments for `parqp trace`;
+//! * [`faults`] — seeded fault injection (crashes, drops, duplicates,
+//!   stragglers) and recovery strategies with honestly charged
+//!   overhead;
+//! * [`observe`] — named trace experiments for `parqp trace` and
+//!   `parqp faults`;
 //! * [`cli`] — the `parqp` command-line tool (plan/run/analyze/stats/
-//!   generate/trace over CSV relations).
+//!   generate/trace/faults over CSV relations).
 
 pub use parqp_data as data;
+pub use parqp_faults as faults;
 pub use parqp_join as join;
 pub use parqp_lp as lp;
 pub use parqp_matmul as matmul;

@@ -1,14 +1,22 @@
-//! Named, deterministic trace experiments for the `parqp trace`
-//! subcommand and the CI smoke test.
+//! Named, deterministic trace experiments for the `parqp trace` and
+//! `parqp faults` subcommands and the CI smoke tests.
 //!
 //! Each experiment builds a synthetic input from the seed, runs one of
 //! the tutorial's algorithms under an installed [`parqp_trace::Recorder`]
-//! and returns the captured event stream. Everything downstream of the
+//! and returns the captured event stream alongside the run's
+//! [`LoadReport`] and a digest of its *output* (joined tuples, sorted
+//! keys, product matrix). Everything downstream of the
 //! `(name, servers, seed)` triple is deterministic — running the same
 //! experiment twice yields byte-identical JSONL exports, which the
-//! `trace_invariants` integration test asserts.
+//! `trace_invariants` integration test asserts — and the output digest
+//! is what the fault-tolerance tests compare to prove recovered runs
+//! reproduce fault-free results exactly.
 
-use parqp_data::generate;
+use std::hash::Hasher;
+
+use parqp_data::fasthash::FxHasher;
+use parqp_data::{generate, Relation};
+use parqp_mpc::LoadReport;
 use parqp_query::Query;
 use parqp_trace::Recorder;
 
@@ -56,57 +64,78 @@ pub const EXPERIMENTS: &[Experiment] = &[
     },
 ];
 
+/// One completed experiment run: its trace, its ledger, and a digest
+/// of its output.
+pub struct ExperimentRun {
+    /// The captured event stream.
+    pub recorder: Recorder,
+    /// The run's `(L, r, C)` ledger.
+    pub report: LoadReport,
+    /// Order-independent-where-appropriate digest of the run's output
+    /// (canonicalized join results, sorted keys, product matrix).
+    /// Equal digests on the same experiment mean byte-identical output.
+    pub digest: u64,
+}
+
 /// Run the named experiment on `servers` simulated servers, capturing
-/// its trace. Returns `Err` for unknown names (with the known ones
-/// listed).
-pub fn run_experiment(name: &str, servers: usize, seed: u64) -> Result<Recorder, String> {
+/// its trace, report, and output digest. Returns `Err` for unknown
+/// names (with the known ones listed).
+pub fn run_experiment_full(name: &str, servers: usize, seed: u64) -> Result<ExperimentRun, String> {
     assert!(servers >= 1, "need at least one server");
-    let run: fn(usize, u64) = match name {
+    let run: fn(usize, u64) -> (LoadReport, u64) = match name {
         "triangle-hypercube" => |p, s| {
             let q = Query::triangle();
             let g = generate::random_symmetric_graph(120, 900, s);
-            parqp_join::multiway::hypercube(&q, &[g.clone(), g.clone(), g], p, s);
+            let run = parqp_join::multiway::hypercube(&q, &[g.clone(), g.clone(), g], p, s);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         "twoway-hash" => |p, s| {
             let r = generate::uniform(2, 4000, 500, s);
             let t = generate::uniform(2, 4000, 500, s.wrapping_add(1));
-            parqp_join::twoway::hash_join(&r, 1, &t, 0, p, s);
+            let run = parqp_join::twoway::hash_join(&r, 1, &t, 0, p, s);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         "twoway-skew" => |p, s| {
             let r = generate::zipf_pairs(4000, 1000, 1.2, 0, s);
             let t = generate::uniform(2, 4000, 1000, s.wrapping_add(1));
-            parqp_join::twoway::skew_join(&r, 0, &t, 0, p, s);
+            let run = parqp_join::twoway::skew_join(&r, 0, &t, 0, p, s);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         "chain-binary" => |p, s| {
             let q = Query::chain(3);
             let rels: Vec<_> = (0..3)
                 .map(|i| generate::uniform(2, 800, 120, s.wrapping_add(i)))
                 .collect();
-            parqp_join::plans::binary_join_plan(&q, &rels, p, s, None);
+            let run = parqp_join::plans::binary_join_plan(&q, &rels, p, s, None);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         "skewhc-triangle" => |p, s| {
             let q = Query::triangle();
             let rels: Vec<_> = (0..3)
                 .map(|i| generate::zipf_pairs(1500, 400, 1.1, 0, s.wrapping_add(i)))
                 .collect();
-            parqp_join::skewhc::skewhc(&q, &rels, p, s);
+            let run = parqp_join::skewhc::skewhc(&q, &rels, p, s);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         "psrs" => |p, s| {
             let keys = sort_input(20_000, s);
             let mut cluster = parqp_mpc::Cluster::new(p);
             let local = cluster.scatter(keys);
-            parqp_sort::psrs(&mut cluster, local);
+            let sorted = parqp_sort::psrs(&mut cluster, local);
+            (cluster.report(), digest_keys(&sorted))
         },
         "multiround-sort" => |p, s| {
             let keys = sort_input(20_000, s);
             let mut cluster = parqp_mpc::Cluster::new(p);
             let local = cluster.scatter(keys);
-            parqp_sort::multiround_sort(&mut cluster, local, 4);
+            let sorted = parqp_sort::multiround_sort(&mut cluster, local, 4);
+            (cluster.report(), digest_keys(&sorted))
         },
         "matmul-square" => |p, s| {
             let a = parqp_matmul::Matrix::random(24, s);
             let b = parqp_matmul::Matrix::random(24, s.wrapping_add(1));
-            parqp_matmul::square_block(&a, &b, 4, p);
+            let run = parqp_matmul::square_block(&a, &b, 4, p);
+            (run.report.clone(), digest_matrix(&run.c))
         },
         other => {
             let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
@@ -116,8 +145,56 @@ pub fn run_experiment(name: &str, servers: usize, seed: u64) -> Result<Recorder,
             ));
         }
     };
-    let (recorder, ()) = Recorder::capture(|| run(servers, seed));
-    Ok(recorder)
+    let (recorder, (report, digest)) = Recorder::capture(|| run(servers, seed));
+    Ok(ExperimentRun {
+        recorder,
+        report,
+        digest,
+    })
+}
+
+/// Run the named experiment, capturing only its trace (the historical
+/// entry point of `parqp trace`).
+pub fn run_experiment(name: &str, servers: usize, seed: u64) -> Result<Recorder, String> {
+    run_experiment_full(name, servers, seed).map(|run| run.recorder)
+}
+
+/// Digest of a relation's canonical row set (sorted + deduplicated, so
+/// per-server output ordering cannot leak into the digest).
+fn digest_relation(rel: &Relation) -> u64 {
+    let mut h = FxHasher::default();
+    for row in rel.canonical().iter() {
+        h.write_u64(row.len() as u64);
+        for &v in row {
+            h.write_u64(v);
+        }
+    }
+    h.finish()
+}
+
+/// Digest of per-server sorted key runs, boundaries included (the
+/// partition *and* the order are part of a sort's contract).
+fn digest_keys(runs: &[Vec<u64>]) -> u64 {
+    let mut h = FxHasher::default();
+    for run in runs {
+        h.write_u64(run.len() as u64);
+        for &k in run {
+            h.write_u64(k);
+        }
+    }
+    h.finish()
+}
+
+/// Digest of a dense matrix, exact to the bit.
+fn digest_matrix(m: &parqp_matmul::Matrix) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(m.n() as u64);
+    for i in 0..m.n() {
+        for &v in m.row(i) {
+            h.write_u64(v.to_bits());
+        }
+    }
+    h.finish()
 }
 
 /// Deterministic sort input: `n` keys drawn through the data
@@ -135,10 +212,17 @@ mod tests {
     #[test]
     fn every_listed_experiment_runs_and_traces() {
         for e in EXPERIMENTS {
-            let rec = run_experiment(e.name, 8, 7).expect("known experiment");
-            let totals = analyze::totals(&rec);
+            let run = run_experiment_full(e.name, 8, 7).expect("known experiment");
+            let totals = analyze::totals(&run.recorder);
             assert!(totals.rounds >= 1, "{}: no rounds traced", e.name);
             assert!(totals.tuples > 0, "{}: no tuples traced", e.name);
+            assert_eq!(
+                totals.tuples,
+                run.report.total_tuples(),
+                "{}: trace/ledger mismatch",
+                e.name
+            );
+            assert_ne!(run.digest, 0, "{}: trivially empty digest", e.name);
         }
     }
 
@@ -156,5 +240,14 @@ mod tests {
             a.events().collect::<Vec<_>>(),
             b.events().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn digests_are_seed_sensitive() {
+        let a = run_experiment_full("twoway-hash", 8, 3).expect("runs");
+        let b = run_experiment_full("twoway-hash", 8, 3).expect("runs");
+        let c = run_experiment_full("twoway-hash", 8, 4).expect("runs");
+        assert_eq!(a.digest, b.digest, "same seed, same output");
+        assert_ne!(a.digest, c.digest, "different seed, different output");
     }
 }

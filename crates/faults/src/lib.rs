@@ -1,0 +1,55 @@
+//! # parqp-faults — deterministic fault injection for the MPC simulator
+//!
+//! The MPC model assumes every server survives every round; real
+//! clusters do not. This crate injects faults into simulated runs —
+//! **deterministically**, from a seed — and pairs them with recovery
+//! strategies whose overhead is charged honestly to the same
+//! `LoadReport` ledger the fault-free algorithms are measured by. That
+//! makes fault-tolerance overhead directly comparable against the
+//! paper's fault-free `(L, r, C)` lower bounds, with zero noise.
+//!
+//! ## Model
+//!
+//! A [`FaultPlan`] maps `(round, server)` slots to a [`FaultKind`]:
+//! crashes, message drops, message duplications, and stragglers.
+//! [`install`]ing a plan (or wrapping a run in [`capture`]) arms a
+//! thread-local runtime — the same guard pattern as
+//! `parqp_trace::Recorder` — that `parqp-mpc` consults once per
+//! recorded round. Injection is **transparent to the algorithm**: the
+//! inboxes it receives are the post-recovery view, identical to the
+//! fault-free run, so recovered output is byte-identical by
+//! construction. What changes is the *ledger*: duplicate deliveries
+//! and speculative re-execution inflate the faulty round, drops append
+//! a retransmission round, and crashes append replayed rounds
+//! (checkpoint-and-restart) or a redistribution round (r-way
+//! replication), per the installed [`RecoveryStrategy`].
+//!
+//! ## Example
+//!
+//! ```
+//! use parqp_faults::{capture, FaultKind, FaultPlan, RecoveryStrategy};
+//!
+//! let plan = FaultPlan::new().with_fault(0, 1, FaultKind::Crash);
+//! let (log, out) = capture(plan, RecoveryStrategy::Checkpoint { every: 2 }, || {
+//!     // ... run any algorithm on a `parqp_mpc::Cluster` here ...
+//!     "output"
+//! });
+//! assert_eq!(out, "output");
+//! assert_eq!(log.fired(), 0); // no cluster ran a round in this doc test
+//! ```
+//!
+//! This crate is dependency-free by design (it sits *below*
+//! `parqp-mpc` in the crate DAG); `FaultPlan::random` inlines the same
+//! SplitMix64 generator `parqp-testkit` uses so schedules stay
+//! bit-reproducible.
+
+mod plan;
+mod recovery;
+mod runtime;
+
+pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use recovery::RecoveryStrategy;
+pub use runtime::{
+    active_strategy, capture, install, is_enabled, next_round_faults, note_injected, note_recovery,
+    reset_round_clock, FaultGuard, FaultLog, InjectedFault,
+};

@@ -1,0 +1,299 @@
+//! The thread-local fault runtime: install a plan, tick the logical
+//! round clock, and log what fired.
+//!
+//! Mirrors `parqp_trace::recorder`'s registry pattern: the simulator is
+//! single-threaded by design (PQ004), so a thread-local slot is the
+//! whole "global" state. [`install`] puts a plan + strategy in the
+//! slot and returns a [`FaultGuard`] that restores the previous runtime
+//! on drop (panic-safe). `parqp-mpc` is the only caller of the round
+//! hooks ([`next_round_faults`], [`note_injected`], [`note_recovery`]
+//! — lint rule PQ106); everything else only installs plans and reads
+//! the resulting [`FaultLog`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::recovery::RecoveryStrategy;
+
+/// One fault that actually fired, as recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Ledger round index the fault was charged to.
+    pub round: usize,
+    /// Victim server rank.
+    pub server: usize,
+    /// [`FaultKind::name`] of the fault.
+    pub kind: &'static str,
+}
+
+/// What an installed plan did to a run: the faults that fired and the
+/// total recovery overhead charged to the ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Every fault that fired, in injection order.
+    pub injected: Vec<InjectedFault>,
+    /// Extra ledger rounds appended by recovery.
+    pub recovery_rounds: usize,
+    /// Extra tuples charged by recovery (including same-round charges
+    /// for duplicates and speculative re-execution).
+    pub recovery_tuples: u64,
+    /// Extra words charged by recovery.
+    pub recovery_words: u64,
+}
+
+impl FaultLog {
+    /// Number of faults that fired.
+    pub fn fired(&self) -> usize {
+        self.injected.len()
+    }
+}
+
+#[derive(Debug)]
+struct Runtime {
+    plan: FaultPlan,
+    strategy: RecoveryStrategy,
+    /// Logical round clock: ticked once per *recorded algorithm round*
+    /// (recovery rounds appended to the ledger do not tick it, so
+    /// injected overhead never shifts the schedule).
+    clock: usize,
+    log: FaultLog,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<RefCell<Runtime>>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed fault runtime when dropped.
+#[must_use = "dropping the guard immediately uninstalls the fault plan"]
+pub struct FaultGuard {
+    previous: Option<Rc<RefCell<Runtime>>>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| {
+            *slot.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Install `plan` (recovered via `strategy`) as this thread's fault
+/// runtime until the returned guard drops. Nesting is allowed; the
+/// innermost install wins and the outer runtime resumes (clock and log
+/// intact) when the inner guard drops.
+pub fn install(plan: FaultPlan, strategy: RecoveryStrategy) -> FaultGuard {
+    install_shared(plan, strategy).0
+}
+
+/// [`install`], also returning a handle to the runtime so [`capture`]
+/// can collect the log after the guard drops.
+fn install_shared(
+    plan: FaultPlan,
+    strategy: RecoveryStrategy,
+) -> (FaultGuard, Rc<RefCell<Runtime>>) {
+    let runtime = Rc::new(RefCell::new(Runtime {
+        plan,
+        strategy,
+        clock: 0,
+        log: FaultLog::default(),
+    }));
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(runtime.clone()));
+    (FaultGuard { previous }, runtime)
+}
+
+/// Whether a fault plan is currently installed. The simulator uses
+/// this to skip fault bookkeeping entirely on the fault-free path.
+pub fn is_enabled() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Advance the logical round clock and return the faults scheduled for
+/// the round that just ran, filtered to servers `< p` and in ascending
+/// server order. Returns an empty vec when no runtime is installed.
+///
+/// Called by `parqp-mpc` exactly once per recorded algorithm round
+/// (lint rule PQ106) — dropped and untracked exchanges do not tick.
+pub fn next_round_faults(p: usize) -> Vec<(usize, FaultKind)> {
+    ACTIVE.with(|slot| {
+        let slot = slot.borrow();
+        let Some(rt) = slot.as_ref() else {
+            return Vec::new();
+        };
+        let mut rt = rt.borrow_mut();
+        let round = rt.clock;
+        rt.clock += 1;
+        let mut faults = rt.plan.faults_at(round);
+        faults.retain(|&(server, _)| server < p);
+        faults
+    })
+}
+
+/// The crash-recovery strategy of the installed runtime, if any.
+pub fn active_strategy() -> Option<RecoveryStrategy> {
+    ACTIVE.with(|slot| slot.borrow().as_ref().map(|rt| rt.borrow().strategy))
+}
+
+/// Log that a fault fired at ledger round `round` on `server`.
+/// Simulator-only (lint rule PQ106); a no-op when nothing is installed.
+pub fn note_injected(round: usize, server: usize, kind: &'static str) {
+    ACTIVE.with(|slot| {
+        if let Some(rt) = slot.borrow().as_ref() {
+            rt.borrow_mut().log.injected.push(InjectedFault {
+                round,
+                server,
+                kind,
+            });
+        }
+    });
+}
+
+/// Charge recovery overhead to the log: `rounds` extra ledger rounds
+/// carrying `tuples`/`words` of extra load. Simulator-only (lint rule
+/// PQ106); a no-op when nothing is installed.
+pub fn note_recovery(rounds: usize, tuples: u64, words: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(rt) = slot.borrow().as_ref() {
+            let mut rt = rt.borrow_mut();
+            rt.log.recovery_rounds += rounds;
+            rt.log.recovery_tuples += tuples;
+            rt.log.recovery_words += words;
+        }
+    });
+}
+
+/// Rewind the logical round clock to 0 (the fault log is kept).
+///
+/// `Cluster::reset` calls this so a replay after a reset sees the same
+/// schedule from round 0 again, starting from a clean ledger.
+pub fn reset_round_clock() {
+    ACTIVE.with(|slot| {
+        if let Some(rt) = slot.borrow().as_ref() {
+            rt.borrow_mut().clock = 0;
+        }
+    });
+}
+
+/// Run `f` with `plan` installed and return what fired alongside `f`'s
+/// result. The previous runtime (if any) is restored afterwards, even
+/// if `f` panics.
+pub fn capture<R>(
+    plan: FaultPlan,
+    strategy: RecoveryStrategy,
+    f: impl FnOnce() -> R,
+) -> (FaultLog, R) {
+    let (guard, runtime) = install_shared(plan, strategy);
+    let result = {
+        let _guard = guard;
+        f()
+    };
+    let log = Rc::try_unwrap(runtime)
+        .expect("capture's runtime must not be retained past the closure")
+        .into_inner()
+        .log;
+    (log, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_runtime_is_inert() {
+        assert!(!is_enabled());
+        assert!(next_round_faults(8).is_empty());
+        assert!(active_strategy().is_none());
+        note_injected(0, 0, "crash"); // must not panic
+        note_recovery(1, 2, 3);
+        reset_round_clock();
+    }
+
+    #[test]
+    fn clock_ticks_and_filters_out_of_range_servers() {
+        let plan = FaultPlan::new()
+            .with_fault(0, 2, FaultKind::Crash)
+            .with_fault(0, 9, FaultKind::Straggle) // server ≥ p: ignored
+            .with_fault(2, 1, FaultKind::Drop { msgs: 3 });
+        let (log, ()) = capture(plan, RecoveryStrategy::default(), || {
+            assert!(is_enabled());
+            assert_eq!(next_round_faults(4), vec![(2, FaultKind::Crash)]);
+            assert!(next_round_faults(4).is_empty()); // round 1
+            assert_eq!(next_round_faults(4), vec![(1, FaultKind::Drop { msgs: 3 })]);
+        });
+        assert!(!is_enabled());
+        assert_eq!(log.fired(), 0, "only the simulator logs injections");
+    }
+
+    #[test]
+    fn reset_round_clock_replays_the_schedule() {
+        let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Crash);
+        let (_, ()) = capture(plan, RecoveryStrategy::default(), || {
+            assert_eq!(next_round_faults(2).len(), 1);
+            assert!(next_round_faults(2).is_empty());
+            reset_round_clock();
+            assert_eq!(
+                next_round_faults(2).len(),
+                1,
+                "schedule replays after reset"
+            );
+        });
+    }
+
+    #[test]
+    fn capture_collects_notes() {
+        let (log, out) = capture(
+            FaultPlan::new(),
+            RecoveryStrategy::Replication { replicas: 3 },
+            || {
+                assert_eq!(
+                    active_strategy(),
+                    Some(RecoveryStrategy::Replication { replicas: 3 })
+                );
+                note_injected(5, 1, "crash");
+                note_recovery(1, 100, 200);
+                note_recovery(2, 10, 20);
+                42
+            },
+        );
+        assert_eq!(out, 42);
+        assert_eq!(
+            log.injected,
+            vec![InjectedFault {
+                round: 5,
+                server: 1,
+                kind: "crash"
+            }]
+        );
+        assert_eq!(log.recovery_rounds, 3);
+        assert_eq!(log.recovery_tuples, 110);
+        assert_eq!(log.recovery_words, 220);
+    }
+
+    #[test]
+    fn nested_install_restores_outer_clock() {
+        let outer = FaultPlan::new().with_fault(1, 0, FaultKind::Straggle);
+        let (log, ()) = capture(outer, RecoveryStrategy::default(), || {
+            assert!(next_round_faults(2).is_empty()); // outer round 0
+            let inner = FaultPlan::new().with_fault(0, 1, FaultKind::Crash);
+            let (inner_log, ()) = capture(inner, RecoveryStrategy::default(), || {
+                assert_eq!(next_round_faults(2), vec![(1, FaultKind::Crash)]);
+                note_recovery(1, 5, 5);
+            });
+            assert_eq!(inner_log.recovery_rounds, 1);
+            // Outer clock resumes at round 1, where its fault fires.
+            assert_eq!(next_round_faults(2), vec![(0, FaultKind::Straggle)]);
+        });
+        assert_eq!(log.recovery_rounds, 0, "inner notes must not leak out");
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = capture(FaultPlan::new(), RecoveryStrategy::default(), || {
+                panic!("boom")
+            });
+        });
+        assert!(caught.is_err());
+        assert!(!is_enabled(), "panic must not leave a runtime installed");
+    }
+}

@@ -25,21 +25,23 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     (
         "bench",
         &[
-            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "testkit",
+            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "faults",
+            "testkit",
         ],
     ),
     (
         "core",
         &[
-            "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace",
+            "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "faults",
         ],
     ),
     ("data", &["testkit"]),
+    ("faults", &[]),
     ("join", &["mpc", "data", "lp", "query", "sort"]),
     ("lint", &[]),
     ("lp", &[]),
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
-    ("mpc", &["trace"]),
+    ("mpc", &["trace", "faults"]),
     ("query", &["data", "lp"]),
     ("sort", &["mpc", "data"]),
     ("testkit", &[]),
@@ -270,9 +272,9 @@ mod tests {
 
     #[test]
     fn dag_matches_design_doc_shape() {
-        // Spot-check the table itself: trace and lp are leaves, mpc sees
-        // only the trace sink, core sees every algorithm crate, nothing
-        // depends on lint.
+        // Spot-check the table itself: trace, faults and lp are leaves,
+        // mpc sees only its instrumentation sinks (trace + faults), core
+        // sees every algorithm crate, nothing depends on lint.
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -280,11 +282,13 @@ mod tests {
                 .map(|(_, d)| *d)
                 .expect("crate in table")
         };
-        assert_eq!(find("mpc"), &["trace"]);
+        assert_eq!(find("mpc"), &["trace", "faults"]);
         assert!(find("trace").is_empty());
+        assert!(find("faults").is_empty());
         assert!(find("lp").is_empty());
         assert!(find("core").contains(&"join"));
         assert!(find("core").contains(&"trace"));
+        assert!(find("core").contains(&"faults"));
         for (_, deps) in ALLOWED_DEPS {
             assert!(!deps.contains(&"lint"), "nothing may depend on the linter");
         }

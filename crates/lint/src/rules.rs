@@ -21,6 +21,10 @@
 //! | PQ105 | layering    | fabricating trace events (`TraceEvent`, `trace::emit`)  |
 //! |       |             | outside `parqp-mpc`/`parqp-trace`; algorithm crates     |
 //! |       |             | may only open `trace::span` labels                      |
+//! | PQ106 | layering    | driving the fault runtime (`next_round_faults`,         |
+//! |       |             | `note_injected`, `note_recovery`) outside               |
+//! |       |             | `parqp-mpc`/`parqp-faults`; everyone else only          |
+//! |       |             | installs plans (`faults::install` / `faults::capture`)  |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -33,7 +37,9 @@ use crate::Diagnostic;
 /// the simulator, the trace sink and the pure algorithm crates. `data`
 /// (file I/O), `core` (CLI), `bench` (CSV output), `testkit` (env-var
 /// knobs) and `lint` (this tool) legitimately touch the OS.
-pub const SIDE_CHANNEL_SCOPE: &[&str] = &["mpc", "lp", "query", "join", "sort", "matmul", "trace"];
+pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
+    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults",
+];
 
 /// A banned token with its rule, message, and crate scope.
 struct TokenRule {
@@ -172,6 +178,27 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc emits trace events, so traces mirror the exchange ledger exactly; use trace::span for labels",
         scope: None,
         exempt: &["mpc", "trace"],
+    },
+    TokenRule {
+        rule: "PQ106",
+        token: "next_round_faults",
+        message: "only parqp-mpc consumes the fault schedule (in its round recorder); ticking the clock elsewhere would shift every planned fault",
+        scope: None,
+        exempt: &["mpc", "faults"],
+    },
+    TokenRule {
+        rule: "PQ106",
+        token: "note_injected",
+        message: "only parqp-mpc reports injected faults; fabricating them elsewhere would desync the fault log from the ledger",
+        scope: None,
+        exempt: &["mpc", "faults"],
+    },
+    TokenRule {
+        rule: "PQ106",
+        token: "note_recovery",
+        message: "only parqp-mpc charges recovery overhead, so the fault log mirrors the LoadReport exactly; install plans via faults::capture instead",
+        scope: None,
+        exempt: &["mpc", "faults"],
     },
 ];
 
@@ -357,6 +384,31 @@ mod tests {
         assert_eq!(rules_of("core", emit), vec![("PQ105", 1), ("PQ105", 1)]);
         assert!(rules_of("mpc", emit).is_empty());
         assert!(rules_of("trace", emit).is_empty());
+    }
+
+    #[test]
+    fn fault_runtime_hooks_flagged_outside_mpc_and_faults() {
+        let drive = "let planned = faults::next_round_faults(p);\n\
+                     faults::note_injected(r, s, \"crash\");\n\
+                     faults::note_recovery(1, t, w);\n";
+        assert_eq!(
+            rules_of("join", drive),
+            vec![("PQ106", 1), ("PQ106", 2), ("PQ106", 3)]
+        );
+        assert_eq!(
+            rules_of("core", drive),
+            vec![("PQ106", 1), ("PQ106", 2), ("PQ106", 3)]
+        );
+        assert!(rules_of("mpc", drive).is_empty());
+        assert!(rules_of("faults", drive).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_installation_allowed_everywhere() {
+        let src = "let (log, out) = faults::capture(plan, strategy, run);\n\
+                   let _guard = faults::install(plan, strategy);\n";
+        assert!(rules_of("core", src).is_empty());
+        assert!(rules_of("bench", src).is_empty());
     }
 
     #[test]

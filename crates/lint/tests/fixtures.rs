@@ -92,6 +92,38 @@ fn combinator_accounting_passes() {
     assert_eq!(hits(&diags), vec![]);
 }
 
+// --------------------------------------------------------------------- PQ106
+
+#[test]
+fn fault_runtime_violations_reported() {
+    let src = include_str!("fixtures/faults_bad.rs");
+    let diags = lint_source("join", "fixtures/faults_bad.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ106", 6),  // next_round_faults
+            ("PQ106", 10), // note_injected
+            ("PQ106", 11), // note_recovery
+        ]
+    );
+}
+
+#[test]
+fn mpc_and_faults_are_exempt_from_fault_runtime_ownership() {
+    let src = include_str!("fixtures/faults_bad.rs");
+    for owner in ["mpc", "faults"] {
+        let diags = lint_source(owner, "fixtures/faults_bad.rs", &sanitize(src));
+        assert_eq!(hits(&diags), vec![], "{owner} owns the fault runtime");
+    }
+}
+
+#[test]
+fn fault_plan_installation_passes() {
+    let src = include_str!("fixtures/faults_ok.rs");
+    let diags = lint_source("core", "fixtures/faults_ok.rs", &sanitize(src));
+    assert_eq!(hits(&diags), vec![]);
+}
+
 // ---------------------------------------------------------------- PQ101/PQ102
 
 #[test]

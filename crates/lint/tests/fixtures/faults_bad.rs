@@ -1,0 +1,12 @@
+//! Fixture: driving the fault runtime from an algorithm crate (PQ106).
+
+use parqp_faults as faults;
+
+pub fn drive_schedule(p: usize) -> usize {
+    faults::next_round_faults(p).len()
+}
+
+pub fn forge_log(round: usize, server: usize) {
+    faults::note_injected(round, server, "crash");
+    faults::note_recovery(1, 100, 200);
+}

@@ -1,0 +1,14 @@
+//! Fixture: fault-layering-clean code — installs plans, never drives
+//! the runtime; injection and charging stay inside parqp-mpc.
+
+use parqp_faults::{capture, FaultPlan, FaultSpec, RecoveryStrategy};
+
+pub fn seeded(seed: u64, p: usize) -> FaultPlan {
+    FaultPlan::random(seed, p, 8, &FaultSpec::default())
+}
+
+pub fn run_under(plan: FaultPlan) -> u64 {
+    let (log, out) = capture(plan, RecoveryStrategy::default(), || 7u64);
+    let _ = log.fired();
+    out
+}

@@ -35,6 +35,7 @@ use crate::error::MpcError;
 use crate::grid::Grid;
 use crate::stats::{LoadReport, RoundStats};
 use crate::weight::Weight;
+use parqp_faults::{self as faults, FaultKind, RecoveryStrategy};
 use parqp_trace::{self as trace, TraceEvent};
 
 /// A simulated MPC cluster of `p` shared-nothing servers.
@@ -123,11 +124,232 @@ impl Cluster {
                 });
             }
         }
-        if trace::is_enabled() {
-            emit_round_events(self.rounds.len(), self.p, &tuples, &words, None, None);
+        let planned = if faults::is_enabled() {
+            // Analytic rounds have no inboxes; drop/duplicate batch
+            // words are charged proportionally to the batch's share of
+            // the victim's tuples.
+            let scheduled = faults::next_round_faults(self.p);
+            scheduled
+                .into_iter()
+                .map(|(server, kind)| {
+                    let batch = match kind {
+                        FaultKind::Drop { msgs } | FaultKind::Duplicate { msgs } => {
+                            let eff = msgs.min(tuples[server]);
+                            let w = (words[server] * eff)
+                                .checked_div(tuples[server])
+                                .unwrap_or(0);
+                            (eff, w)
+                        }
+                        _ => (0, 0),
+                    };
+                    PlannedFault {
+                        server,
+                        kind,
+                        batch,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.record_round_internal(tuples, words, None, planned);
+        Ok(())
+    }
+
+    /// Record one round — the single point every recorded round flows
+    /// through: applies planned fault injections, emits the round's
+    /// trace block, pushes the `RoundStats`, then charges recovery to
+    /// the ledger per the installed strategy.
+    fn record_round_internal(
+        &mut self,
+        mut tuples: Vec<u64>,
+        mut words: Vec<u64>,
+        xt: Option<&ExchangeTrace>,
+        planned: Vec<PlannedFault>,
+    ) {
+        // In-round injections first: duplicate deliveries inflate the
+        // victim's load, and a straggler's backup speculatively
+        // re-executes its round at the same inbound load. Per-fault
+        // recovery charges are collected for the log.
+        let mut charges = Vec::with_capacity(planned.len());
+        for f in &planned {
+            let charge = match f.kind {
+                FaultKind::Duplicate { .. } => {
+                    tuples[f.server] += f.batch.0;
+                    words[f.server] += f.batch.1;
+                    f.batch
+                }
+                FaultKind::Straggle => {
+                    let backup = (f.server + 1) % self.p;
+                    let spec = (tuples[f.server], words[f.server]);
+                    tuples[backup] += spec.0;
+                    words[backup] += spec.1;
+                    spec
+                }
+                _ => f.batch,
+            };
+            charges.push(charge);
+        }
+        let traced = trace::is_enabled();
+        let fault_round = self.rounds.len();
+        if traced {
+            emit_round_events(
+                fault_round,
+                self.p,
+                &tuples,
+                &words,
+                xt.map(|t| (t.sent_msgs.as_slice(), t.sent_words.as_slice())),
+                xt.and_then(|t| t.dims.as_deref()),
+            );
         }
         self.rounds.push(RoundStats { tuples, words });
-        Ok(())
+
+        // Recovery, charged honestly after the faulty round: drops
+        // retransmit in one extra round, crashes recover per strategy,
+        // duplicates/stragglers already paid their same-round charge.
+        for (f, &(ct, cw)) in planned.iter().zip(&charges) {
+            faults::note_injected(fault_round, f.server, f.kind.name());
+            if traced {
+                trace::emit(TraceEvent::FaultInjected {
+                    round: fault_round,
+                    server: f.server,
+                    kind: f.kind.name(),
+                });
+            }
+            match f.kind {
+                FaultKind::Duplicate { .. } | FaultKind::Straggle => {
+                    let mechanism = if matches!(f.kind, FaultKind::Straggle) {
+                        "speculate"
+                    } else {
+                        "dedup"
+                    };
+                    if traced {
+                        trace::emit(TraceEvent::RecoveryBegin {
+                            round: fault_round,
+                            server: f.server,
+                            strategy: mechanism,
+                        });
+                        trace::emit(TraceEvent::RecoveryEnd {
+                            round: fault_round,
+                            server: f.server,
+                            rounds: 0,
+                            tuples: ct,
+                            words: cw,
+                        });
+                    }
+                    faults::note_recovery(0, ct, cw);
+                }
+                FaultKind::Drop { .. } => {
+                    if traced {
+                        trace::emit(TraceEvent::RecoveryBegin {
+                            round: fault_round,
+                            server: f.server,
+                            strategy: "retransmit",
+                        });
+                    }
+                    let mut t = vec![0; self.p];
+                    let mut w = vec![0; self.p];
+                    t[f.server] = ct;
+                    w[f.server] = cw;
+                    let idx = self.push_recovery_round(t, w, traced);
+                    if traced {
+                        trace::emit(TraceEvent::RecoveryEnd {
+                            round: idx,
+                            server: f.server,
+                            rounds: 1,
+                            tuples: ct,
+                            words: cw,
+                        });
+                    }
+                    faults::note_recovery(1, ct, cw);
+                }
+                FaultKind::Crash => self.recover_crash(fault_round, f.server, traced),
+            }
+        }
+    }
+
+    /// Charge crash recovery to the ledger per the installed strategy.
+    fn recover_crash(&mut self, fault_round: usize, server: usize, traced: bool) {
+        match faults::active_strategy().unwrap_or_default() {
+            RecoveryStrategy::Checkpoint { every } => {
+                // Roll back to the last checkpoint and replay every
+                // ledger round since, at its original loads.
+                let every = every.max(1);
+                let first = fault_round - (fault_round % every);
+                if traced {
+                    trace::emit(TraceEvent::RecoveryBegin {
+                        round: fault_round,
+                        server,
+                        strategy: "checkpoint",
+                    });
+                }
+                let replay: Vec<RoundStats> = self.rounds[first..=fault_round].to_vec();
+                let n = replay.len();
+                let (mut t, mut w) = (0u64, 0u64);
+                for rs in replay {
+                    t += rs.total_tuples();
+                    w += rs.total_words();
+                    self.push_recovery_round(rs.tuples, rs.words, traced);
+                }
+                if traced {
+                    trace::emit(TraceEvent::RecoveryEnd {
+                        round: self.rounds.len() - 1,
+                        server,
+                        rounds: n,
+                        tuples: t,
+                        words: w,
+                    });
+                }
+                faults::note_recovery(n, t, w);
+            }
+            RecoveryStrategy::Replication { replicas } => {
+                // One redistribution round: the replacement server
+                // re-fetches the cumulative partitions of the victim's
+                // replica group (the victim plus the `replicas − 1`
+                // partitions it mirrored), ≈ replicas × IN/p.
+                let replicas = replicas.clamp(1, self.p);
+                if traced {
+                    trace::emit(TraceEvent::RecoveryBegin {
+                        round: fault_round,
+                        server,
+                        strategy: "replication",
+                    });
+                }
+                let mut t = vec![0u64; self.p];
+                let mut w = vec![0u64; self.p];
+                for i in 0..replicas {
+                    let member = (server + i) % self.p;
+                    for rs in &self.rounds {
+                        t[server] += rs.tuples[member];
+                        w[server] += rs.words[member];
+                    }
+                }
+                let (ct, cw) = (t[server], w[server]);
+                let idx = self.push_recovery_round(t, w, traced);
+                if traced {
+                    trace::emit(TraceEvent::RecoveryEnd {
+                        round: idx,
+                        server,
+                        rounds: 1,
+                        tuples: ct,
+                        words: cw,
+                    });
+                }
+                faults::note_recovery(1, ct, cw);
+            }
+        }
+    }
+
+    /// Append a recovery round to the ledger (with its trace block).
+    /// Recovery rounds do not tick the fault runtime's logical clock,
+    /// so injected overhead never shifts the fault schedule.
+    fn push_recovery_round(&mut self, tuples: Vec<u64>, words: Vec<u64>, traced: bool) -> usize {
+        let round = self.rounds.len();
+        if traced {
+            emit_round_events(round, self.p, &tuples, &words, None, None);
+        }
+        self.rounds.push(RoundStats { tuples, words });
+        round
     }
 
     /// The `(L, r, C)` summary of all rounds recorded so far.
@@ -143,10 +365,27 @@ impl Cluster {
         self.rounds.len()
     }
 
-    /// Forget all recorded rounds (e.g. between benchmark iterations).
+    /// Forget all recorded rounds (e.g. between benchmark iterations)
+    /// and rewind any installed fault plan's logical round clock, so a
+    /// recovery replay starts from a clean ledger and sees the same
+    /// schedule from round 0 again. In-flight exchanges cannot survive
+    /// a reset — an [`Exchange`] borrows the cluster mutably — and the
+    /// trace sink is left alone (it belongs to the caller's capture).
     pub fn reset(&mut self) {
         self.rounds.clear();
+        faults::reset_round_clock();
     }
+}
+
+/// One fault scheduled for the round being recorded, with the batch
+/// (tuples, words) its drop/duplicate injection affects — resolved
+/// from real inboxes by [`Exchange::finish`], proportionally by
+/// [`Cluster::try_record_round`].
+#[derive(Debug, Clone, Copy)]
+struct PlannedFault {
+    server: usize,
+    kind: FaultKind,
+    batch: (u64, u64),
 }
 
 /// Per-exchange trace state, allocated only while a sink is installed
@@ -336,22 +575,55 @@ impl<T: Weight> Exchange<'_, T> {
     /// mirroring exactly what the ledger records — dropped and
     /// [`finish_untracked`](Exchange::finish_untracked) exchanges emit
     /// nothing, so trace totals always agree with the [`LoadReport`].
+    ///
+    /// When a fault plan is installed (see `parqp-faults`) this is
+    /// where scheduled faults fire: the runtime's round clock ticks
+    /// once per finished exchange, injections are charged to this
+    /// round, and recovery rounds are appended to the ledger. The
+    /// returned inboxes are always the *post-recovery* view — faults
+    /// never alter delivered data, so a recovered run's output is
+    /// byte-identical to its fault-free run by construction.
     pub fn finish(self) -> Vec<Vec<T>> {
-        if let Some(tr) = &self.trace {
-            emit_round_events(
-                self.cluster.rounds.len(),
-                self.cluster.p,
-                &self.tuples,
-                &self.words,
-                Some((&tr.sent_msgs, &tr.sent_words)),
-                tr.dims.as_deref(),
-            );
-        }
-        self.cluster.rounds.push(RoundStats {
-            tuples: self.tuples,
-            words: self.words,
-        });
-        self.inboxes
+        let Exchange {
+            cluster,
+            inboxes,
+            tuples,
+            words,
+            trace: tr,
+        } = self;
+        let planned = if faults::is_enabled() {
+            // Drop/duplicate batches resolve against real inboxes:
+            // drops lose the *last* messages delivered, duplicates
+            // re-deliver the *first*, each at exact message weights.
+            faults::next_round_faults(cluster.p)
+                .into_iter()
+                .map(|(server, kind)| {
+                    let inbox = &inboxes[server];
+                    let batch = match kind {
+                        FaultKind::Drop { msgs } => {
+                            let eff = (msgs as usize).min(inbox.len());
+                            let w = inbox[inbox.len() - eff..].iter().map(Weight::words).sum();
+                            (eff as u64, w)
+                        }
+                        FaultKind::Duplicate { msgs } => {
+                            let eff = (msgs as usize).min(inbox.len());
+                            let w = inbox[..eff].iter().map(Weight::words).sum();
+                            (eff as u64, w)
+                        }
+                        _ => (0, 0),
+                    };
+                    PlannedFault {
+                        server,
+                        kind,
+                        batch,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        cluster.record_round_internal(tuples, words, tr.as_deref(), planned);
+        inboxes
     }
 
     /// Deliver all messages **without** recording a round. Used for
@@ -583,6 +855,255 @@ mod tests {
         let mut c = Cluster::new(2);
         let ex = c.exchange::<u64>();
         assert!(ex.trace.is_none());
+    }
+
+    mod faulted {
+        use super::*;
+        use parqp_faults::{capture, FaultLog, FaultPlan};
+
+        /// One 2-server round: s0 gets [1,2] (3 words), s1 gets [3] (1 word).
+        fn one_round(c: &mut Cluster) -> Vec<Vec<Vec<u64>>> {
+            let mut ex = c.exchange::<Vec<u64>>();
+            ex.send(0, vec![1, 2]);
+            ex.send(1, vec![3]);
+            ex.finish()
+        }
+
+        fn run_plan(plan: FaultPlan, strategy: RecoveryStrategy) -> (FaultLog, LoadReport) {
+            capture(plan, strategy, || {
+                let mut c = Cluster::new(2);
+                one_round(&mut c);
+                c.report()
+            })
+        }
+
+        #[test]
+        fn inboxes_are_the_post_recovery_view() {
+            let plan = FaultPlan::new()
+                .with_fault(0, 0, FaultKind::Drop { msgs: 9 })
+                .with_fault(0, 1, FaultKind::Duplicate { msgs: 1 });
+            let (log, (clean, faulty)) = capture(plan, RecoveryStrategy::default(), || {
+                let mut c = Cluster::new(2);
+                let faulty = one_round(&mut c);
+                let mut c2 = Cluster::new(2);
+                let _guard_free = (); // second run is past the plan's round 0
+                let clean = one_round(&mut c2);
+                (clean, faulty)
+            });
+            assert_eq!(clean, faulty, "faults must never alter delivered data");
+            assert_eq!(log.fired(), 2);
+        }
+
+        #[test]
+        fn duplicate_charges_same_round() {
+            let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Duplicate { msgs: 1 });
+            let (log, report) = run_plan(plan, RecoveryStrategy::default());
+            // s0's first message [1,2] (2 tuples? no: 1 msg, 2 words) re-delivered.
+            assert_eq!(report.num_rounds(), 1);
+            assert_eq!(report.rounds[0].tuples, vec![2, 1]);
+            assert_eq!(report.rounds[0].words, vec![4, 1]);
+            assert_eq!(log.recovery_rounds, 0);
+            assert_eq!(log.recovery_tuples, 1);
+            assert_eq!(log.recovery_words, 2);
+        }
+
+        #[test]
+        fn duplicate_batch_caps_at_inbox() {
+            let plan = FaultPlan::new().with_fault(0, 1, FaultKind::Duplicate { msgs: 50 });
+            let (log, report) = run_plan(plan, RecoveryStrategy::default());
+            assert_eq!(report.rounds[0].tuples, vec![1, 2]);
+            assert_eq!(log.recovery_tuples, 1);
+        }
+
+        #[test]
+        fn drop_appends_retransmission_round() {
+            let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Drop { msgs: 1 });
+            let (log, report) = run_plan(plan, RecoveryStrategy::default());
+            assert_eq!(report.num_rounds(), 2);
+            // Faulty round is charged as sent…
+            assert_eq!(report.rounds[0].tuples, vec![1, 1]);
+            // …and the lost tail ([1,2], the last message to s0) again.
+            assert_eq!(report.rounds[1].tuples, vec![1, 0]);
+            assert_eq!(report.rounds[1].words, vec![2, 0]);
+            assert_eq!(log.recovery_rounds, 1);
+            assert_eq!((log.recovery_tuples, log.recovery_words), (1, 2));
+        }
+
+        #[test]
+        fn straggler_gets_speculative_backup() {
+            let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Straggle);
+            let (log, report) = run_plan(plan, RecoveryStrategy::default());
+            assert_eq!(report.num_rounds(), 1);
+            // Backup (s0+1)%2 = s1 re-receives s0's inbound in-round.
+            assert_eq!(report.rounds[0].tuples, vec![1, 2]);
+            assert_eq!(report.rounds[0].words, vec![2, 3]);
+            assert_eq!(log.recovery_rounds, 0);
+            assert_eq!((log.recovery_tuples, log.recovery_words), (1, 2));
+        }
+
+        #[test]
+        fn crash_checkpoint_replays_since_last_checkpoint() {
+            // 3 algorithm rounds, crash at round 2, checkpoints every 2:
+            // replay rounds 2..=2 (1 round).
+            let plan = FaultPlan::new().with_fault(2, 0, FaultKind::Crash);
+            let (log, report) = capture(plan, RecoveryStrategy::Checkpoint { every: 2 }, || {
+                let mut c = Cluster::new(2);
+                for _ in 0..3 {
+                    one_round(&mut c);
+                }
+                c.report()
+            });
+            assert_eq!(report.num_rounds(), 4);
+            assert_eq!(report.rounds[3].tuples, report.rounds[2].tuples);
+            assert_eq!(log.recovery_rounds, 1);
+            assert_eq!(log.recovery_tuples, report.rounds[2].total_tuples());
+            assert_eq!(log.injected.len(), 1);
+            assert_eq!(log.injected[0].kind, "crash");
+            assert_eq!(log.injected[0].round, 2);
+        }
+
+        #[test]
+        fn crash_checkpoint_replays_full_interval() {
+            // Crash at round 3 with every=4: replay rounds 0..=3.
+            let plan = FaultPlan::new().with_fault(3, 1, FaultKind::Crash);
+            let (log, report) = capture(plan, RecoveryStrategy::Checkpoint { every: 4 }, || {
+                let mut c = Cluster::new(2);
+                for _ in 0..4 {
+                    one_round(&mut c);
+                }
+                c.report()
+            });
+            assert_eq!(report.num_rounds(), 8);
+            assert_eq!(log.recovery_rounds, 4);
+            assert_eq!(log.recovery_tuples, 4 * 2);
+        }
+
+        #[test]
+        fn crash_replication_costs_one_redistribution_round() {
+            let plan = FaultPlan::new().with_fault(1, 0, FaultKind::Crash);
+            let (log, report) =
+                capture(plan, RecoveryStrategy::Replication { replicas: 2 }, || {
+                    let mut c = Cluster::new(2);
+                    one_round(&mut c);
+                    one_round(&mut c);
+                    c.report()
+                });
+            assert_eq!(report.num_rounds(), 3);
+            // Replica group of s0 on p=2, r=2 is {s0, s1}: the
+            // replacement re-fetches both cumulative partitions
+            // (2 rounds × 2 tuples).
+            assert_eq!(report.rounds[2].tuples, vec![4, 0]);
+            assert_eq!(log.recovery_rounds, 1);
+            assert_eq!(log.recovery_tuples, 4);
+        }
+
+        #[test]
+        fn analytic_rounds_fault_with_proportional_words() {
+            let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Drop { msgs: 2 });
+            let (log, report) = capture(plan, RecoveryStrategy::default(), || {
+                let mut c = Cluster::new(2);
+                c.record_round(vec![4, 1], vec![8, 3]);
+                c.report()
+            });
+            assert_eq!(report.num_rounds(), 2);
+            // 2 of s0's 4 tuples retransmitted at 8 × 2/4 = 4 words.
+            assert_eq!(report.rounds[1].tuples, vec![2, 0]);
+            assert_eq!(report.rounds[1].words, vec![4, 0]);
+            assert_eq!(log.recovery_rounds, 1);
+        }
+
+        #[test]
+        fn fault_clock_ignores_untracked_and_recovery_rounds() {
+            // A drop at logical round 1 must fire on the *second
+            // recorded* round even though an untracked exchange and a
+            // recovery round (from the round-0 drop) sit in between.
+            let plan = FaultPlan::new()
+                .with_fault(0, 0, FaultKind::Drop { msgs: 1 })
+                .with_fault(1, 1, FaultKind::Drop { msgs: 1 });
+            let (log, _) = capture(plan, RecoveryStrategy::default(), || {
+                let mut c = Cluster::new(2);
+                one_round(&mut c); // logical round 0: drop fires, +1 recovery round
+                let mut ex = c.exchange::<u64>();
+                ex.send(0, 7);
+                ex.finish_untracked(); // no tick
+                one_round(&mut c); // logical round 1: second drop fires
+                c.report()
+            });
+            let kinds: Vec<_> = log.injected.iter().map(|f| (f.round, f.server)).collect();
+            assert_eq!(
+                kinds,
+                vec![(0, 0), (2, 1)],
+                "ledger rounds shift, logical rounds don't"
+            );
+        }
+
+        #[test]
+        fn reset_rewinds_fault_clock_for_recovery_replays() {
+            // Regression (satellite): a replay after Cluster::reset must
+            // see the schedule from round 0 again on a clean ledger.
+            let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Duplicate { msgs: 1 });
+            let (log, (first, second)) = capture(plan, RecoveryStrategy::default(), || {
+                let mut c = Cluster::new(2);
+                one_round(&mut c);
+                let first = c.report();
+                c.reset();
+                one_round(&mut c);
+                (first, c.report())
+            });
+            assert_eq!(first, second, "replay must see identical faults");
+            assert_eq!(log.fired(), 2, "the fault fired in both runs");
+            assert_eq!(second.num_rounds(), 1, "reset cleared the ledger");
+        }
+
+        #[test]
+        fn faulted_trace_totals_match_report() {
+            use parqp_trace::Recorder;
+            let plan = FaultPlan::new()
+                .with_fault(0, 0, FaultKind::Duplicate { msgs: 1 })
+                .with_fault(1, 1, FaultKind::Drop { msgs: 1 })
+                .with_fault(2, 0, FaultKind::Crash)
+                .with_fault(3, 1, FaultKind::Straggle);
+            let (_, (rec, report)) =
+                capture(plan, RecoveryStrategy::Checkpoint { every: 2 }, || {
+                    Recorder::capture(|| {
+                        let mut c = Cluster::new(2);
+                        for _ in 0..4 {
+                            one_round(&mut c);
+                        }
+                        c.report()
+                    })
+                });
+            let totals = parqp_trace::analyze::totals(&rec);
+            assert_eq!(totals.rounds, report.num_rounds());
+            assert_eq!(totals.tuples, report.total_tuples());
+            assert_eq!(totals.words, report.total_words());
+            assert!(rec
+                .events()
+                .any(|e| matches!(e, TraceEvent::FaultInjected { kind: "crash", .. })));
+            // Every RecoveryBegin has a matching RecoveryEnd.
+            let begins = rec
+                .events()
+                .filter(|e| matches!(e, TraceEvent::RecoveryBegin { .. }))
+                .count();
+            let ends = rec
+                .events()
+                .filter(|e| matches!(e, TraceEvent::RecoveryEnd { .. }))
+                .count();
+            assert_eq!(begins, 4);
+            assert_eq!(begins, ends);
+        }
+
+        #[test]
+        fn fault_free_plan_is_invisible() {
+            let clean = {
+                let mut c = Cluster::new(2);
+                one_round(&mut c);
+                c.report()
+            };
+            let (log, faulted) = run_plan(FaultPlan::new(), RecoveryStrategy::default());
+            assert_eq!(clean, faulted);
+            assert_eq!(log, FaultLog::default());
+        }
     }
 
     #[test]

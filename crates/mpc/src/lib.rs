@@ -35,7 +35,17 @@
 //!   every recorded round also emits structured [`trace::TraceEvent`]s
 //!   (per-server loads, send fan-out, grid topology). Only this crate
 //!   emits communication events (lint rule PQ105); algorithm crates
-//!   label their phases with [`trace::span`].
+//!   label their phases with [`trace::span`];
+//! * [`faults`] — re-export of `parqp-faults`: install a
+//!   [`faults::FaultPlan`] (e.g. via [`faults::capture`]) and scheduled
+//!   crashes, message drops/duplications, and stragglers fire at exact
+//!   logical rounds as each exchange finishes. Injection is transparent
+//!   to algorithms — delivered inboxes are always the post-recovery
+//!   view — while recovery overhead (replayed rounds, retransmissions,
+//!   replica redistribution) is charged honestly to the same
+//!   [`LoadReport`] ledger and emitted as `FaultInjected`/
+//!   `RecoveryBegin`/`RecoveryEnd` trace events. Only this crate calls
+//!   the fault-runtime round hooks (lint rule PQ106).
 
 pub mod cluster;
 pub mod error;
@@ -44,6 +54,7 @@ pub mod hash;
 pub mod stats;
 pub mod weight;
 
+pub use parqp_faults as faults;
 pub use parqp_trace as trace;
 
 pub use cluster::{Cluster, Exchange};

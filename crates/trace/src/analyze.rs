@@ -89,8 +89,15 @@ pub fn round_loads(rec: &Recorder) -> Vec<RoundLoad> {
                     out.push(rl);
                 }
             }
-            TraceEvent::Send { .. } | TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => {
-            }
+            // Send attribution, spans, and fault/recovery markers carry
+            // no receive-side load; the recovery rounds themselves
+            // arrive as ordinary RoundBegin…RoundEnd blocks.
+            TraceEvent::Send { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::RecoveryBegin { .. }
+            | TraceEvent::RecoveryEnd { .. }
+            | TraceEvent::SpanBegin { .. }
+            | TraceEvent::SpanEnd { .. } => {}
         }
     }
     out

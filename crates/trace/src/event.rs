@@ -70,6 +70,42 @@ pub enum TraceEvent {
         /// Total words received across all servers this round.
         words: u64,
     },
+    /// A scheduled fault fired on `server` while ledger round `round`
+    /// was being recorded (see `parqp-faults`). Emitted by `parqp-mpc`
+    /// alone, like every non-span event (lint rule PQ106).
+    FaultInjected {
+        /// Ledger round index the fault was charged to.
+        round: usize,
+        /// Victim server rank.
+        server: usize,
+        /// Stable fault name (`"crash"`, `"drop"`, `"duplicate"`,
+        /// `"straggle"`).
+        kind: &'static str,
+    },
+    /// Recovery from the fault at `(round, server)` began.
+    RecoveryBegin {
+        /// Ledger round index of the fault being recovered from.
+        round: usize,
+        /// Victim server rank.
+        server: usize,
+        /// Stable mechanism name (`"checkpoint"`, `"replication"`,
+        /// `"retransmit"`, `"speculate"`, `"dedup"`).
+        strategy: &'static str,
+    },
+    /// Recovery completed, having appended `rounds` extra ledger
+    /// rounds and charged the given extra load.
+    RecoveryEnd {
+        /// Ledger round index of the *last* round recovery touched.
+        round: usize,
+        /// Victim server rank.
+        server: usize,
+        /// Extra ledger rounds appended (0 for same-round recovery).
+        rounds: usize,
+        /// Extra tuples charged to the ledger.
+        tuples: u64,
+        /// Extra words charged to the ledger.
+        words: u64,
+    },
     /// An algorithm phase opened (e.g. `"hypercube/shuffle"`).
     SpanBegin {
         /// Static phase label, conventionally `"algorithm/phase"`.

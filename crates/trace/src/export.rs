@@ -93,6 +93,35 @@ pub fn jsonl(rec: &Recorder) -> String {
                     ",\"ev\":\"round_end\",\"round\":{round},\"tuples\":{tuples},\"words\":{words}"
                 ));
             }
+            TraceEvent::FaultInjected {
+                round,
+                server,
+                kind,
+            } => {
+                out.push_str(&format!(
+                    ",\"ev\":\"fault_injected\",\"round\":{round},\"server\":{server},\"kind\":\"{kind}\""
+                ));
+            }
+            TraceEvent::RecoveryBegin {
+                round,
+                server,
+                strategy,
+            } => {
+                out.push_str(&format!(
+                    ",\"ev\":\"recovery_begin\",\"round\":{round},\"server\":{server},\"strategy\":\"{strategy}\""
+                ));
+            }
+            TraceEvent::RecoveryEnd {
+                round,
+                server,
+                rounds,
+                tuples,
+                words,
+            } => {
+                out.push_str(&format!(
+                    ",\"ev\":\"recovery_end\",\"round\":{round},\"server\":{server},\"rounds\":{rounds},\"tuples\":{tuples},\"words\":{words}"
+                ));
+            }
             TraceEvent::SpanBegin { label } => {
                 out.push_str(",\"ev\":\"span_begin\",\"label\":\"");
                 escape_into(&mut out, label);
@@ -172,6 +201,35 @@ pub fn chrome_trace(rec: &Recorder) -> String {
                     "{{\"name\":\"recv.s{server}\",\"cat\":\"recv\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"args\":{{\"tuples\":{tuples},\"words\":{words}}}}}"
                 ));
             }
+            TraceEvent::FaultInjected {
+                round,
+                server,
+                kind,
+            } => {
+                line.push_str(&format!(
+                    "{{\"name\":\"fault {kind} s{server}\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":2,\"s\":\"p\",\"args\":{{\"round\":{round}}}}}"
+                ));
+            }
+            TraceEvent::RecoveryBegin {
+                round,
+                server,
+                strategy,
+            } => {
+                line.push_str(&format!(
+                    "{{\"name\":\"recover {strategy} s{server}\",\"cat\":\"fault\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":2,\"args\":{{\"round\":{round}}}}}"
+                ));
+            }
+            TraceEvent::RecoveryEnd {
+                round,
+                server,
+                rounds,
+                tuples,
+                words,
+            } => {
+                line.push_str(&format!(
+                    "{{\"name\":\"recover s{server}\",\"cat\":\"fault\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":2,\"args\":{{\"round\":{round},\"rounds\":{rounds},\"tuples\":{tuples},\"words\":{words}}}}}"
+                ));
+            }
             TraceEvent::SpanBegin { label } => {
                 line.push_str("{\"name\":\"");
                 escape_into(&mut line, label);
@@ -230,6 +288,23 @@ mod tests {
             tuples: 4,
             words: 8,
         });
+        r.record(TraceEvent::FaultInjected {
+            round: 0,
+            server: 1,
+            kind: "crash",
+        });
+        r.record(TraceEvent::RecoveryBegin {
+            round: 0,
+            server: 1,
+            strategy: "checkpoint",
+        });
+        r.record(TraceEvent::RecoveryEnd {
+            round: 1,
+            server: 1,
+            rounds: 1,
+            tuples: 4,
+            words: 8,
+        });
         r.record(TraceEvent::SpanEnd { label: "t/\"q\"" });
         r
     }
@@ -238,7 +313,7 @@ mod tests {
     fn jsonl_one_line_per_event_with_seq() {
         let text = jsonl(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 7);
+        assert_eq!(lines.len(), 10);
         assert!(lines[0].starts_with("{\"seq\":0,\"ev\":\"span_begin\""));
         assert!(lines[0].contains("t/\\\"q\\\""), "labels are escaped");
         assert_eq!(
@@ -252,6 +327,18 @@ mod tests {
         assert_eq!(
             lines[4],
             "{\"seq\":4,\"ev\":\"recv\",\"round\":0,\"server\":0,\"tuples\":4,\"words\":8}"
+        );
+        assert_eq!(
+            lines[6],
+            "{\"seq\":6,\"ev\":\"fault_injected\",\"round\":0,\"server\":1,\"kind\":\"crash\"}"
+        );
+        assert_eq!(
+            lines[7],
+            "{\"seq\":7,\"ev\":\"recovery_begin\",\"round\":0,\"server\":1,\"strategy\":\"checkpoint\"}"
+        );
+        assert_eq!(
+            lines[8],
+            "{\"seq\":8,\"ev\":\"recovery_end\",\"round\":1,\"server\":1,\"rounds\":1,\"tuples\":4,\"words\":8}"
         );
     }
 
@@ -277,6 +364,9 @@ mod tests {
         // Counter events carry no tid (one track per counter name).
         assert!(text.contains("\"name\":\"recv.s0\""));
         assert!(text.contains("\"name\":\"grid 2x3\""));
+        // Fault markers land on their own thread lane.
+        assert!(text.contains("\"name\":\"fault crash s1\""));
+        assert!(text.contains("\"name\":\"recover checkpoint s1\",\"cat\":\"fault\",\"ph\":\"B\""));
     }
 
     #[test]

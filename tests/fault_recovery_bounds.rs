@@ -1,0 +1,77 @@
+//! Analytic bounds on replication-recovery cost.
+//!
+//! With r-way replication, recovering one crashed server costs a single
+//! redistribution round in which the victim re-receives the cumulative
+//! inbound of its replica group — `r` consecutive servers. For a
+//! load-balanced algorithm that inbound is `r` times the per-server
+//! load, so the charge must sit within `r × slack × L_ideal`:
+//!
+//! * hash join distributes `IN` tuples evenly, `L_ideal = IN / p`;
+//! * HyperCube on the triangle query replicates each edge to `p^(1/3)`
+//!   servers, `L_ideal = IN / p^(2/3)` (slides 42–44).
+//!
+//! The slack factor absorbs hash imbalance; `1.5` is generous for the
+//! instance sizes here yet tight enough to catch a mis-charged group
+//! (charging all `p` servers, or double-counting rounds, blows past it
+//! immediately at `p = 27` and `p = 64`).
+
+use parqp::data::generate;
+use parqp::faults::{capture, FaultKind, FaultPlan, RecoveryStrategy};
+use parqp::join::{multiway, twoway};
+use parqp::query::Query;
+
+const REPLICAS: usize = 3;
+const SLACK: f64 = 1.5;
+const SEED: u64 = 11;
+
+/// Charge one round-0 crash on server 0 under r-way replication and
+/// return the recovery tuples the ledger was billed.
+fn replication_recovery_tuples(f: impl FnOnce()) -> u64 {
+    let plan = FaultPlan::new().with_fault(0, 0, FaultKind::Crash);
+    let (log, ()) = capture(
+        plan,
+        RecoveryStrategy::Replication { replicas: REPLICAS },
+        f,
+    );
+    assert_eq!(log.injected.len(), 1, "crash must fire");
+    assert_eq!(log.recovery_rounds, 1, "replication recovers in one round");
+    log.recovery_tuples
+}
+
+#[test]
+fn hash_join_replication_recovery_within_in_over_p() {
+    let r = generate::uniform(2, 4000, 500, SEED);
+    let t = generate::uniform(2, 4000, 500, SEED.wrapping_add(1));
+    let input = (r.len() + t.len()) as f64; // IN = 8000
+    for p in [8usize, 27, 64] {
+        let measured = replication_recovery_tuples(|| {
+            twoway::hash_join(&r, 1, &t, 0, p, SEED);
+        });
+        let bound = REPLICAS as f64 * SLACK * input / p as f64;
+        assert!(measured > 0, "p = {p}: crash on server 0 recovered nothing");
+        assert!(
+            (measured as f64) <= bound,
+            "p = {p}: recovery charge {measured} exceeds {REPLICAS} × {SLACK} × IN/p = {bound}"
+        );
+    }
+}
+
+#[test]
+fn hypercube_replication_recovery_within_in_over_p_two_thirds() {
+    let q = Query::triangle();
+    let g = generate::random_symmetric_graph(120, 900, SEED);
+    let rels = [g.clone(), g.clone(), g.clone()];
+    let input = (3 * g.len()) as f64; // IN = 2700
+    for p in [8usize, 27, 64] {
+        let measured = replication_recovery_tuples(|| {
+            multiway::hypercube(&q, &rels, p, SEED);
+        });
+        let bound = REPLICAS as f64 * SLACK * input / (p as f64).powf(2.0 / 3.0);
+        assert!(measured > 0, "p = {p}: crash on server 0 recovered nothing");
+        assert!(
+            (measured as f64) <= bound,
+            "p = {p}: recovery charge {measured} exceeds \
+             {REPLICAS} × {SLACK} × IN/p^(2/3) = {bound}"
+        );
+    }
+}

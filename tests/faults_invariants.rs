@@ -1,0 +1,202 @@
+//! Fault-injection invariants: recovery must be transparent to the
+//! algorithm and honest to the ledger.
+//!
+//! Three guarantees, asserted across every `observe` experiment:
+//!
+//! 1. **A crash-free plan is invisible.** Installing an empty
+//!    `FaultPlan` leaves the `LoadReport` and the output digest
+//!    bit-identical to an uninstrumented run.
+//! 2. **Recovered output is byte-identical to fault-free output.**
+//!    Under any plan (explicit round-0 faults of every kind, and
+//!    seeded random plans with ≤ 2 crashes) and either recovery
+//!    strategy, the output digest equals the clean run's. Injection
+//!    only ever inflates the ledger, never the data.
+//! 3. **The trace stays consistent with the ledger.** Recovery rounds
+//!    are emitted as ordinary round blocks, so `analyze::totals`
+//!    (tuples, words) equals the `LoadReport`'s totals even mid-fault,
+//!    and fixed seeds export byte-identical fault-annotated JSONL.
+
+use parqp::faults::{capture, FaultKind, FaultPlan, FaultSpec, RecoveryStrategy};
+use parqp::observe::{run_experiment_full, ExperimentRun, EXPERIMENTS};
+use parqp::trace::{analyze, export};
+
+const SERVERS: usize = 8;
+const SEED: u64 = 7;
+
+fn clean(name: &str) -> ExperimentRun {
+    run_experiment_full(name, SERVERS, SEED).expect("known experiment")
+}
+
+fn faulty(
+    name: &str,
+    plan: FaultPlan,
+    strategy: RecoveryStrategy,
+) -> (parqp::faults::FaultLog, ExperimentRun) {
+    let (log, run) = capture(plan, strategy, || {
+        run_experiment_full(name, SERVERS, SEED).expect("known experiment")
+    });
+    (log, run)
+}
+
+/// Both recovery strategies every scenario is exercised under.
+fn strategies() -> [RecoveryStrategy; 2] {
+    [
+        RecoveryStrategy::Checkpoint { every: 2 },
+        RecoveryStrategy::Replication { replicas: 3 },
+    ]
+}
+
+/// One fault of every kind, all in round 0 so they are guaranteed to
+/// fire on every experiment (each records at least one round at p = 8).
+fn round_zero_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_fault(0, 0, FaultKind::Crash)
+        .with_fault(0, 1, FaultKind::Drop { msgs: 2 })
+        .with_fault(0, 2, FaultKind::Duplicate { msgs: 2 })
+        .with_fault(0, 3, FaultKind::Straggle)
+}
+
+#[test]
+fn crash_free_plan_is_invisible() {
+    for e in EXPERIMENTS {
+        let bare = clean(e.name);
+        let (log, run) = faulty(e.name, FaultPlan::new(), RecoveryStrategy::default());
+        assert_eq!(log.fired(), 0, "{}: empty plan fired", e.name);
+        assert_eq!(log.recovery_rounds, 0, "{}: phantom recovery", e.name);
+        assert_eq!(log.recovery_tuples, 0, "{}: phantom tuples", e.name);
+        assert_eq!(log.recovery_words, 0, "{}: phantom words", e.name);
+        assert_eq!(run.digest, bare.digest, "{}: output changed", e.name);
+        assert_eq!(
+            run.report.total_tuples(),
+            bare.report.total_tuples(),
+            "{}: Σ tuples changed",
+            e.name
+        );
+        assert_eq!(
+            run.report.total_words(),
+            bare.report.total_words(),
+            "{}: Σ words changed",
+            e.name
+        );
+        assert_eq!(
+            run.report.num_rounds(),
+            bare.report.num_rounds(),
+            "{}: rounds changed",
+            e.name
+        );
+        assert_eq!(
+            run.report.max_load_tuples(),
+            bare.report.max_load_tuples(),
+            "{}: L changed",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn recovered_output_is_byte_identical_under_explicit_plans() {
+    for e in EXPERIMENTS {
+        let bare = clean(e.name);
+        for strategy in strategies() {
+            let (log, run) = faulty(e.name, round_zero_plan(), strategy);
+            assert!(
+                log.fired() >= 1,
+                "{} ({}): round-0 plan must fire",
+                e.name,
+                strategy.name()
+            );
+            assert_eq!(
+                run.digest,
+                bare.digest,
+                "{} ({}): recovered output diverged",
+                e.name,
+                strategy.name()
+            );
+            // A crash always fires in round 0, so some recovery was
+            // charged — and only *added* to the clean ledger.
+            assert!(
+                log.recovery_tuples > 0 || log.recovery_rounds > 0,
+                "{} ({}): crash recovered for free",
+                e.name,
+                strategy.name()
+            );
+            assert!(
+                run.report.total_tuples() >= bare.report.total_tuples(),
+                "{} ({}): faulty ledger below clean",
+                e.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn recovered_output_is_byte_identical_under_random_plans() {
+    // Seeded plans with at most 2 crashes (the acceptance bound),
+    // dense enough over (8 servers × 4 rounds) to fire on every
+    // experiment's early rounds.
+    let spec = FaultSpec {
+        crashes: 2,
+        drops: 2,
+        duplicates: 2,
+        stragglers: 2,
+        max_batch: 4,
+    };
+    for e in EXPERIMENTS {
+        let bare = clean(e.name);
+        for (i, strategy) in strategies().into_iter().enumerate() {
+            let plan = FaultPlan::random(0xFA17 + i as u64, SERVERS, 4, &spec);
+            assert!(plan.crashes() <= 2, "spec bounds crashes");
+            let (_, run) = faulty(e.name, plan, strategy);
+            assert_eq!(
+                run.digest,
+                bare.digest,
+                "{} ({}): recovered output diverged",
+                e.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_totals_match_ledger_under_faults() {
+    for e in EXPERIMENTS {
+        for strategy in strategies() {
+            let (_, run) = faulty(e.name, round_zero_plan(), strategy);
+            let totals = analyze::totals(&run.recorder);
+            assert_eq!(
+                totals.tuples,
+                run.report.total_tuples(),
+                "{} ({}): trace/ledger Σ tuples",
+                e.name,
+                strategy.name()
+            );
+            assert_eq!(
+                totals.words,
+                run.report.total_words(),
+                "{} ({}): trace/ledger Σ words",
+                e.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_annotated_jsonl_is_byte_identical_across_invocations() {
+    let export_once = || {
+        let (_, run) = faulty(
+            "multiround-sort",
+            round_zero_plan(),
+            RecoveryStrategy::Checkpoint { every: 2 },
+        );
+        export::jsonl(&run.recorder)
+    };
+    let first = export_once();
+    let second = export_once();
+    assert!(first.contains("\"ev\":\"fault_injected\""));
+    assert!(first.contains("\"ev\":\"recovery_begin\""));
+    assert!(first.contains("\"ev\":\"recovery_end\""));
+    assert_eq!(first, second);
+}
