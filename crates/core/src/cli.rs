@@ -35,13 +35,14 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "generate" => generate(&opts),
         "trace" => trace_cmd(&opts),
         "faults" => faults_cmd(&opts),
+        "metrics" => metrics_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace|faults> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -57,7 +58,11 @@ fn usage() -> String {
               [--crashes N] [--drops N] [--duplicates N] [--stragglers N]\n\
               [--horizon H] [--format summary|heatmap|jsonl|chrome]\n\
               run a named experiment under a seeded fault plan and\n\
-              report recovery overhead (no --experiment: list them)\n"
+              report recovery overhead (no --experiment: list them)\n\
+     metrics  [--seed S] [--format table|json] [--out F]\n\
+              [--check BASELINE.json]\n\
+              measure L, rounds and bound adherence of every experiment\n\
+              at p = 8, 27, 64; --check gates against a committed baseline\n"
         .into()
 }
 
@@ -82,6 +87,7 @@ struct Opts {
     duplicates: usize,
     stragglers: usize,
     horizon: usize,
+    check: Option<String>,
 }
 
 impl Opts {
@@ -106,6 +112,7 @@ impl Opts {
             duplicates: 1,
             stragglers: 1,
             horizon: 8,
+            check: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -156,6 +163,7 @@ impl Opts {
                 "--experiment" => o.experiment = Some(value("--experiment")?),
                 "--format" => o.format = Some(value("--format")?),
                 "--strategy" => o.strategy = Some(value("--strategy")?),
+                "--check" => o.check = Some(value("--check")?),
                 "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
                 | "--stragglers" | "--horizon" => {
                     let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -312,22 +320,24 @@ fn trace_cmd(o: &Opts) -> Result<String, String> {
         }
         return Ok(s);
     };
-    let rec = crate::observe::run_experiment(name, o.servers, o.seed)?;
+    let run = crate::observe::run_experiment_full(name, o.servers, o.seed)?;
+    let rec = &run.recorder;
     let body = match o.format.as_deref().unwrap_or("summary") {
         "summary" => {
-            let loads = analyze::round_loads(&rec);
-            let totals = analyze::totals(&rec);
+            let loads = analyze::round_loads(rec);
+            let totals = analyze::totals(rec);
             let mut s = format!(
                 "experiment {name} on p = {} (seed {}): {} round(s), \
                  {} tuples, {} words\n",
                 o.servers, o.seed, totals.rounds, totals.tuples, totals.words
             );
             s.push_str(&analyze::summary_table(&loads));
+            let _ = writeln!(s, "output     : digest {:#018x}", run.digest);
             s
         }
-        "heatmap" => analyze::heatmap(&analyze::round_loads(&rec), 16),
-        "jsonl" => export::jsonl(&rec),
-        "chrome" => export::chrome_trace(&rec),
+        "heatmap" => analyze::heatmap(&analyze::round_loads(rec), 16),
+        "jsonl" => export::jsonl(rec),
+        "chrome" => export::chrome_trace(rec),
         other => {
             return Err(format!(
                 "unknown --format {other:?} (summary|heatmap|jsonl|chrome)"
@@ -442,6 +452,39 @@ fn faults_cmd(o: &Opts) -> Result<String, String> {
                 "unknown --format {other:?} (summary|heatmap|jsonl|chrome)"
             ))
         }
+    };
+    if let Some(out) = &o.out {
+        std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n", body.len()))
+    } else {
+        Ok(body)
+    }
+}
+
+fn metrics_cmd(o: &Opts) -> Result<String, String> {
+    let current = crate::metrics::collect(o.seed)?;
+    if let Some(path) = &o.check {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = crate::metrics::from_json(&src)?;
+        let regressions = crate::metrics::compare(&baseline, &current);
+        return if regressions.is_empty() {
+            Ok(format!(
+                "metrics match baseline {path} ({} points, seed {})\n",
+                baseline.experiments.len(),
+                baseline.seed
+            ))
+        } else {
+            Err(format!(
+                "{} metrics regression(s) against {path}:\n  {}",
+                regressions.len(),
+                regressions.join("\n  ")
+            ))
+        };
+    }
+    let body = match o.format.as_deref().unwrap_or("table") {
+        "table" => crate::metrics::table(&current),
+        "json" => crate::metrics::to_json(&current),
+        other => return Err(format!("unknown --format {other:?} (table|json)")),
     };
     if let Some(out) = &o.out {
         std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
@@ -695,6 +738,41 @@ mod tests {
             "wat"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_summary_reports_output_digest() {
+        let summary = dispatch(&argv(&["trace", "--experiment", "psrs", "--servers", "4"]))
+            .expect("summary works");
+        assert!(summary.contains("output     : digest 0x"), "got: {summary}");
+        // Digest matches the faults command's fault-free digest.
+        let full = crate::observe::run_experiment_full("psrs", 4, 42).expect("runs");
+        assert!(summary.contains(&format!("{:#018x}", full.digest)));
+    }
+
+    #[test]
+    fn metrics_check_round_trips_through_a_written_baseline() {
+        let dir = tmpdir("metrics_check");
+        let f = dir.join("baseline.json");
+        let json = dispatch(&argv(&["metrics", "--format", "json"])).expect("json works");
+        std::fs::write(&f, &json).expect("write baseline");
+        let ok = dispatch(&argv(&["metrics", "--check", f.to_str().expect("utf8")]))
+            .expect("self-comparison passes");
+        assert!(ok.contains("metrics match baseline"), "got: {ok}");
+        // A corrupted baseline is a reported regression.
+        std::fs::write(&f, json.replace("\"rounds\": 2", "\"rounds\": 9")).expect("write");
+        let err = dispatch(&argv(&["metrics", "--check", f.to_str().expect("utf8")]))
+            .expect_err("drift must fail the gate");
+        assert!(err.contains("rounds changed"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_table_and_rejects_unknown_format() {
+        let t = dispatch(&argv(&["metrics"])).expect("table works");
+        assert!(t.contains("bound_ratio"));
+        assert!(t.contains("triangle-hypercube"));
+        assert!(dispatch(&argv(&["metrics", "--format", "wat"])).is_err());
     }
 
     #[test]

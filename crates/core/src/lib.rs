@@ -46,8 +46,11 @@
 //!   overhead;
 //! * [`observe`] — named trace experiments for `parqp trace` and
 //!   `parqp faults`;
+//! * [`metrics`] — bound-adherence metrics over the experiments
+//!   (`parqp metrics`) and the JSON baseline the CI perf gate compares
+//!   against;
 //! * [`cli`] — the `parqp` command-line tool (plan/run/analyze/stats/
-//!   generate/trace/faults over CSV relations).
+//!   generate/trace/faults/metrics over CSV relations).
 
 pub use parqp_data as data;
 pub use parqp_faults as faults;
@@ -60,6 +63,7 @@ pub use parqp_sort as sort;
 pub use parqp_trace as trace;
 
 pub mod cli;
+pub mod metrics;
 pub mod model;
 pub mod observe;
 pub mod pipeline;

@@ -1,0 +1,440 @@
+//! Bound-adherence metrics over the named [`observe`](crate::observe)
+//! experiments: the `parqp metrics` subcommand and the CI perf gate.
+//!
+//! Each experiment is run under an installed
+//! [`parqp_mpc::metrics`] registry at every cluster size in
+//! [`METRICS_POINTS`]. The algorithms announce their paper bound (the
+//! predicted per-server load `L` and round count) on the way in; the
+//! cluster feeds the registry the same event stream the trace sees; and
+//! the resulting [`MetricsReport`] carries, per `experiment/p` point,
+//! the measured `L`, the round count, and the **bound ratio**
+//! `measured L / predicted L` — the number the tutorial's theorems say
+//! should hover just above 1.
+//!
+//! Reports serialize to the `parqp-bench-metrics/v1` JSON schema
+//! (`BENCH_parqp.json`, `results/bench_baseline.json`). [`compare`]
+//! implements the regression gate: `L`, `rounds` and `bound_ratio` must
+//! match the baseline exactly (every run of a fixed seed is
+//! deterministic); `wall_ns` is checked within a ±30% budget and only
+//! when both sides actually measured it, so a committed baseline with
+//! `wall_ns = 0` gates byte-exactly.
+//!
+//! Wall-clock never enters this crate: collection is deterministic
+//! unless the caller supplies a clock (`parqp-bench` passes
+//! `parqp_testkit::bench::time_ns`, the workspace's one sanctioned
+//! timing site).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use parqp_metrics as metrics;
+
+/// Cluster sizes every experiment is measured at: a non-cube, a cube
+/// (`3³`, exercising HyperCube's integer shares), and the CI default.
+pub const METRICS_POINTS: &[usize] = &[8, 27, 64];
+
+/// JSON schema tag of [`to_json`] output.
+pub const SCHEMA: &str = "parqp-bench-metrics/v1";
+
+/// Measured metrics of one `experiment/p` point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentPoint {
+    /// Measured maximum per-server load, in the unit of the
+    /// experiment's announced bound (tuples for joins and sorts, words
+    /// for matmul).
+    pub l: u64,
+    /// Rounds the cluster ran.
+    pub rounds: u64,
+    /// `measured L / predicted L` against the primary announced bound,
+    /// rounded to 4 decimals (0 when nothing was announced).
+    pub bound_ratio: f64,
+    /// Wall-clock nanoseconds for the run; 0 when collected without a
+    /// clock (the deterministic mode the committed baseline uses).
+    pub wall_ns: u64,
+    /// Worst per-round skew `L_max / L_mean` (in-memory only; not part
+    /// of the v1 JSON schema, so parsed reports carry 0 here).
+    pub skew: f64,
+}
+
+/// Metrics of every experiment × cluster-size point, keyed
+/// `"<experiment>/p<P>"`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// The seed every experiment ran under.
+    pub seed: u64,
+    /// Points in key order (`BTreeMap`, so serialization is canonical).
+    pub experiments: BTreeMap<String, ExperimentPoint>,
+}
+
+/// Collect metrics for every experiment at every [`METRICS_POINTS`]
+/// size, deterministically (no wall-clock).
+pub fn collect(seed: u64) -> Result<MetricsReport, String> {
+    collect_with(seed, None)
+}
+
+/// [`collect`], timing each run with `clock` (monotonic nanoseconds)
+/// when one is supplied.
+pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<MetricsReport, String> {
+    let mut experiments = BTreeMap::new();
+    for e in crate::observe::EXPERIMENTS {
+        for &p in METRICS_POINTS {
+            let t0 = clock.map(|c| c());
+            let (registry, run) =
+                metrics::capture(|| crate::observe::run_experiment_full(e.name, p, seed));
+            run?;
+            let wall_ns = match (clock, t0) {
+                (Some(c), Some(t0)) => c().saturating_sub(t0),
+                _ => 0,
+            };
+            let unit = registry.primary_bound().map(|b| b.unit).unwrap_or_default();
+            let point = ExperimentPoint {
+                l: registry.load_max(unit),
+                rounds: registry.rounds(),
+                bound_ratio: registry
+                    .bound_ratio()
+                    .map_or(0.0, |r| (r * 10_000.0).round() / 10_000.0),
+                wall_ns,
+                skew: registry.max_skew_ratio(),
+            };
+            experiments.insert(format!("{}/p{p}", e.name), point);
+        }
+    }
+    Ok(MetricsReport { seed, experiments })
+}
+
+/// Serialize to the `parqp-bench-metrics/v1` JSON document. Key order
+/// and float formatting are canonical, so equal reports are
+/// byte-identical.
+pub fn to_json(report: &MetricsReport) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"seed\": {},", report.seed);
+    let _ = writeln!(s, "  \"experiments\": {{");
+    let last = report.experiments.len().saturating_sub(1);
+    for (i, (key, pt)) in report.experiments.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    \"{key}\": {{\"L\": {}, \"rounds\": {}, \"bound_ratio\": {:.4}, \
+             \"wall_ns\": {}}}",
+            pt.l, pt.rounds, pt.bound_ratio, pt.wall_ns
+        );
+        s.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parse a document [`to_json`] wrote (line-oriented, like the lint's
+/// TOML reader: enough for the schema we emit, not a general parser).
+pub fn from_json(src: &str) -> Result<MetricsReport, String> {
+    let mut report = MetricsReport::default();
+    let mut saw_schema = false;
+    for line in src.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"schema\":") {
+            let got = rest.trim().trim_matches('"');
+            if got != SCHEMA {
+                return Err(format!("unsupported schema {got:?} (want {SCHEMA:?})"));
+            }
+            saw_schema = true;
+        } else if let Some(rest) = t.strip_prefix("\"seed\":") {
+            report.seed = rest
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad seed value: {e}"))?;
+        } else if t.starts_with('"') && t.contains("\"L\":") {
+            let key = t
+                .split('"')
+                .nth(1)
+                .ok_or_else(|| format!("malformed metrics entry: {t}"))?;
+            let point = ExperimentPoint {
+                l: field(t, "L")?
+                    .parse()
+                    .map_err(|e| format!("{key} L: {e}"))?,
+                rounds: field(t, "rounds")?
+                    .parse()
+                    .map_err(|e| format!("{key} rounds: {e}"))?,
+                bound_ratio: field(t, "bound_ratio")?
+                    .parse()
+                    .map_err(|e| format!("{key} bound_ratio: {e}"))?,
+                wall_ns: field(t, "wall_ns")?
+                    .parse()
+                    .map_err(|e| format!("{key} wall_ns: {e}"))?,
+                skew: 0.0,
+            };
+            report.experiments.insert(key.to_string(), point);
+        }
+    }
+    if !saw_schema {
+        return Err(format!("not a {SCHEMA} document (no schema line)"));
+    }
+    Ok(report)
+}
+
+/// The raw text of one `"name": value` field inside an entry line.
+fn field<'a>(entry: &'a str, name: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{name}\":");
+    let at = entry
+        .find(&tag)
+        .ok_or_else(|| format!("missing field {name:?} in: {entry}"))?;
+    let rest = entry.get(at + tag.len()..).unwrap_or_default();
+    Ok(rest.split([',', '}']).next().unwrap_or(rest).trim())
+}
+
+/// Fraction by which `wall_ns` may grow over the baseline before the
+/// gate fails (±30%; shrinking is never a regression).
+pub const WALL_BUDGET: f64 = 0.30;
+
+/// The perf gate: every regression of `current` against `baseline`,
+/// empty when the gate passes.
+///
+/// `L`, `rounds` and `bound_ratio` must match exactly — collection is
+/// deterministic at a fixed seed, so any drift is a real behavior
+/// change. `wall_ns` is budgeted (±[`WALL_BUDGET`]) and skipped when
+/// either side reads 0 (unmeasured).
+pub fn compare(baseline: &MetricsReport, current: &MetricsReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if baseline.seed != current.seed {
+        out.push(format!(
+            "seed mismatch: baseline {} vs current {}",
+            baseline.seed, current.seed
+        ));
+    }
+    for (key, b) in &baseline.experiments {
+        let Some(c) = current.experiments.get(key) else {
+            out.push(format!("{key}: missing from current run"));
+            continue;
+        };
+        if b.l != c.l {
+            out.push(format!("{key}: L changed {} → {}", b.l, c.l));
+        }
+        if b.rounds != c.rounds {
+            out.push(format!("{key}: rounds changed {} → {}", b.rounds, c.rounds));
+        }
+        if (b.bound_ratio - c.bound_ratio).abs() > 1e-9 {
+            out.push(format!(
+                "{key}: bound_ratio changed {:.4} → {:.4}",
+                b.bound_ratio, c.bound_ratio
+            ));
+        }
+        if b.wall_ns > 0 && c.wall_ns > 0 {
+            let grew = c.wall_ns as f64 / b.wall_ns as f64 - 1.0;
+            if grew > WALL_BUDGET {
+                out.push(format!(
+                    "{key}: wall_ns grew {} → {} (+{:.0}%, budget {:.0}%)",
+                    b.wall_ns,
+                    c.wall_ns,
+                    grew * 100.0,
+                    WALL_BUDGET * 100.0
+                ));
+            }
+        }
+    }
+    for key in current.experiments.keys() {
+        if !baseline.experiments.contains_key(key) {
+            out.push(format!(
+                "{key}: not in baseline (regenerate it to admit new points)"
+            ));
+        }
+    }
+    out
+}
+
+/// Render a report as an aligned text table, one row per point.
+pub fn table(report: &MetricsReport) -> String {
+    let mut s = format!(
+        "bound-adherence metrics, seed {} ({} points)\n",
+        report.seed,
+        report.experiments.len()
+    );
+    s.push_str("experiment              p      L_meas  rounds  bound_ratio   skew       wall\n");
+    for (key, pt) in &report.experiments {
+        let (name, p) = key.rsplit_once("/p").unwrap_or((key.as_str(), "?"));
+        let ratio = if pt.bound_ratio > 0.0 {
+            format!("{:.4}", pt.bound_ratio)
+        } else {
+            "-".into()
+        };
+        let wall = if pt.wall_ns > 0 {
+            format!("{:.2} ms", pt.wall_ns as f64 / 1e6)
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            s,
+            "{name:<21} {p:>4} {:>11} {:>7} {ratio:>12} {:>6.2} {wall:>10}",
+            pt.l, pt.rounds, pt.skew
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut experiments = BTreeMap::new();
+        experiments.insert(
+            "psrs/p8".to_string(),
+            ExperimentPoint {
+                l: 5000,
+                rounds: 2,
+                bound_ratio: 1.0312,
+                wall_ns: 0,
+                skew: 1.1,
+            },
+        );
+        experiments.insert(
+            "matmul-square/p27".to_string(),
+            ExperimentPoint {
+                l: 108,
+                rounds: 3,
+                bound_ratio: 1.0,
+                wall_ns: 2_000_000,
+                skew: 1.0,
+            },
+        );
+        MetricsReport {
+            seed: 42,
+            experiments,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_except_skew() {
+        let report = sample();
+        let json = to_json(&report);
+        let parsed = from_json(&json).expect("own output parses");
+        assert_eq!(parsed.seed, report.seed);
+        assert_eq!(parsed.experiments.len(), report.experiments.len());
+        for (key, pt) in &report.experiments {
+            let got = parsed.experiments[key];
+            assert_eq!(
+                (got.l, got.rounds, got.wall_ns),
+                (pt.l, pt.rounds, pt.wall_ns)
+            );
+            assert!((got.bound_ratio - pt.bound_ratio).abs() < 1e-9);
+            assert_eq!(got.skew, 0.0, "skew is not serialized");
+        }
+        // Canonical: serializing the parse reproduces the bytes.
+        let mut report_no_skew = parsed.clone();
+        assert_eq!(to_json(&report_no_skew), json);
+        report_no_skew.seed += 1;
+        assert_ne!(to_json(&report_no_skew), json);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("{\"schema\": \"other/v9\"}").is_err());
+        let broken = to_json(&sample()).replace("\"L\": 5000", "\"L\": x");
+        assert!(from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn compare_passes_on_identical_reports() {
+        assert!(compare(&sample(), &sample()).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_exact_field_drift() {
+        let baseline = sample();
+        let mut current = sample();
+        let pt = current.experiments.get_mut("psrs/p8").expect("point");
+        pt.l += 1;
+        pt.rounds += 1;
+        pt.bound_ratio += 0.5;
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 3, "got: {msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("L changed")));
+        assert!(msgs.iter().any(|m| m.contains("rounds changed")));
+        assert!(msgs.iter().any(|m| m.contains("bound_ratio changed")));
+    }
+
+    #[test]
+    fn compare_budgets_wall_clock_and_skips_unmeasured() {
+        let baseline = sample();
+        let mut current = sample();
+        // +25% is inside the budget.
+        current
+            .experiments
+            .get_mut("matmul-square/p27")
+            .expect("point")
+            .wall_ns = 2_500_000;
+        assert!(compare(&baseline, &current).is_empty());
+        // +50% is a regression.
+        current
+            .experiments
+            .get_mut("matmul-square/p27")
+            .expect("point")
+            .wall_ns = 3_000_000;
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("wall_ns grew"));
+        // The psrs point has baseline wall_ns = 0: never checked.
+        current
+            .experiments
+            .get_mut("psrs/p8")
+            .expect("point")
+            .wall_ns = u64::MAX;
+        assert_eq!(compare(&baseline, &current).len(), 1);
+    }
+
+    #[test]
+    fn compare_flags_missing_and_extra_points() {
+        let baseline = sample();
+        let mut current = sample();
+        let moved = current.experiments.remove("psrs/p8").expect("point");
+        current.experiments.insert("new/p8".to_string(), moved);
+        let msgs = compare(&baseline, &current);
+        assert!(msgs.iter().any(|m| m.contains("psrs/p8: missing")));
+        assert!(msgs.iter().any(|m| m.contains("new/p8: not in baseline")));
+    }
+
+    #[test]
+    fn table_renders_one_row_per_point() {
+        let t = table(&sample());
+        assert_eq!(t.lines().count(), 2 + sample().experiments.len());
+        assert!(t.contains("bound_ratio"));
+        assert!(t.contains("psrs"));
+        // Unmeasured wall-clock renders as "-".
+        assert!(t.lines().any(|l| l.contains("psrs") && l.ends_with('-')));
+    }
+
+    #[test]
+    fn collect_covers_every_experiment_and_point() {
+        let report = collect(7).expect("collect runs");
+        assert_eq!(
+            report.experiments.len(),
+            crate::observe::EXPERIMENTS.len() * METRICS_POINTS.len()
+        );
+        for (key, pt) in &report.experiments {
+            assert!(pt.l > 0, "{key}: zero load");
+            assert!(pt.rounds > 0, "{key}: zero rounds");
+            // Every experiment announces a bound. Mean-load bounds give
+            // ratios ≥ 1 (measured max ≥ mean); worst-case guarantees
+            // (skewhc) may dip just below 1 — but never near zero.
+            assert!(
+                pt.bound_ratio > 0.5,
+                "{key}: ratio {} implausibly low",
+                pt.bound_ratio
+            );
+            assert_eq!(pt.wall_ns, 0, "{key}: clockless collection timed itself");
+            assert!(pt.skew >= 1.0, "{key}: skew {} < 1", pt.skew);
+        }
+    }
+
+    #[test]
+    fn clocked_collection_times_runs() {
+        // A fake monotonic clock: every read advances 1 µs.
+        use std::cell::Cell;
+        let ticks = Cell::new(0u64);
+        let clock = move || {
+            ticks.set(ticks.get() + 1_000);
+            ticks.get()
+        };
+        let report = collect_with(7, Some(&clock)).expect("collect runs");
+        assert!(report.experiments.values().all(|pt| pt.wall_ns > 0));
+    }
+}

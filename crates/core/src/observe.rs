@@ -90,8 +90,11 @@ pub fn run_experiment_full(name: &str, servers: usize, seed: u64) -> Result<Expe
             (run.report.clone(), digest_relation(&run.gathered()))
         },
         "twoway-hash" => |p, s| {
-            let r = generate::uniform(2, 4000, 500, s);
-            let t = generate::uniform(2, 4000, 500, s.wrapping_add(1));
+            // Domain ≫ p² keeps hash-partition imbalance low, so the
+            // measured bound_ratio stays near 1 even at p = 64 (the
+            // metrics invariants pin it to [1.0, 1.5]).
+            let r = generate::uniform(2, 16_000, 8000, s);
+            let t = generate::uniform(2, 16_000, 8000, s.wrapping_add(1));
             let run = parqp_join::twoway::hash_join(&r, 1, &t, 0, p, s);
             (run.report.clone(), digest_relation(&run.gathered()))
         },

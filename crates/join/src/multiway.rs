@@ -15,7 +15,7 @@
 
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::Relation;
-use parqp_mpc::{trace, Cluster, Grid, HashFamily};
+use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
 use parqp_query::{evaluate, Query};
 
 /// Run the HyperCube algorithm with LP-optimal integer shares.
@@ -52,6 +52,25 @@ pub fn hypercube(query: &Query, rels: &[Relation], p: usize, seed: u64) -> JoinR
     } else {
         vec![1; query.num_vars()]
     };
+    if metrics::is_enabled() {
+        // Slide 40: L = Σ_j N_j / ∏_{i ∈ vars(S_j)} p_i at the chosen
+        // shares — the grid-mean load, which equals IN/p^{1/τ*} for
+        // equal sizes at the LP optimum (N/p^{2/3} for the triangle).
+        let predicted: f64 = query
+            .atoms()
+            .iter()
+            .zip(&sizes)
+            .map(|(atom, &n)| {
+                let replicated: f64 = atom
+                    .vars
+                    .iter()
+                    .map(|&v| shares.get(v).map_or(1.0, |&s| s as f64))
+                    .product();
+                n as f64 / replicated
+            })
+            .sum();
+        metrics::announce(&metrics::PaperBound::tuples("hypercube", predicted, 1));
+    }
     hypercube_with_shares(query, rels, &shares, seed)
 }
 

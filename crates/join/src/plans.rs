@@ -13,7 +13,7 @@
 
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::{FastMap, Relation, Value};
-use parqp_mpc::{trace, Cluster, Grid, HashFamily};
+use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
 use parqp_query::{Query, Var};
 
 const TAG_LEFT: u32 = 0;
@@ -58,6 +58,18 @@ pub fn binary_join_plan(
 
     let mut cluster = Cluster::new(p);
     let h = HashFamily::new(seed, 1);
+    if metrics::is_enabled() {
+        // A left-deep plan is n−1 hash-join rounds; per round the
+        // paper charges IN_round/p, where IN_round can be dominated by
+        // an intermediate result up to the AGM bound. The announced
+        // load uses the base inputs (the skew-free per-round floor).
+        let input: usize = rels.iter().map(Relation::len).sum();
+        metrics::announce(&metrics::PaperBound::tuples(
+            "binary_join_plan",
+            input as f64 / p as f64,
+            query.num_atoms().saturating_sub(1).max(1),
+        ));
+    }
 
     // Intermediate state: distributed rows + their variable schema.
     let first = order[0];

@@ -25,7 +25,7 @@
 use crate::common::{scatter, JoinRun, Tagged};
 use parqp_data::stats::degree_counts;
 use parqp_data::{FastSet, Relation, Value};
-use parqp_mpc::{trace, Cluster, Grid, HashFamily};
+use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
 use parqp_query::{evaluate, residual, Query};
 
 /// One heavy/light combination's execution plan.
@@ -84,6 +84,18 @@ pub fn skewhc_with_plans(
         k <= 16,
         "SkewHC combination enumeration limited to 16 variables"
     );
+
+    // Slides 45–50: L = IN/p^{1/ψ*} under arbitrary skew. ψ* is a
+    // residual-LP sweep, so only pay for it when a registry is listening.
+    if metrics::is_enabled() {
+        let input: usize = rels.iter().map(Relation::len).sum();
+        let psi = parqp_query::psi_star(query).max(1.0);
+        metrics::announce(&metrics::PaperBound::tuples(
+            "skewhc",
+            input as f64 / (p.max(1) as f64).powf(1.0 / psi),
+            1,
+        ));
+    }
 
     // Heavy values per variable: degree ≥ |S_j|/p in any atom containing it.
     let heavy: Vec<FastSet<Value>> = heavy_values(query, rels, p);

@@ -14,7 +14,7 @@
 use crate::common::{joined_arity, local_hash_join, merge_rows, scatter, JoinRun, Tagged};
 use parqp_data::stats::{degree_counts, join_heavy_hitters, join_output_size};
 use parqp_data::{Relation, Value};
-use parqp_mpc::{trace, Cluster, HashFamily, LoadReport, Weight};
+use parqp_mpc::{metrics, trace, Cluster, HashFamily, LoadReport, Weight};
 
 const TAG_R: u32 = 0;
 const TAG_S: u32 = 1;
@@ -48,6 +48,14 @@ pub fn hash_join(
     let h = HashFamily::new(seed, 1);
     let r_parts = scatter(r, p);
     let s_parts = scatter(s, p);
+    if metrics::is_enabled() {
+        // Slide 23: one round at L = IN/p on skew-free input (τ* = 1).
+        metrics::announce(&metrics::PaperBound::tuples(
+            "hash_join",
+            (r.len() + s.len()) as f64 / p as f64,
+            1,
+        ));
+    }
 
     let _span = trace::span("hash_join/partition");
     let mut ex = cluster.exchange::<Tagged>();
@@ -87,6 +95,16 @@ pub fn broadcast_join(r: &Relation, r_col: usize, s: &Relation, s_col: usize, p:
     let mut cluster = Cluster::new(p);
     let r_parts = scatter(r, p);
     let s_parts = scatter(s, p);
+    if metrics::is_enabled() {
+        // Slide 32: the replicated small side lands whole on every
+        // server; the big side never moves (its resident |S|/p share
+        // is the bound's second term but is never received).
+        metrics::announce(&metrics::PaperBound::tuples(
+            "broadcast_join",
+            r.len() as f64 + s.len() as f64 / p as f64,
+            1,
+        ));
+    }
 
     let _span = trace::span("broadcast_join/replicate");
     let mut ex = cluster.exchange::<Vec<Value>>();
@@ -153,6 +171,14 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
     let h = HashFamily::new(seed, 2);
     let r_parts = scatter(r, grid.len());
     let s_parts = scatter(s, grid.len());
+    if metrics::is_enabled() {
+        // Slide 28: |R|/p₁ + |S|/p₂ at the grid the split chose.
+        metrics::announce(&metrics::PaperBound::tuples(
+            "cartesian",
+            r.len() as f64 / p1 as f64 + s.len() as f64 / p2 as f64,
+            1,
+        ));
+    }
 
     let _span = trace::span("cartesian/scatter");
     let mut ex = cluster.exchange::<Tagged>();
@@ -218,6 +244,17 @@ pub fn skew_join(
 ) -> JoinRun {
     let input = (r.len() + s.len()) as u64;
     let threshold = (input / p as u64).max(1);
+    if metrics::is_enabled() {
+        // Slide 30: L = O(√(OUT/p) + IN/p) for arbitrary skew.
+        // Announced before any sub-algorithm runs, so this is the
+        // capture's primary bound even on the hash-join fallback path.
+        let out = join_output_size(r, r_col, s, s_col) as f64;
+        metrics::announce(&metrics::PaperBound::tuples(
+            "skew_join",
+            (out / p as f64).sqrt() + input as f64 / p as f64,
+            1,
+        ));
+    }
     let mut heavy = join_heavy_hitters(r, r_col, s, s_col, threshold);
     if heavy.is_empty() || p == 1 {
         // No split possible (or needed): plain hash join.
@@ -350,6 +387,15 @@ pub fn sort_merge_join(
 ) -> JoinRun {
     let mut cluster = Cluster::new(p);
     let h = HashFamily::new(seed ^ 0x50f7, 2);
+    if metrics::is_enabled() {
+        // Slide 31: same load bound as the skew join, in 4 rounds.
+        let out = join_output_size(r, r_col, s, s_col) as f64;
+        metrics::announce(&metrics::PaperBound::tuples(
+            "sort_merge_join",
+            (out / p as f64).sqrt() + (r.len() + s.len()) as f64 / p as f64,
+            4,
+        ));
+    }
 
     // Union, tagged, keyed by the join attribute with a tiebreak.
     let mut items: Vec<SortItem> = Vec::with_capacity(r.len() + s.len());

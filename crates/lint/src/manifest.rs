@@ -25,23 +25,24 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     (
         "bench",
         &[
-            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "faults",
-            "testkit",
+            "core", "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "metrics",
+            "faults", "testkit",
         ],
     ),
     (
         "core",
         &[
-            "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "faults",
+            "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "metrics", "faults",
         ],
     ),
     ("data", &["testkit"]),
-    ("faults", &[]),
+    ("faults", &["testkit"]),
     ("join", &["mpc", "data", "lp", "query", "sort"]),
     ("lint", &[]),
     ("lp", &[]),
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
-    ("mpc", &["trace", "faults"]),
+    ("metrics", &["trace"]),
+    ("mpc", &["trace", "metrics", "faults"]),
     ("query", &["data", "lp"]),
     ("sort", &["mpc", "data"]),
     ("testkit", &[]),
@@ -51,7 +52,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
 /// Crates whose algorithms are *defined* in terms of seeded randomness
 /// and may therefore carry `parqp-testkit` (the deterministic RNG) as a
 /// runtime dependency. Everywhere else testkit is dev-only (PQ102).
-pub const TESTKIT_RUNTIME_WHITELIST: &[&str] = &["data", "matmul", "bench"];
+pub const TESTKIT_RUNTIME_WHITELIST: &[&str] = &["data", "matmul", "bench", "faults"];
 
 /// Registry crates whose roles `parqp-testkit` absorbed in PR 1; they
 /// must never reappear in any manifest (PQ302).
@@ -272,9 +273,11 @@ mod tests {
 
     #[test]
     fn dag_matches_design_doc_shape() {
-        // Spot-check the table itself: trace, faults and lp are leaves,
-        // mpc sees only its instrumentation sinks (trace + faults), core
-        // sees every algorithm crate, nothing depends on lint.
+        // Spot-check the table itself: trace and lp are leaves, faults
+        // holds only the shared RNG, metrics reads only the event
+        // model, mpc sees only its instrumentation sinks (trace +
+        // metrics + faults), core sees every algorithm crate, nothing
+        // depends on lint.
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -282,12 +285,14 @@ mod tests {
                 .map(|(_, d)| *d)
                 .expect("crate in table")
         };
-        assert_eq!(find("mpc"), &["trace", "faults"]);
+        assert_eq!(find("mpc"), &["trace", "metrics", "faults"]);
         assert!(find("trace").is_empty());
-        assert!(find("faults").is_empty());
+        assert_eq!(find("faults"), &["testkit"]);
+        assert_eq!(find("metrics"), &["trace"]);
         assert!(find("lp").is_empty());
         assert!(find("core").contains(&"join"));
         assert!(find("core").contains(&"trace"));
+        assert!(find("core").contains(&"metrics"));
         assert!(find("core").contains(&"faults"));
         for (_, deps) in ALLOWED_DEPS {
             assert!(!deps.contains(&"lint"), "nothing may depend on the linter");

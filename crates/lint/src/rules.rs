@@ -25,6 +25,10 @@
 //! |       |             | `note_injected`, `note_recovery`) outside               |
 //! |       |             | `parqp-mpc`/`parqp-faults`; everyone else only          |
 //! |       |             | installs plans (`faults::install` / `faults::capture`)  |
+//! | PQ107 | layering    | feeding the metrics registry (`metrics::emit`) outside  |
+//! |       |             | `parqp-mpc`/`parqp-metrics`; algorithm crates may only  |
+//! |       |             | `metrics::announce` bounds, consumers only read the     |
+//! |       |             | captured registry                                       |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -38,7 +42,7 @@ use crate::Diagnostic;
 /// (file I/O), `core` (CLI), `bench` (CSV output), `testkit` (env-var
 /// knobs) and `lint` (this tool) legitimately touch the OS.
 pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
-    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults",
+    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics",
 ];
 
 /// A banned token with its rule, message, and crate scope.
@@ -170,7 +174,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         token: "TraceEvent",
         message: "only parqp-mpc fabricates communication trace events (in Cluster::exchange); algorithm crates may only open trace::span labels",
         scope: None,
-        exempt: &["mpc", "trace"],
+        exempt: &["mpc", "trace", "metrics"],
     },
     TokenRule {
         rule: "PQ105",
@@ -199,6 +203,13 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc charges recovery overhead, so the fault log mirrors the LoadReport exactly; install plans via faults::capture instead",
         scope: None,
         exempt: &["mpc", "faults"],
+    },
+    TokenRule {
+        rule: "PQ107",
+        token: "metrics::emit",
+        message: "only parqp-mpc feeds the metrics registry, so metrics mirror the exchange ledger exactly; announce bounds via metrics::announce instead",
+        scope: None,
+        exempt: &["mpc", "metrics"],
     },
 ];
 
@@ -401,6 +412,23 @@ mod tests {
         );
         assert!(rules_of("mpc", drive).is_empty());
         assert!(rules_of("faults", drive).is_empty());
+    }
+
+    #[test]
+    fn metrics_emission_flagged_outside_mpc_and_metrics() {
+        let emit = "metrics::emit(&event);\n";
+        assert_eq!(rules_of("join", emit), vec![("PQ107", 1)]);
+        assert_eq!(rules_of("core", emit), vec![("PQ107", 1)]);
+        assert!(rules_of("mpc", emit).is_empty());
+        assert!(rules_of("metrics", emit).is_empty());
+    }
+
+    #[test]
+    fn metrics_announce_allowed_everywhere() {
+        let src = "metrics::announce(&metrics::PaperBound::tuples(\"hash_join\", l, 1));\n\
+                   let (reg, out) = metrics::capture(run);\n";
+        assert!(rules_of("join", src).is_empty());
+        assert!(rules_of("core", src).is_empty());
     }
 
     #[test]

@@ -124,6 +124,37 @@ fn fault_plan_installation_passes() {
     assert_eq!(hits(&diags), vec![]);
 }
 
+// --------------------------------------------------------------------- PQ107
+
+#[test]
+fn metrics_emission_violation_reported() {
+    let src = include_str!("fixtures/metrics_bad.rs");
+    let diags = lint_source("join", "fixtures/metrics_bad.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ105", 6), // forging a TraceEvent outside mpc/trace/metrics
+            ("PQ107", 6), // metrics::emit outside mpc/metrics
+        ]
+    );
+}
+
+#[test]
+fn mpc_and_metrics_are_exempt_from_metrics_emission_ownership() {
+    let src = include_str!("fixtures/metrics_bad.rs");
+    for owner in ["mpc", "metrics"] {
+        let diags = lint_source(owner, "fixtures/metrics_bad.rs", &sanitize(src));
+        assert_eq!(hits(&diags), vec![], "{owner} owns metrics emission");
+    }
+}
+
+#[test]
+fn bound_announcement_and_capture_pass() {
+    let src = include_str!("fixtures/metrics_ok.rs");
+    let diags = lint_source("join", "fixtures/metrics_ok.rs", &sanitize(src));
+    assert_eq!(hits(&diags), vec![]);
+}
+
 // ---------------------------------------------------------------- PQ101/PQ102
 
 #[test]

@@ -1,0 +1,11 @@
+//! Fixture: feeding the metrics registry from an algorithm crate (PQ107).
+
+use parqp_mpc::{metrics, trace};
+
+pub fn forge_ledger(round: u64, tuples: u64) {
+    metrics::emit(&trace::TraceEvent::RoundEnd {
+        round,
+        tuples,
+        words: tuples,
+    });
+}

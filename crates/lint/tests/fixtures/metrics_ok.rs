@@ -1,0 +1,15 @@
+//! Fixture: metrics-layering-clean code — announces a paper bound and
+//! captures a registry; event emission stays inside parqp-mpc.
+
+use parqp_mpc::metrics::{self, PaperBound};
+
+pub fn announce_bound(n: u64, p: usize) {
+    if metrics::is_enabled() {
+        metrics::announce(&PaperBound::tuples("hash_join", n as f64 / p as f64, 1));
+    }
+}
+
+pub fn measure<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let (registry, out) = metrics::capture(f);
+    (registry.rounds(), out)
+}

@@ -9,7 +9,7 @@
 
 use crate::dense::Matrix;
 use crate::MatMulRun;
-use parqp_mpc::{trace, Cluster, Grid, Weight};
+use parqp_mpc::{metrics, trace, Cluster, Grid, Weight};
 
 /// A contiguous vector of matrix elements on the wire, tagged with the
 /// row/column index it came from. Each element is one word; the tag is
@@ -48,6 +48,15 @@ pub fn rect_block(a: &Matrix, b: &Matrix, t: usize) -> MatMulRun {
     let k = n.div_ceil(t);
     let grid = Grid::new(vec![k, k]);
     let mut cluster = Cluster::new(grid.len());
+    if metrics::is_enabled() {
+        // Slides 109–110: L = 2tn words (t rows of A + t columns of B),
+        // one round, meeting the 1-round lower bound with equality.
+        metrics::announce(&metrics::PaperBound::words(
+            "matmul_rect",
+            2.0 * (t * n) as f64,
+            1,
+        ));
+    }
 
     // One round: row i of A goes to every processor in row-group i/t;
     // column j of B to every processor in column-group j/t. Ids ≥ n mark

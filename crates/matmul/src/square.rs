@@ -20,7 +20,7 @@
 
 use crate::dense::Matrix;
 use crate::MatMulRun;
-use parqp_mpc::{trace, Cluster, Weight};
+use parqp_mpc::{metrics, trace, Cluster, Weight};
 
 /// An `nb × nb` block on the wire (row-major), with its block coordinates.
 #[derive(Debug, Clone)]
@@ -63,6 +63,23 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
     // g mod p in round g / p.
     let total = h * h * h;
     let rounds = total.div_ceil(p);
+    if metrics::is_enabled() {
+        // Slides 115–121: every multiplication round delivers one A and
+        // one B block (2(n/H)² words) per processor. When partial sums
+        // of one C block land on several processors (the z·H² offsets
+        // are not all ≡ 0 mod p), one aggregation round with fan-in
+        // `distinct − 1` blocks follows.
+        let distinct = (0..h)
+            .map(|z| (z * h * h) % p)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let block_words = (nb * nb) as f64;
+        metrics::announce(&metrics::PaperBound::words(
+            "matmul_square",
+            block_words * 2.0f64.max((distinct - 1) as f64),
+            rounds + usize::from(distinct > 1),
+        ));
+    }
     // partial[proc] maps (i,k) → accumulated nb×nb partial sum.
     let mut partial: Vec<parqp_data::FastMap<(usize, usize), Vec<f64>>> =
         vec![parqp_data::FastMap::default(); p];

@@ -1,0 +1,44 @@
+//! # parqp-metrics — bound-adherence metrics for the MPC simulator
+//!
+//! The tutorial states every result as a closed-form bound — `L =
+//! IN/p^{1/τ*}` per round for skew-free inputs, `IN/p^{1/ψ*}` under
+//! skew, AGM for output sizes — yet `parqp-trace` only records *raw*
+//! per-round loads. This crate closes the gap: a [`MetricsRegistry`]
+//! of counters, gauges, and power-of-two histograms is fed by the very
+//! same [`TraceEvent`](parqp_trace::TraceEvent) stream the simulator
+//! already emits, and each algorithm *announces* its predicted load
+//! through the [`BoundProvider`] trait so the registry can report
+//! `measured_L / predicted_L` ratios, round counts vs. paper rounds,
+//! and skew ratios per experiment.
+//!
+//! Everything here is deterministic: no clocks, no randomness, no
+//! iteration over unordered maps (PQ001–PQ003 clean). Wall-clock
+//! timing lives in the testkit bench harness, the one sanctioned
+//! `Instant::now` site, and only ever decorates exported JSON — it
+//! never feeds a metric the CI gate compares exactly.
+//!
+//! ## Layering
+//!
+//! Mirrors the `parqp-trace`/`parqp-faults` thread-local registry
+//! pattern: [`install`] puts a registry in a thread-local slot,
+//! [`MetricsGuard`] restores the previous one on drop, and
+//! [`capture`] wraps a closure and hands back the filled registry.
+//! Only `parqp-mpc` forwards communication events into the registry
+//! (via [`emit`] — lint rule PQ107, the metrics twin of PQ105);
+//! algorithm crates only [`announce`] bounds, and consumers read the
+//! finished registry.
+//!
+//! ## Modules
+//!
+//! * [`bound`] — the [`BoundProvider`] contract, [`PaperBound`], and
+//!   [`LoadUnit`];
+//! * [`registry`] — the [`MetricsRegistry`] and its histogram;
+//! * [`runtime`] — the thread-local install/capture machinery.
+
+pub mod bound;
+pub mod registry;
+pub mod runtime;
+
+pub use bound::{BoundProvider, LoadUnit, PaperBound};
+pub use registry::{BoundRecord, MetricsRegistry};
+pub use runtime::{announce, capture, emit, install, is_enabled, MetricsGuard};

@@ -1,0 +1,176 @@
+//! The thread-local metrics runtime: install a registry, let the
+//! simulator feed it, collect it back.
+//!
+//! Mirrors `parqp_trace::recorder` and `parqp_faults::runtime`: the
+//! simulator is single-threaded by design (PQ004), so a thread-local
+//! slot is the whole "global" state. [`install`] puts a fresh
+//! [`MetricsRegistry`] in the slot and returns a [`MetricsGuard`] that
+//! restores the previous registry on drop (panic-safe). `parqp-mpc` is
+//! the only caller of [`emit`] (lint rule PQ107 — the metrics twin of
+//! PQ105's trace-emission monopoly); algorithm crates call
+//! [`announce`], and everything else uses [`capture`] and reads the
+//! returned registry.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use parqp_trace::TraceEvent;
+
+use crate::bound::BoundProvider;
+use crate::registry::MetricsRegistry;
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<RefCell<MetricsRegistry>>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed registry when dropped.
+#[must_use = "dropping the guard immediately uninstalls the registry"]
+pub struct MetricsGuard {
+    previous: Option<Rc<RefCell<MetricsRegistry>>>,
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| {
+            *slot.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Install `registry` as this thread's metrics sink until the returned
+/// guard drops. Nesting is allowed; the innermost install wins and the
+/// outer registry resumes when the inner guard drops.
+pub fn install(registry: MetricsRegistry) -> MetricsGuard {
+    install_shared(registry).0
+}
+
+/// [`install`], also returning a handle so [`capture`] can collect the
+/// registry after the guard drops.
+fn install_shared(registry: MetricsRegistry) -> (MetricsGuard, Rc<RefCell<MetricsRegistry>>) {
+    let shared = Rc::new(RefCell::new(registry));
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(shared.clone()));
+    (MetricsGuard { previous }, shared)
+}
+
+/// Whether a registry is currently installed. The simulator checks
+/// this to skip event forwarding entirely on the unobserved path, and
+/// algorithms check it before computing expensive bounds (the SkewHC
+/// ψ\* LP, for instance).
+pub fn is_enabled() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Forward one simulator event to the installed registry, if any.
+/// Simulator-only (lint rule PQ107); a no-op when nothing is installed.
+pub fn emit(event: &TraceEvent) {
+    ACTIVE.with(|slot| {
+        if let Some(reg) = slot.borrow().as_ref() {
+            reg.borrow_mut().observe_event(event);
+        }
+    });
+}
+
+/// Announce a paper bound to the installed registry, if any. Unlike
+/// [`emit`], algorithm crates call this freely — it is the metrics
+/// analogue of `trace::span`. A no-op when nothing is installed.
+pub fn announce(bound: &dyn BoundProvider) {
+    ACTIVE.with(|slot| {
+        if let Some(reg) = slot.borrow().as_ref() {
+            reg.borrow_mut().announce_bound(bound);
+        }
+    });
+}
+
+/// Run `f` with a fresh registry installed and return the filled
+/// registry alongside `f`'s result. The previous registry (if any) is
+/// restored afterwards, even if `f` panics.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (MetricsRegistry, R) {
+    let (guard, shared) = install_shared(MetricsRegistry::new());
+    let result = {
+        let _guard = guard;
+        f()
+    };
+    let registry = Rc::try_unwrap(shared)
+        .expect("capture's registry must not be retained past the closure")
+        .into_inner();
+    (registry, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::PaperBound;
+
+    #[test]
+    fn disabled_runtime_is_inert() {
+        assert!(!is_enabled());
+        emit(&TraceEvent::RoundBegin {
+            round: 0,
+            servers: 4,
+        }); // must not panic
+        announce(&PaperBound::tuples("hash_join", 1.0, 1));
+    }
+
+    #[test]
+    fn capture_collects_events_and_bounds() {
+        let (reg, out) = capture(|| {
+            assert!(is_enabled());
+            announce(&PaperBound::tuples("hash_join", 50.0, 1));
+            emit(&TraceEvent::RoundBegin {
+                round: 0,
+                servers: 2,
+            });
+            emit(&TraceEvent::Recv {
+                round: 0,
+                server: 0,
+                tuples: 60,
+                words: 120,
+            });
+            emit(&TraceEvent::RoundEnd {
+                round: 0,
+                tuples: 60,
+                words: 120,
+            });
+            7
+        });
+        assert!(!is_enabled());
+        assert_eq!(out, 7);
+        assert_eq!(reg.rounds(), 1);
+        assert_eq!(reg.bound_ratio(), Some(1.2));
+    }
+
+    #[test]
+    fn nested_capture_restores_outer_registry() {
+        let (outer, ()) = capture(|| {
+            emit(&TraceEvent::RoundBegin {
+                round: 0,
+                servers: 2,
+            });
+            let (inner, ()) = capture(|| {
+                emit(&TraceEvent::RoundBegin {
+                    round: 0,
+                    servers: 2,
+                });
+                emit(&TraceEvent::RoundBegin {
+                    round: 1,
+                    servers: 2,
+                });
+            });
+            assert_eq!(inner.rounds(), 2);
+            emit(&TraceEvent::RoundBegin {
+                round: 1,
+                servers: 2,
+            });
+        });
+        assert_eq!(outer.rounds(), 2, "inner events must not leak out");
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = capture(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!is_enabled(), "panic must not leave a registry installed");
+    }
+}

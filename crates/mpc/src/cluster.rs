@@ -36,6 +36,7 @@ use crate::grid::Grid;
 use crate::stats::{LoadReport, RoundStats};
 use crate::weight::Weight;
 use parqp_faults::{self as faults, FaultKind, RecoveryStrategy};
+use parqp_metrics as metrics;
 use parqp_trace::{self as trace, TraceEvent};
 
 /// A simulated MPC cluster of `p` shared-nothing servers.
@@ -83,7 +84,8 @@ impl Cluster {
             inboxes: (0..self.p).map(|_| Vec::new()).collect(),
             tuples: vec![0; self.p],
             words: vec![0; self.p],
-            trace: trace::is_enabled().then(|| Box::new(ExchangeTrace::new(self.p))),
+            trace: (trace::is_enabled() || metrics::is_enabled())
+                .then(|| Box::new(ExchangeTrace::new(self.p))),
             cluster: self,
         }
     }
@@ -190,9 +192,9 @@ impl Cluster {
             };
             charges.push(charge);
         }
-        let traced = trace::is_enabled();
+        let observed = trace::is_enabled() || metrics::is_enabled();
         let fault_round = self.rounds.len();
-        if traced {
+        if observed {
             emit_round_events(
                 fault_round,
                 self.p,
@@ -209,8 +211,8 @@ impl Cluster {
         // duplicates/stragglers already paid their same-round charge.
         for (f, &(ct, cw)) in planned.iter().zip(&charges) {
             faults::note_injected(fault_round, f.server, f.kind.name());
-            if traced {
-                trace::emit(TraceEvent::FaultInjected {
+            if observed {
+                observe(TraceEvent::FaultInjected {
                     round: fault_round,
                     server: f.server,
                     kind: f.kind.name(),
@@ -223,13 +225,13 @@ impl Cluster {
                     } else {
                         "dedup"
                     };
-                    if traced {
-                        trace::emit(TraceEvent::RecoveryBegin {
+                    if observed {
+                        observe(TraceEvent::RecoveryBegin {
                             round: fault_round,
                             server: f.server,
                             strategy: mechanism,
                         });
-                        trace::emit(TraceEvent::RecoveryEnd {
+                        observe(TraceEvent::RecoveryEnd {
                             round: fault_round,
                             server: f.server,
                             rounds: 0,
@@ -240,8 +242,8 @@ impl Cluster {
                     faults::note_recovery(0, ct, cw);
                 }
                 FaultKind::Drop { .. } => {
-                    if traced {
-                        trace::emit(TraceEvent::RecoveryBegin {
+                    if observed {
+                        observe(TraceEvent::RecoveryBegin {
                             round: fault_round,
                             server: f.server,
                             strategy: "retransmit",
@@ -251,9 +253,9 @@ impl Cluster {
                     let mut w = vec![0; self.p];
                     t[f.server] = ct;
                     w[f.server] = cw;
-                    let idx = self.push_recovery_round(t, w, traced);
-                    if traced {
-                        trace::emit(TraceEvent::RecoveryEnd {
+                    let idx = self.push_recovery_round(t, w, observed);
+                    if observed {
+                        observe(TraceEvent::RecoveryEnd {
                             round: idx,
                             server: f.server,
                             rounds: 1,
@@ -263,21 +265,21 @@ impl Cluster {
                     }
                     faults::note_recovery(1, ct, cw);
                 }
-                FaultKind::Crash => self.recover_crash(fault_round, f.server, traced),
+                FaultKind::Crash => self.recover_crash(fault_round, f.server, observed),
             }
         }
     }
 
     /// Charge crash recovery to the ledger per the installed strategy.
-    fn recover_crash(&mut self, fault_round: usize, server: usize, traced: bool) {
+    fn recover_crash(&mut self, fault_round: usize, server: usize, observed: bool) {
         match faults::active_strategy().unwrap_or_default() {
             RecoveryStrategy::Checkpoint { every } => {
                 // Roll back to the last checkpoint and replay every
                 // ledger round since, at its original loads.
                 let every = every.max(1);
                 let first = fault_round - (fault_round % every);
-                if traced {
-                    trace::emit(TraceEvent::RecoveryBegin {
+                if observed {
+                    observe(TraceEvent::RecoveryBegin {
                         round: fault_round,
                         server,
                         strategy: "checkpoint",
@@ -289,10 +291,10 @@ impl Cluster {
                 for rs in replay {
                     t += rs.total_tuples();
                     w += rs.total_words();
-                    self.push_recovery_round(rs.tuples, rs.words, traced);
+                    self.push_recovery_round(rs.tuples, rs.words, observed);
                 }
-                if traced {
-                    trace::emit(TraceEvent::RecoveryEnd {
+                if observed {
+                    observe(TraceEvent::RecoveryEnd {
                         round: self.rounds.len() - 1,
                         server,
                         rounds: n,
@@ -308,8 +310,8 @@ impl Cluster {
                 // replica group (the victim plus the `replicas − 1`
                 // partitions it mirrored), ≈ replicas × IN/p.
                 let replicas = replicas.clamp(1, self.p);
-                if traced {
-                    trace::emit(TraceEvent::RecoveryBegin {
+                if observed {
+                    observe(TraceEvent::RecoveryBegin {
                         round: fault_round,
                         server,
                         strategy: "replication",
@@ -325,9 +327,9 @@ impl Cluster {
                     }
                 }
                 let (ct, cw) = (t[server], w[server]);
-                let idx = self.push_recovery_round(t, w, traced);
-                if traced {
-                    trace::emit(TraceEvent::RecoveryEnd {
+                let idx = self.push_recovery_round(t, w, observed);
+                if observed {
+                    observe(TraceEvent::RecoveryEnd {
                         round: idx,
                         server,
                         rounds: 1,
@@ -343,9 +345,9 @@ impl Cluster {
     /// Append a recovery round to the ledger (with its trace block).
     /// Recovery rounds do not tick the fault runtime's logical clock,
     /// so injected overhead never shifts the fault schedule.
-    fn push_recovery_round(&mut self, tuples: Vec<u64>, words: Vec<u64>, traced: bool) -> usize {
+    fn push_recovery_round(&mut self, tuples: Vec<u64>, words: Vec<u64>, observed: bool) -> usize {
         let round = self.rounds.len();
-        if traced {
+        if observed {
             emit_round_events(round, self.p, &tuples, &words, None, None);
         }
         self.rounds.push(RoundStats { tuples, words });
@@ -413,6 +415,16 @@ impl ExchangeTrace {
     }
 }
 
+/// Forward one event to both observability sinks: the installed
+/// metrics registry (lint rule PQ107) and the installed trace sink
+/// (PQ105). Each is a no-op when its side is uninstalled.
+fn observe(event: TraceEvent) {
+    if metrics::is_enabled() {
+        metrics::emit(&event);
+    }
+    trace::emit(event);
+}
+
 /// Emit one round's trace block: `RoundBegin`, optional `Topology`,
 /// per-server `Send`s (attributed fan-out) and `Recv`s (nonzero loads
 /// only — `RoundBegin.servers` reconstructs the zeros), `RoundEnd`
@@ -427,9 +439,9 @@ fn emit_round_events(
     sent: Option<(&[u64], &[u64])>,
     dims: Option<&[usize]>,
 ) {
-    trace::emit(TraceEvent::RoundBegin { round, servers });
+    observe(TraceEvent::RoundBegin { round, servers });
     if let Some(dims) = dims {
-        trace::emit(TraceEvent::Topology {
+        observe(TraceEvent::Topology {
             round,
             dims: dims.to_vec(),
         });
@@ -437,7 +449,7 @@ fn emit_round_events(
     if let Some((msgs, sent_words)) = sent {
         for (server, (&m, &w)) in msgs.iter().zip(sent_words).enumerate() {
             if m > 0 {
-                trace::emit(TraceEvent::Send {
+                observe(TraceEvent::Send {
                     round,
                     server,
                     msgs: m,
@@ -452,7 +464,7 @@ fn emit_round_events(
         total_tuples += t;
         total_words += w;
         if t > 0 || w > 0 {
-            trace::emit(TraceEvent::Recv {
+            observe(TraceEvent::Recv {
                 round,
                 server,
                 tuples: t,
@@ -460,7 +472,7 @@ fn emit_round_events(
             });
         }
     }
-    trace::emit(TraceEvent::RoundEnd {
+    observe(TraceEvent::RoundEnd {
         round,
         tuples: total_tuples,
         words: total_words,
@@ -855,6 +867,31 @@ mod tests {
         let mut c = Cluster::new(2);
         let ex = c.exchange::<u64>();
         assert!(ex.trace.is_none());
+    }
+
+    #[test]
+    fn metrics_only_run_feeds_registry() {
+        // With no trace sink installed, an installed metrics registry
+        // alone must still see the full event stream (including
+        // send-side attribution, which needs the ExchangeTrace).
+        let (reg, report) = metrics::capture(|| {
+            assert!(!trace::is_enabled());
+            let mut c = Cluster::new(3);
+            let mut ex = c.exchange::<Vec<u64>>();
+            ex.set_sender(1);
+            ex.send(0, vec![1, 2]);
+            ex.send(2, vec![3]);
+            ex.finish();
+            c.report()
+        });
+        assert_eq!(reg.rounds(), 1);
+        assert_eq!(reg.counter("tuples"), report.total_tuples());
+        assert_eq!(reg.counter("words"), report.total_words());
+        assert_eq!(reg.counter("sends"), 2);
+        assert_eq!(
+            reg.load_max(metrics::LoadUnit::Tuples),
+            report.max_load_tuples()
+        );
     }
 
     mod faulted {

@@ -55,6 +55,7 @@ pub mod stats;
 pub mod weight;
 
 pub use parqp_faults as faults;
+pub use parqp_metrics as metrics;
 pub use parqp_trace as trace;
 
 pub use cluster::{Cluster, Exchange};

@@ -17,7 +17,7 @@
 //! fan-out is what a load budget `L` admits. Larger fan-out `f` = fewer
 //! rounds but a larger per-round splitter/sample load; E13 sweeps this.
 
-use parqp_mpc::{trace, Cluster};
+use parqp_mpc::{metrics, trace, Cluster};
 
 /// Default oversampling factor: samples collected per subgroup boundary.
 const OVERSAMPLE: usize = 8;
@@ -57,6 +57,24 @@ pub fn multiround_sort_with_oversample(
     assert!(fanout >= 2, "fan-out must be at least 2");
     assert!(oversample >= 1, "oversample must be positive");
     assert_eq!(local.len(), p, "one input partition per server required");
+
+    if metrics::is_enabled() {
+        // Slide 105's trade-off: 3 rounds per level, ⌈log_f p⌉ levels,
+        // at ideal load N/p per routing round (splitter quality governs
+        // the measured overshoot; `tables abl` sweeps the oversample).
+        let n: usize = local.iter().map(Vec::len).sum();
+        let mut levels = 0usize;
+        let mut g = p;
+        while g > 1 {
+            g = g.div_ceil(fanout);
+            levels += 1;
+        }
+        metrics::announce(&metrics::PaperBound::tuples(
+            "multiround_sort",
+            (n as f64 / p as f64).max((fanout * oversample) as f64),
+            3 * levels,
+        ));
+    }
 
     let mut data = local;
     // Groups as half-open server ranges; invariant: item keys on a group's

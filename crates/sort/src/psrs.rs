@@ -14,7 +14,7 @@
 //! duplicate-heavy inputs, which is exactly the skew effect the sort-based
 //! join must handle (slide 31).
 
-use parqp_mpc::{trace, Cluster, Weight};
+use parqp_mpc::{metrics, trace, Cluster, Weight};
 
 /// Sort `u64` keys across the cluster. Returns per-server partitions,
 /// globally sorted. See [`psrs_by`] for the generic version.
@@ -56,6 +56,18 @@ where
 {
     let p = cluster.p();
     assert_eq!(local.len(), p, "one input partition per server required");
+    if metrics::is_enabled() {
+        // Slide 102: ideal load Θ(N/p) for the routing round (regular
+        // sampling keeps the overshoot under 2×), while the sample
+        // broadcast costs exactly p(p−1) keys per server and dominates
+        // once p ≳ N^{1/3}.
+        let n: usize = local.iter().map(Vec::len).sum();
+        metrics::announce(&metrics::PaperBound::tuples(
+            "psrs",
+            (n as f64 / p as f64).max((p * (p - 1)) as f64),
+            2,
+        ));
+    }
 
     // Phase 1: local sort + regular sample.
     let mut local: Vec<Vec<T>> = local;

@@ -210,6 +210,20 @@ impl Bencher {
     }
 }
 
+/// Monotonic nanoseconds since the first call, for wall-clock
+/// profiling (`parqp-bench tables --metrics`).
+///
+/// Wall-clock reads are sanctioned in this module and only here (see
+/// [`Bencher::iter`]): timings are reported, never fed back into
+/// algorithm results, so determinism is unaffected. Committed metrics
+/// baselines zero this field out so the CI gate stays byte-exact.
+#[allow(clippy::disallowed_methods)]
+pub fn time_ns() -> u64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now); // parqp-lint: allow(PQ003)
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 fn report(name: &str, samples: &[Duration]) {
     if samples.is_empty() {
         println!("{name:<56} (no samples — did the closure call iter()?)");

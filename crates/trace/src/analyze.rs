@@ -475,6 +475,90 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_yields_no_loads_or_totals() {
+        let rec = Recorder::new();
+        assert!(round_loads(&rec).is_empty());
+        let t = totals(&rec);
+        assert_eq!((t.rounds, t.tuples, t.words), (0, 0, 0));
+        assert!(summarize(&[]).is_empty());
+        // The table degenerates to its header line.
+        assert_eq!(summary_table(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn single_server_round_has_unit_skew() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 1, &[(0, 7)]);
+        let loads = round_loads(&rec);
+        assert_eq!(loads[0].servers, 1);
+        let s = summarize(&loads);
+        // With p = 1, max == mean == p99 and the skew ratio is exactly 1.
+        assert_eq!(s[0].max_tuples, 7);
+        assert_eq!(s[0].p99_tuples, 7);
+        assert!((s[0].mean_tuples - 7.0).abs() < 1e-9);
+        assert!((s[0].skew - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_round_has_zero_skew_and_single_bucket() {
+        let mut rec = Recorder::new();
+        record_round(&mut rec, 0, 3, &[]);
+        let loads = round_loads(&rec);
+        let s = summarize(&loads);
+        assert_eq!(s[0].max_tuples, 0);
+        assert!((s[0].skew - 0.0).abs() < 1e-9);
+        // Histogram collapses to the exactly-zero bucket holding all p.
+        let h = histogram(&loads[0]);
+        assert_eq!(h.len(), 1);
+        assert_eq!((h[0].lo, h[0].hi, h[0].count), (0, 0, 3));
+    }
+
+    #[test]
+    fn histogram_boundary_values_split_buckets() {
+        // 2^k - 1 closes bucket k; 2^k opens bucket k + 1.
+        let rl = RoundLoad {
+            round: 0,
+            servers: 4,
+            tuples: vec![3, 4, 7, 8],
+            words: vec![0; 4],
+            dims: None,
+        };
+        let h = histogram(&rl);
+        assert_eq!(h.len(), 5);
+        assert_eq!((h[2].lo, h[2].hi, h[2].count), (2, 3, 1));
+        assert_eq!((h[3].lo, h[3].hi, h[3].count), (4, 7, 2));
+        assert_eq!((h[4].lo, h[4].hi, h[4].count), (8, 15, 1));
+    }
+
+    #[test]
+    fn histogram_handles_large_loads_without_overflow() {
+        let big = 1u64 << 62;
+        let rl = RoundLoad {
+            round: 0,
+            servers: 2,
+            tuples: vec![big - 1, big],
+            words: vec![0; 2],
+            dims: None,
+        };
+        let h = histogram(&rl);
+        assert_eq!(h.len(), 64);
+        assert_eq!((h[62].lo, h[62].hi, h[62].count), (big / 2, big - 1, 1));
+        assert_eq!((h[63].lo, h[63].hi, h[63].count), (big, 2 * big - 1, 1));
+    }
+
+    #[test]
+    fn percentile_rank_boundaries() {
+        let v: Vec<u64> = (1..=100).collect();
+        // Nearest-rank: pct 100 is the max, pct 0 clamps to the min.
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&v, 0), 1);
+        assert_eq!(percentile(&v, 1), 1);
+        // Two values: rank ⌈2·50/100⌉ = 1 keeps the lower, 51 tips over.
+        assert_eq!(percentile(&[10, 20], 50), 10);
+        assert_eq!(percentile(&[10, 20], 51), 20);
+    }
+
+    #[test]
     fn summary_table_has_one_row_per_round() {
         let mut rec = Recorder::new();
         record_round(&mut rec, 0, 2, &[(0, 3)]);

@@ -132,6 +132,76 @@ fn fixed_seed_jsonl_is_byte_identical_across_invocations() {
 }
 
 #[test]
+fn metrics_reconcile_with_ledger_and_trace_for_every_experiment() {
+    // The metrics registry is fed by the exact event stream the trace
+    // records, which in turn mirrors the exchange ledger — so all three
+    // views of every observe experiment must reconcile exactly.
+    for e in parqp::observe::EXPERIMENTS {
+        let (registry, run) =
+            parqp::mpc::metrics::capture(|| parqp::observe::run_experiment_full(e.name, 8, 42));
+        let run = run.expect("known experiment");
+        let totals = analyze::totals(&run.recorder);
+        let name = e.name;
+        assert_eq!(
+            registry.counter("tuples"),
+            run.report.total_tuples(),
+            "{name}: metrics vs ledger Σ tuples"
+        );
+        assert_eq!(
+            registry.counter("words"),
+            run.report.total_words(),
+            "{name}: metrics vs ledger Σ words"
+        );
+        assert_eq!(
+            registry.counter("tuples"),
+            totals.tuples,
+            "{name}: metrics vs trace Σ tuples"
+        );
+        assert_eq!(
+            registry.counter("words"),
+            totals.words,
+            "{name}: metrics vs trace Σ words"
+        );
+        assert_eq!(
+            registry.rounds() as usize,
+            totals.rounds,
+            "{name}: metrics vs trace rounds"
+        );
+        assert_eq!(
+            registry.load_max(parqp::mpc::metrics::LoadUnit::Tuples),
+            run.report.max_load_tuples(),
+            "{name}: metrics vs ledger L_max (tuples)"
+        );
+        assert_eq!(
+            registry.load_max(parqp::mpc::metrics::LoadUnit::Words),
+            run.report.max_load_words(),
+            "{name}: metrics vs ledger L_max (words)"
+        );
+    }
+}
+
+#[test]
+fn mean_load_bounds_are_adhered_to_within_half_of_themselves() {
+    // Acceptance criterion: the skew-free experiments whose announced
+    // bound is the paper's mean load (hash join's IN/p, HyperCube's
+    // Σ N_j/∏ p_i) measure a bound_ratio in [1.0, 1.5] at every
+    // metrics point — above 1 because a max can't undercut the mean,
+    // below 1.5 because uniform inputs hash nearly flat.
+    let report = parqp::metrics::collect(42).expect("collect runs");
+    for name in ["twoway-hash", "triangle-hypercube"] {
+        for &p in parqp::metrics::METRICS_POINTS {
+            let key = format!("{name}/p{p}");
+            let pt = report.experiments.get(&key).expect("point collected");
+            assert!(
+                (1.0..=1.5).contains(&pt.bound_ratio),
+                "{key}: bound_ratio {} outside [1.0, 1.5]",
+                pt.bound_ratio
+            );
+        }
+    }
+}
+
+#[test]
 fn untraced_runs_report_identically_to_traced_runs() {
     // Instrumentation must be observational: same seed, same report,
     // recorder installed or not.
