@@ -19,8 +19,12 @@
 //! With `--metrics <path>` the bound-adherence metrics of every observe
 //! experiment (wall-clock included — this binary owns the workspace's
 //! sanctioned timer) are written as a `parqp-bench-metrics/v1` JSON
-//! document, e.g. `BENCH_parqp.json`. Alone, `--metrics` skips the
-//! tables; combine it with experiment ids to get both.
+//! document, e.g. `BENCH_parqp.json`. Every point is run twice — once
+//! serial, once under the parallel execution backend with all cores —
+//! so the document carries `wall_ns` and `wall_par_ns` side by side
+//! (the parallel pass must reproduce `L`/`rounds`/`bound_ratio`
+//! exactly or collection aborts). Alone, `--metrics` skips the tables;
+//! combine it with experiment ids to get both.
 
 use parqp_bench::experiments;
 use std::io::Write;
@@ -63,7 +67,7 @@ fn main() {
         }
     }
     if let Some(path) = &metrics_path {
-        let report = parqp::metrics::collect_with(42, Some(&parqp_testkit::bench::time_ns))
+        let report = parqp::metrics::collect_dual(42, &parqp_testkit::bench::time_ns, 0)
             .unwrap_or_else(|e| {
                 eprintln!("metrics: {e}");
                 std::process::exit(2);

@@ -27,6 +27,11 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         return Err(usage());
     };
     let opts = Opts::parse(rest)?;
+    // Install the execution mode for the whole invocation: every Cluster
+    // any command constructs snapshots it, so `--exec parallel` applies
+    // uniformly to trace, faults, metrics, run, … The guard restores the
+    // caller's mode on return (dispatch is re-entrant in tests).
+    let _exec = parqp_mpc::exec::install(opts.exec_mode()?);
     match cmd.as_str() {
         "analyze" => analyze(&opts),
         "plan" => plan_cmd(&opts, false),
@@ -62,7 +67,12 @@ fn usage() -> String {
      metrics  [--seed S] [--format table|json] [--out F]\n\
               [--check BASELINE.json]\n\
               measure L, rounds and bound adherence of every experiment\n\
-              at p = 8, 27, 64; --check gates against a committed baseline\n"
+              at p = 8, 27, 64; --check gates against a committed baseline\n\
+     \n\
+     global   --exec serial|parallel [--workers N]\n\
+              run every server's per-round compute on a worker pool\n\
+              (N = 0 or omitted: all cores); output is byte-identical\n\
+              to serial mode\n"
         .into()
 }
 
@@ -88,6 +98,8 @@ struct Opts {
     stragglers: usize,
     horizon: usize,
     check: Option<String>,
+    exec: Option<String>,
+    workers: usize,
 }
 
 impl Opts {
@@ -113,6 +125,8 @@ impl Opts {
             stragglers: 1,
             horizon: 8,
             check: None,
+            exec: None,
+            workers: 0,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -164,6 +178,12 @@ impl Opts {
                 "--format" => o.format = Some(value("--format")?),
                 "--strategy" => o.strategy = Some(value("--strategy")?),
                 "--check" => o.check = Some(value("--check")?),
+                "--exec" => o.exec = Some(value("--exec")?),
+                "--workers" => {
+                    o.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                }
                 "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
                 | "--stragglers" | "--horizon" => {
                     let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -184,6 +204,17 @@ impl Opts {
             return Err("--servers must be positive".into());
         }
         Ok(o)
+    }
+
+    /// The execution mode requested by `--exec`/`--workers`.
+    fn exec_mode(&self) -> Result<parqp_mpc::ExecMode, String> {
+        match self.exec.as_deref().unwrap_or("serial") {
+            "serial" => Ok(parqp_mpc::ExecMode::Serial),
+            "parallel" => Ok(parqp_mpc::ExecMode::Parallel {
+                workers: self.workers,
+            }),
+            other => Err(format!("unknown --exec {other:?} (serial|parallel)")),
+        }
     }
 }
 
@@ -637,6 +668,32 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"round_begin\""));
         assert!(a.contains("\"span_begin\""));
+    }
+
+    #[test]
+    fn exec_parallel_trace_is_byte_identical_to_serial() {
+        let base = [
+            "trace",
+            "--experiment",
+            "psrs",
+            "--servers",
+            "8",
+            "--seed",
+            "7",
+            "--format",
+            "jsonl",
+        ];
+        let serial = dispatch(&argv(&base)).expect("serial works");
+        let mut args = base.to_vec();
+        args.extend(["--exec", "parallel", "--workers", "2"]);
+        let parallel = dispatch(&argv(&args)).expect("parallel works");
+        assert_eq!(serial, parallel, "--exec parallel must not change output");
+    }
+
+    #[test]
+    fn exec_rejects_unknown_mode() {
+        let err = dispatch(&argv(&["trace", "--exec", "wat"])).expect_err("must fail");
+        assert!(err.contains("serial|parallel"), "got: {err}");
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct ExperimentPoint {
     /// Wall-clock nanoseconds for the run; 0 when collected without a
     /// clock (the deterministic mode the committed baseline uses).
     pub wall_ns: u64,
+    /// Wall-clock nanoseconds for the same run under
+    /// `ExecMode::Parallel` ([`collect_dual`]); 0 when unmeasured.
+    /// Pre-parallel baselines omit the field and parse as 0, so the
+    /// gate only budgets it once both sides measured it.
+    pub wall_par_ns: u64,
     /// Worst per-round skew `L_max / L_mean` (in-memory only; not part
     /// of the v1 JSON schema, so parsed reports carry 0 here).
     pub skew: f64,
@@ -94,12 +99,62 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
                     .bound_ratio()
                     .map_or(0.0, |r| (r * 10_000.0).round() / 10_000.0),
                 wall_ns,
+                wall_par_ns: 0,
                 skew: registry.max_skew_ratio(),
             };
             experiments.insert(format!("{}/p{p}", e.name), point);
         }
     }
     Ok(MetricsReport { seed, experiments })
+}
+
+/// [`collect_with`] a clock, then re-run every point under
+/// [`parqp_mpc::ExecMode::Parallel`] with `workers` workers (0 = all
+/// cores) and record the parallel wall-clock in `wall_par_ns`.
+///
+/// The parallel pass must reproduce the serial `L`, `rounds` and
+/// `bound_ratio` exactly — any divergence is an error, not a report:
+/// the two columns are only comparable if they measured the same
+/// computation.
+pub fn collect_dual(
+    seed: u64,
+    clock: &dyn Fn() -> u64,
+    workers: usize,
+) -> Result<MetricsReport, String> {
+    let mut report = collect_with(seed, Some(clock))?;
+    let _guard = parqp_mpc::exec::install(parqp_mpc::ExecMode::Parallel { workers });
+    for e in crate::observe::EXPERIMENTS {
+        for &p in METRICS_POINTS {
+            let t0 = clock();
+            let (registry, run) =
+                metrics::capture(|| crate::observe::run_experiment_full(e.name, p, seed));
+            run?;
+            let wall_par_ns = clock().saturating_sub(t0);
+            let key = format!("{}/p{p}", e.name);
+            let Some(pt) = report.experiments.get_mut(&key) else {
+                return Err(format!("{key}: missing from the serial pass"));
+            };
+            let unit = registry.primary_bound().map(|b| b.unit).unwrap_or_default();
+            let ratio = registry
+                .bound_ratio()
+                .map_or(0.0, |r| (r * 10_000.0).round() / 10_000.0);
+            if registry.load_max(unit) != pt.l
+                || registry.rounds() != pt.rounds
+                || (ratio - pt.bound_ratio).abs() > 1e-9
+            {
+                return Err(format!(
+                    "{key}: parallel run diverged from serial \
+                     (L {} vs {}, rounds {} vs {})",
+                    registry.load_max(unit),
+                    pt.l,
+                    registry.rounds(),
+                    pt.rounds
+                ));
+            }
+            pt.wall_par_ns = wall_par_ns;
+        }
+    }
+    Ok(report)
 }
 
 /// Serialize to the `parqp-bench-metrics/v1` JSON document. Key order
@@ -115,8 +170,8 @@ pub fn to_json(report: &MetricsReport) -> String {
         let _ = write!(
             s,
             "    \"{key}\": {{\"L\": {}, \"rounds\": {}, \"bound_ratio\": {:.4}, \
-             \"wall_ns\": {}}}",
-            pt.l, pt.rounds, pt.bound_ratio, pt.wall_ns
+             \"wall_ns\": {}, \"wall_par_ns\": {}}}",
+            pt.l, pt.rounds, pt.bound_ratio, pt.wall_ns, pt.wall_par_ns
         );
         s.push_str(if i == last { "\n" } else { ",\n" });
     }
@@ -160,6 +215,11 @@ pub fn from_json(src: &str) -> Result<MetricsReport, String> {
                 wall_ns: field(t, "wall_ns")?
                     .parse()
                     .map_err(|e| format!("{key} wall_ns: {e}"))?,
+                // Absent in pre-parallel baselines: default to unmeasured.
+                wall_par_ns: match field(t, "wall_par_ns") {
+                    Ok(v) => v.parse().map_err(|e| format!("{key} wall_par_ns: {e}"))?,
+                    Err(_) => 0,
+                },
                 skew: 0.0,
             };
             report.experiments.insert(key.to_string(), point);
@@ -217,16 +277,19 @@ pub fn compare(baseline: &MetricsReport, current: &MetricsReport) -> Vec<String>
                 b.bound_ratio, c.bound_ratio
             ));
         }
-        if b.wall_ns > 0 && c.wall_ns > 0 {
-            let grew = c.wall_ns as f64 / b.wall_ns as f64 - 1.0;
-            if grew > WALL_BUDGET {
-                out.push(format!(
-                    "{key}: wall_ns grew {} → {} (+{:.0}%, budget {:.0}%)",
-                    b.wall_ns,
-                    c.wall_ns,
-                    grew * 100.0,
-                    WALL_BUDGET * 100.0
-                ));
+        for (name, bw, cw) in [
+            ("wall_ns", b.wall_ns, c.wall_ns),
+            ("wall_par_ns", b.wall_par_ns, c.wall_par_ns),
+        ] {
+            if bw > 0 && cw > 0 {
+                let grew = cw as f64 / bw as f64 - 1.0;
+                if grew > WALL_BUDGET {
+                    out.push(format!(
+                        "{key}: {name} grew {bw} → {cw} (+{:.0}%, budget {:.0}%)",
+                        grew * 100.0,
+                        WALL_BUDGET * 100.0
+                    ));
+                }
             }
         }
     }
@@ -247,7 +310,9 @@ pub fn table(report: &MetricsReport) -> String {
         report.seed,
         report.experiments.len()
     );
-    s.push_str("experiment              p      L_meas  rounds  bound_ratio   skew       wall\n");
+    s.push_str(
+        "experiment              p      L_meas  rounds  bound_ratio   skew       wall  wall(par)\n",
+    );
     for (key, pt) in &report.experiments {
         let (name, p) = key.rsplit_once("/p").unwrap_or((key.as_str(), "?"));
         let ratio = if pt.bound_ratio > 0.0 {
@@ -255,14 +320,17 @@ pub fn table(report: &MetricsReport) -> String {
         } else {
             "-".into()
         };
-        let wall = if pt.wall_ns > 0 {
-            format!("{:.2} ms", pt.wall_ns as f64 / 1e6)
-        } else {
-            "-".into()
+        let ms = |ns: u64| {
+            if ns > 0 {
+                format!("{:.2} ms", ns as f64 / 1e6)
+            } else {
+                "-".into()
+            }
         };
+        let (wall, wall_par) = (ms(pt.wall_ns), ms(pt.wall_par_ns));
         let _ = writeln!(
             s,
-            "{name:<21} {p:>4} {:>11} {:>7} {ratio:>12} {:>6.2} {wall:>10}",
+            "{name:<21} {p:>4} {:>11} {:>7} {ratio:>12} {:>6.2} {wall:>10} {wall_par:>10}",
             pt.l, pt.rounds, pt.skew
         );
     }
@@ -282,6 +350,7 @@ mod tests {
                 rounds: 2,
                 bound_ratio: 1.0312,
                 wall_ns: 0,
+                wall_par_ns: 0,
                 skew: 1.1,
             },
         );
@@ -292,6 +361,7 @@ mod tests {
                 rounds: 3,
                 bound_ratio: 1.0,
                 wall_ns: 2_000_000,
+                wall_par_ns: 1_000_000,
                 skew: 1.0,
             },
         );
@@ -311,8 +381,8 @@ mod tests {
         for (key, pt) in &report.experiments {
             let got = parsed.experiments[key];
             assert_eq!(
-                (got.l, got.rounds, got.wall_ns),
-                (pt.l, pt.rounds, pt.wall_ns)
+                (got.l, got.rounds, got.wall_ns, got.wall_par_ns),
+                (pt.l, pt.rounds, pt.wall_ns, pt.wall_par_ns)
             );
             assert!((got.bound_ratio - pt.bound_ratio).abs() < 1e-9);
             assert_eq!(got.skew, 0.0, "skew is not serialized");
@@ -322,6 +392,20 @@ mod tests {
         assert_eq!(to_json(&report_no_skew), json);
         report_no_skew.seed += 1;
         assert_ne!(to_json(&report_no_skew), json);
+    }
+
+    #[test]
+    fn from_json_accepts_pre_parallel_baselines() {
+        // A v1 document written before wall_par_ns existed must parse
+        // with the field defaulting to unmeasured.
+        let json = to_json(&sample()).replace(", \"wall_par_ns\": 0", "");
+        let parsed = from_json(&json).expect("old schema parses");
+        assert_eq!(parsed.experiments["psrs/p8"].wall_par_ns, 0);
+        // The matmul point still had its own wall_par_ns line intact.
+        assert_eq!(
+            parsed.experiments["matmul-square/p27"].wall_par_ns,
+            1_000_000
+        );
     }
 
     #[test]
@@ -379,6 +463,48 @@ mod tests {
             .expect("point")
             .wall_ns = u64::MAX;
         assert_eq!(compare(&baseline, &current).len(), 1);
+    }
+
+    #[test]
+    fn compare_budgets_parallel_wall_clock_independently() {
+        let baseline = sample();
+        let mut current = sample();
+        // Parallel wall regresses while serial wall stays put.
+        current
+            .experiments
+            .get_mut("matmul-square/p27")
+            .expect("point")
+            .wall_par_ns = 2_000_000;
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 1, "got: {msgs:?}");
+        assert!(msgs[0].contains("wall_par_ns grew"));
+        // Unmeasured on either side: never checked.
+        current
+            .experiments
+            .get_mut("matmul-square/p27")
+            .expect("point")
+            .wall_par_ns = 0;
+        assert!(compare(&baseline, &current).is_empty());
+    }
+
+    #[test]
+    fn collect_dual_times_both_modes_and_matches_serial_metrics() {
+        use std::cell::Cell;
+        let ticks = Cell::new(0u64);
+        let clock = move || {
+            ticks.set(ticks.get() + 1_000);
+            ticks.get()
+        };
+        let dual = collect_dual(7, &clock, 2).expect("dual collect runs");
+        let serial = collect(7).expect("collect runs");
+        assert_eq!(dual.experiments.len(), serial.experiments.len());
+        for (key, pt) in &dual.experiments {
+            let s = serial.experiments[key];
+            assert_eq!((pt.l, pt.rounds), (s.l, s.rounds), "{key}");
+            assert!((pt.bound_ratio - s.bound_ratio).abs() < 1e-9, "{key}");
+            assert!(pt.wall_ns > 0, "{key}: serial pass untimed");
+            assert!(pt.wall_par_ns > 0, "{key}: parallel pass untimed");
+        }
     }
 
     #[test]

@@ -135,8 +135,12 @@ pub fn run_experiment_full(name: &str, servers: usize, seed: u64) -> Result<Expe
             (cluster.report(), digest_keys(&sorted))
         },
         "matmul-square" => |p, s| {
-            let a = parqp_matmul::Matrix::random(24, s);
-            let b = parqp_matmul::Matrix::random(24, s.wrapping_add(1));
+            // n = 144 (36×36 blocks at H = 4) makes the block products
+            // compute-bound — Θ(n³) multiplies against Θ(n²·H) words on
+            // the wire — so this is the experiment where the parallel
+            // execution backend's speedup is measured.
+            let a = parqp_matmul::Matrix::random(144, s);
+            let b = parqp_matmul::Matrix::random(144, s.wrapping_add(1));
             let run = parqp_matmul::square_block(&a, &b, 4, p);
             (run.report.clone(), digest_matrix(&run.c))
         },

@@ -113,20 +113,17 @@ pub fn hypercube_with_shares(
     drop(shuffle);
 
     let evaluate_span = trace::span("hypercube/evaluate");
-    let outputs = inboxes
-        .into_iter()
-        .map(|inbox| {
-            let mut fragments: Vec<Relation> = query
-                .atoms()
-                .iter()
-                .map(|a| Relation::new(a.arity()))
-                .collect();
-            for t in inbox {
-                fragments[t.tag as usize].push(&t.row);
-            }
-            evaluate(query, &fragments)
-        })
-        .collect();
+    let outputs = cluster.map(inboxes, |_, inbox| {
+        let mut fragments: Vec<Relation> = query
+            .atoms()
+            .iter()
+            .map(|a| Relation::new(a.arity()))
+            .collect();
+        for t in inbox {
+            fragments[t.tag as usize].push(&t.row);
+        }
+        evaluate(query, &fragments)
+    });
     drop(evaluate_span);
     JoinRun {
         outputs,

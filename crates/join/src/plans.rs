@@ -151,37 +151,34 @@ pub fn binary_join_plan(
         };
 
         // Local join on the shared variables.
-        parts = inboxes
-            .into_iter()
-            .map(|inbox| {
-                let mut left_rows = Vec::new();
-                let mut right_rows = Vec::new();
-                for t in inbox {
-                    if t.tag == TAG_LEFT {
-                        left_rows.push(t.row);
-                    } else {
-                        right_rows.push(t.row);
+        parts = cluster.map(inboxes, |_, inbox| {
+            let mut left_rows = Vec::new();
+            let mut right_rows = Vec::new();
+            for t in inbox {
+                if t.tag == TAG_LEFT {
+                    left_rows.push(t.row);
+                } else {
+                    right_rows.push(t.row);
+                }
+            }
+            let mut table: FastMap<Vec<Value>, Vec<usize>> = FastMap::default();
+            for (i, row) in right_rows.iter().enumerate() {
+                let key: Vec<Value> = shared_right.iter().map(|&pos| row[pos]).collect();
+                table.entry(key).or_default().push(i);
+            }
+            let mut out = Vec::new();
+            for lrow in &left_rows {
+                let key: Vec<Value> = shared_left.iter().map(|&i| lrow[i]).collect();
+                if let Some(matches) = table.get(&key) {
+                    for &i in matches {
+                        let mut nrow = lrow.clone();
+                        nrow.extend(fresh_right.iter().map(|&pos| right_rows[i][pos]));
+                        out.push(nrow);
                     }
                 }
-                let mut table: FastMap<Vec<Value>, Vec<usize>> = FastMap::default();
-                for (i, row) in right_rows.iter().enumerate() {
-                    let key: Vec<Value> = shared_right.iter().map(|&pos| row[pos]).collect();
-                    table.entry(key).or_default().push(i);
-                }
-                let mut out = Vec::new();
-                for lrow in &left_rows {
-                    let key: Vec<Value> = shared_left.iter().map(|&i| lrow[i]).collect();
-                    if let Some(matches) = table.get(&key) {
-                        for &i in matches {
-                            let mut nrow = lrow.clone();
-                            nrow.extend(fresh_right.iter().map(|&pos| right_rows[i][pos]));
-                            out.push(nrow);
-                        }
-                    }
-                }
-                out
-            })
-            .collect();
+            }
+            out
+        });
         schema.extend(fresh_right.iter().map(|&pos| atom.vars[pos]));
     }
 

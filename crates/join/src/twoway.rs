@@ -73,15 +73,13 @@ pub fn hash_join(
     }
     let inboxes = ex.finish();
 
-    let outputs = inboxes
-        .into_iter()
-        .map(|inbox| {
-            let (r_rows, s_rows) = split_tags(inbox);
-            let mut out = Relation::new(joined_arity(r.arity(), s.arity()));
-            local_hash_join(&r_rows, r_col, &s_rows, s_col, &mut out);
-            out
-        })
-        .collect();
+    let arity = joined_arity(r.arity(), s.arity());
+    let outputs = cluster.map(inboxes, |_, inbox| {
+        let (r_rows, s_rows) = split_tags(inbox);
+        let mut out = Relation::new(arity);
+        local_hash_join(&r_rows, r_col, &s_rows, s_col, &mut out);
+        out
+    });
     JoinRun {
         outputs,
         report: cluster.report(),
@@ -116,16 +114,14 @@ pub fn broadcast_join(r: &Relation, r_col: usize, s: &Relation, s_col: usize, p:
     }
     let inboxes = ex.finish();
 
-    let outputs = inboxes
-        .into_iter()
-        .zip(&s_parts)
-        .map(|(r_rows, s_part)| {
-            let s_rows: Vec<Vec<Value>> = s_part.iter().map(<[Value]>::to_vec).collect();
-            let mut out = Relation::new(joined_arity(r.arity(), s.arity()));
-            local_hash_join(&r_rows, r_col, &s_rows, s_col, &mut out);
-            out
-        })
-        .collect();
+    let arity = joined_arity(r.arity(), s.arity());
+    let work: Vec<_> = inboxes.into_iter().zip(s_parts).collect();
+    let outputs = cluster.map(work, |_, (r_rows, s_part)| {
+        let s_rows: Vec<Vec<Value>> = s_part.iter().map(<[Value]>::to_vec).collect();
+        let mut out = Relation::new(arity);
+        local_hash_join(&r_rows, r_col, &s_rows, s_col, &mut out);
+        out
+    });
     JoinRun {
         outputs,
         report: cluster.report(),
@@ -202,23 +198,21 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
     }
     let inboxes = ex.finish();
 
-    let outputs = inboxes
-        .into_iter()
-        .map(|inbox| {
-            let (r_rows, s_rows) = split_tags(inbox);
-            let mut out = Relation::new(r.arity() + s.arity());
-            let mut buf = Vec::new();
-            for a in &r_rows {
-                for b in &s_rows {
-                    buf.clear();
-                    buf.extend_from_slice(a);
-                    buf.extend_from_slice(b);
-                    out.push(&buf);
-                }
+    let arity = r.arity() + s.arity();
+    let outputs = cluster.map(inboxes, |_, inbox| {
+        let (r_rows, s_rows) = split_tags(inbox);
+        let mut out = Relation::new(arity);
+        let mut buf = Vec::new();
+        for a in &r_rows {
+            for b in &s_rows {
+                buf.clear();
+                buf.extend_from_slice(a);
+                buf.extend_from_slice(b);
+                out.push(&buf);
             }
-            out
-        })
-        .collect();
+        }
+        out
+    });
     JoinRun {
         outputs,
         report: cluster.report(),
@@ -522,38 +516,35 @@ pub fn sort_merge_join(
     let redist = ex.finish();
 
     let out_arity = joined_arity(r.arity(), s.arity());
-    let outputs = parts
-        .into_iter()
-        .zip(redist)
-        .map(|(part, extra)| {
-            let mut out = Relation::new(out_arity);
-            // Local phase: non-crossing keys, matched within the sorted run.
-            let local_r: Vec<Vec<Value>> = part
-                .iter()
-                .filter(|it| it.tag == TAG_R && !crossing_keys.contains(&it.key))
-                .map(|it| it.row.clone())
-                .collect();
-            let local_s: Vec<Vec<Value>> = part
-                .iter()
-                .filter(|it| it.tag == TAG_S && !crossing_keys.contains(&it.key))
-                .map(|it| it.row.clone())
-                .collect();
-            local_hash_join(&local_r, r_col, &local_s, s_col, &mut out);
-            // Crossing phase: Cartesian within each key.
-            let cr: Vec<&SortItem> = extra.iter().filter(|it| it.tag == TAG_R).collect();
-            let cs: Vec<&SortItem> = extra.iter().filter(|it| it.tag == TAG_S).collect();
-            let mut buf = Vec::new();
-            for a in &cr {
-                for b in &cs {
-                    if a.key == b.key {
-                        merge_rows(&a.row, &b.row, s_col, &mut buf);
-                        out.push(&buf);
-                    }
+    let work: Vec<_> = parts.into_iter().zip(redist).collect();
+    let outputs = cluster.map(work, |_, (part, extra)| {
+        let mut out = Relation::new(out_arity);
+        // Local phase: non-crossing keys, matched within the sorted run.
+        let local_r: Vec<Vec<Value>> = part
+            .iter()
+            .filter(|it| it.tag == TAG_R && !crossing_keys.contains(&it.key))
+            .map(|it| it.row.clone())
+            .collect();
+        let local_s: Vec<Vec<Value>> = part
+            .iter()
+            .filter(|it| it.tag == TAG_S && !crossing_keys.contains(&it.key))
+            .map(|it| it.row.clone())
+            .collect();
+        local_hash_join(&local_r, r_col, &local_s, s_col, &mut out);
+        // Crossing phase: Cartesian within each key.
+        let cr: Vec<&SortItem> = extra.iter().filter(|it| it.tag == TAG_R).collect();
+        let cs: Vec<&SortItem> = extra.iter().filter(|it| it.tag == TAG_S).collect();
+        let mut buf = Vec::new();
+        for a in &cr {
+            for b in &cs {
+                if a.key == b.key {
+                    merge_rows(&a.row, &b.row, s_col, &mut buf);
+                    out.push(&buf);
                 }
             }
-            out
-        })
-        .collect();
+        }
+        out
+    });
     JoinRun {
         outputs,
         report: cluster.report(),

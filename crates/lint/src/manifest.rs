@@ -42,7 +42,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("lp", &[]),
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
     ("metrics", &["trace"]),
-    ("mpc", &["trace", "metrics", "faults"]),
+    ("mpc", &["trace", "metrics", "faults", "testkit"]),
     ("query", &["data", "lp"]),
     ("sort", &["mpc", "data"]),
     ("testkit", &[]),
@@ -51,8 +51,10 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
 
 /// Crates whose algorithms are *defined* in terms of seeded randomness
 /// and may therefore carry `parqp-testkit` (the deterministic RNG) as a
-/// runtime dependency. Everywhere else testkit is dev-only (PQ102).
-pub const TESTKIT_RUNTIME_WHITELIST: &[&str] = &["data", "matmul", "bench", "faults"];
+/// runtime dependency, plus `mpc`, which holds the sanctioned worker
+/// pool (`testkit::pool`) behind `ExecMode::Parallel`. Everywhere else
+/// testkit is dev-only (PQ102).
+pub const TESTKIT_RUNTIME_WHITELIST: &[&str] = &["data", "matmul", "bench", "faults", "mpc"];
 
 /// Registry crates whose roles `parqp-testkit` absorbed in PR 1; they
 /// must never reappear in any manifest (PQ302).
@@ -275,9 +277,9 @@ mod tests {
     fn dag_matches_design_doc_shape() {
         // Spot-check the table itself: trace and lp are leaves, faults
         // holds only the shared RNG, metrics reads only the event
-        // model, mpc sees only its instrumentation sinks (trace +
-        // metrics + faults), core sees every algorithm crate, nothing
-        // depends on lint.
+        // model, mpc sees its instrumentation sinks (trace + metrics +
+        // faults) plus testkit for the sanctioned worker pool, core
+        // sees every algorithm crate, nothing depends on lint.
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -285,7 +287,7 @@ mod tests {
                 .map(|(_, d)| *d)
                 .expect("crate in table")
         };
-        assert_eq!(find("mpc"), &["trace", "metrics", "faults"]);
+        assert_eq!(find("mpc"), &["trace", "metrics", "faults", "testkit"]);
         assert!(find("trace").is_empty());
         assert_eq!(find("faults"), &["testkit"]);
         assert_eq!(find("metrics"), &["trace"]);

@@ -45,6 +45,13 @@ pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
     "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics",
 ];
 
+/// The one file in the workspace allowed to touch `std::thread`: the
+/// sanctioned worker pool behind `mpc::exec`'s parallel mode. Its
+/// `map` primitive merges results in submit order and barriers at the
+/// end of every batch, which is exactly the determinism argument PQ004
+/// otherwise enforces by banning threads outright.
+pub const THREAD_POOL_PATH: &str = "crates/testkit/src/pool.rs";
+
 /// A banned token with its rule, message, and crate scope.
 struct TokenRule {
     rule: &'static str,
@@ -54,6 +61,9 @@ struct TokenRule {
     scope: Option<&'static [&'static str]>,
     /// Crates exempt even when `scope` is `None`.
     exempt: &'static [&'static str],
+    /// Workspace-relative file paths exempt from this rule (matched
+    /// with `ends_with`, so fixture copies under other roots match).
+    exempt_paths: &'static [&'static str],
 }
 
 const TOKEN_RULES: &[TokenRule] = &[
@@ -63,6 +73,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "std HashMap iterates in seed-dependent order; use data::FastMap or BTreeMap",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ001",
@@ -70,6 +81,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "std HashSet iterates in seed-dependent order; use data::FastSet or BTreeSet",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ002",
@@ -77,6 +89,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "RandomState draws a per-process seed; hashing must be reproducible",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ002",
@@ -84,6 +97,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "DefaultHasher is RandomState-seeded; use data::FxHasher or mpc::HashFamily",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ003",
@@ -91,6 +105,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "wall-clock reads make runs irreproducible; time only inside parqp-testkit's bench harness",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ003",
@@ -98,20 +113,23 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "wall-clock reads make runs irreproducible; derive seeds explicitly instead",
         scope: None,
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ004",
         token: "thread::spawn",
-        message: "OS threads reorder message arrival; the MPC simulator is single-threaded by design",
+        message: "OS threads reorder message arrival; spawning is sanctioned only inside testkit::pool",
         scope: None,
         exempt: &[],
+        exempt_paths: &[THREAD_POOL_PATH],
     },
     TokenRule {
         rule: "PQ004",
         token: "std::thread",
-        message: "OS threads reorder message arrival; the MPC simulator is single-threaded by design",
+        message: "OS threads reorder message arrival; spawning is sanctioned only inside testkit::pool",
         scope: None,
         exempt: &[],
+        exempt_paths: &[THREAD_POOL_PATH],
     },
     TokenRule {
         rule: "PQ103",
@@ -119,6 +137,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "algorithm/simulator crates must not touch the filesystem; I/O belongs in parqp-data::io",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ103",
@@ -126,6 +145,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "algorithm/simulator crates must not do OS I/O; it bypasses the exchange ledger",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ103",
@@ -133,6 +153,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "real sockets bypass Cluster::exchange; all communication must be charged to the ledger",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ103",
@@ -140,6 +161,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "spawning processes bypasses the simulator; algorithm crates stay pure",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ103",
@@ -147,6 +169,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "environment reads make runs machine-dependent; pass configuration explicitly",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ103",
@@ -154,6 +177,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "shared-memory synchronization has no MPC counterpart; servers share nothing",
         scope: Some(SIDE_CHANNEL_SCOPE),
         exempt: &[],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ104",
@@ -161,6 +185,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc may fabricate round accounting; use Cluster::record_round or a LoadReport combinator",
         scope: None,
         exempt: &["mpc"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ104",
@@ -168,6 +193,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc owns the exchange primitive; route communication through Cluster::exchange",
         scope: None,
         exempt: &["mpc"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ105",
@@ -175,6 +201,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc fabricates communication trace events (in Cluster::exchange); algorithm crates may only open trace::span labels",
         scope: None,
         exempt: &["mpc", "trace", "metrics"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ105",
@@ -182,6 +209,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc emits trace events, so traces mirror the exchange ledger exactly; use trace::span for labels",
         scope: None,
         exempt: &["mpc", "trace"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ106",
@@ -189,6 +217,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc consumes the fault schedule (in its round recorder); ticking the clock elsewhere would shift every planned fault",
         scope: None,
         exempt: &["mpc", "faults"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ106",
@@ -196,6 +225,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc reports injected faults; fabricating them elsewhere would desync the fault log from the ledger",
         scope: None,
         exempt: &["mpc", "faults"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ106",
@@ -203,6 +233,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc charges recovery overhead, so the fault log mirrors the LoadReport exactly; install plans via faults::capture instead",
         scope: None,
         exempt: &["mpc", "faults"],
+        exempt_paths: &[],
     },
     TokenRule {
         rule: "PQ107",
@@ -210,6 +241,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc feeds the metrics registry, so metrics mirror the exchange ledger exactly; announce bounds via metrics::announce instead",
         scope: None,
         exempt: &["mpc", "metrics"],
+        exempt_paths: &[],
     },
 ];
 
@@ -240,7 +272,10 @@ pub fn lint_source(crate_name: &str, path: &str, file: &SourceFile) -> Vec<Diagn
                     continue;
                 }
             }
-            if tr.exempt.contains(&crate_name) || line.allows(tr.rule) {
+            if tr.exempt.contains(&crate_name)
+                || tr.exempt_paths.iter().any(|p| path.ends_with(p))
+                || line.allows(tr.rule)
+            {
                 continue;
             }
             if contains_token(&line.code, tr.token) {
@@ -375,6 +410,41 @@ mod tests {
         assert_eq!(
             rules_of("sort", "std::thread::spawn(|| {});\n"),
             vec![("PQ004", 1), ("PQ004", 1)]
+        );
+    }
+
+    #[test]
+    fn thread_pool_file_is_exempt_from_pq004_only() {
+        let spawn = "std::thread::spawn(|| {});\n";
+        let diags = lint_source(
+            "testkit",
+            "crates/testkit/src/pool.rs",
+            &crate::tokenize::sanitize(spawn),
+        );
+        assert!(diags.is_empty(), "the sanctioned pool may spawn: {diags:?}");
+        // Everything else in testkit (and everywhere else) stays banned.
+        for path in [
+            "crates/testkit/src/bench.rs",
+            "crates/mpc/src/pool.rs",
+            "crates/join/src/twoway.rs",
+        ] {
+            let diags = lint_source("testkit", path, &crate::tokenize::sanitize(spawn));
+            assert_eq!(
+                diags.iter().map(|d| d.rule).collect::<Vec<_>>(),
+                vec!["PQ004", "PQ004"],
+                "{path} must still be flagged"
+            );
+        }
+        // The exemption is per-rule: other determinism rules still fire
+        // inside the pool file.
+        let diags = lint_source(
+            "testkit",
+            "crates/testkit/src/pool.rs",
+            &crate::tokenize::sanitize("let t = Instant::now();\n"),
+        );
+        assert_eq!(
+            diags.iter().map(|d| d.rule).collect::<Vec<_>>(),
+            vec!["PQ003"]
         );
     }
 

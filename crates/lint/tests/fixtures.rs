@@ -57,6 +57,32 @@ fn determinism_clean_file_passes() {
     );
 }
 
+#[test]
+fn thread_spawns_are_sanctioned_only_inside_the_testkit_pool() {
+    let src = sanitize(include_str!("fixtures/thread_pool.rs"));
+    // Under the real pool's path the PQ004 exemption applies.
+    let diags = lint_source("testkit", "crates/testkit/src/pool.rs", &src);
+    assert_eq!(hits(&diags), vec![], "testkit::pool may spawn");
+    // Anywhere else — including elsewhere in testkit, and in a file that
+    // merely *names* itself pool.rs in another crate — both PQ004 tokens
+    // still fire on the spawn and on the scoped-thread call.
+    for path in [
+        "fixtures/thread_pool.rs",
+        "crates/testkit/src/bench.rs",
+        "crates/mpc/src/pool.rs",
+    ] {
+        let diags = lint_source("testkit", path, &src);
+        assert_eq!(
+            hits(&diags),
+            vec![("PQ004", 8), ("PQ004", 12)],
+            "{path} must still be flagged"
+        );
+    }
+    // Crate name alone is not enough either: mpc never gets the pass.
+    let diags = lint_source("mpc", "crates/mpc/src/exec.rs", &src);
+    assert_eq!(hits(&diags), vec![("PQ004", 8), ("PQ004", 12)]);
+}
+
 // ---------------------------------------------------------------- PQ103/PQ104
 
 #[test]

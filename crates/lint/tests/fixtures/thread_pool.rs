@@ -1,0 +1,15 @@
+//! Fixture: the PQ004 relaxation for the sanctioned worker pool.
+//!
+//! The same source is linted twice — once under the real pool's path
+//! (`crates/testkit/src/pool.rs`, where spawning is sanctioned) and once
+//! under any other path (where both PQ004 tokens must still fire).
+
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
+
+pub fn spawn_scoped(x: &mut u64) {
+    std::thread::scope(|s| {
+        s.spawn(|| *x += 1);
+    });
+}

@@ -115,7 +115,14 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
             );
         }
         let inboxes = ex.finish();
-        for (proc, inbox) in inboxes.into_iter().enumerate() {
+        // Each processor's accumulator moves into its job and back out,
+        // so the round's block multiplies can run on the pool while the
+        // per-(proc, block) accumulation order stays fixed.
+        let work: Vec<_> = std::mem::take(&mut partial)
+            .into_iter()
+            .zip(inboxes)
+            .collect();
+        partial = cluster.map(work, |_, (mut acc_map, inbox)| {
             // Pair up A and B blocks: the schedule sends at most one
             // product per processor per round... except when p < H²:
             // then g mod p repeats within a round? No — g ranges over
@@ -130,9 +137,9 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
                 }
             }
             let (Some(am), Some(bm)) = (ablock, bblock) else {
-                continue;
+                return acc_map;
             };
-            let acc = partial[proc]
+            let acc = acc_map
                 .entry((am.bi, bm.bj))
                 .or_insert_with(|| vec![0.0; nb * nb]);
             // Conventional block multiply: acc += A_blk · B_blk.
@@ -147,7 +154,8 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
                     }
                 }
             }
-        }
+            acc_map
+        });
     }
     drop(multiply_span);
 

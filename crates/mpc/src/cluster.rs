@@ -44,6 +44,9 @@ use parqp_trace::{self as trace, TraceEvent};
 pub struct Cluster {
     p: usize,
     rounds: Vec<RoundStats>,
+    /// Worker pool snapshotted from [`crate::exec`] at construction:
+    /// `None` runs [`Cluster::map`] inline (serial mode).
+    pool: Option<std::rc::Rc<parqp_testkit::pool::WorkerPool>>,
 }
 
 impl Cluster {
@@ -68,7 +71,18 @@ impl Cluster {
         Ok(Self {
             p,
             rounds: Vec::new(),
+            pool: crate::exec::snapshot(),
         })
+    }
+
+    /// The execution mode this cluster snapshotted at construction.
+    pub fn exec_mode(&self) -> crate::exec::ExecMode {
+        match &self.pool {
+            None => crate::exec::ExecMode::Serial,
+            Some(pool) => crate::exec::ExecMode::Parallel {
+                workers: pool.workers(),
+            },
+        }
     }
 
     /// Number of servers `p`.
@@ -99,6 +113,73 @@ impl Cluster {
             out[i % self.p].push(item);
         }
         out
+    }
+
+    /// Run one *local compute* phase: apply `f` to every server's item
+    /// (typically its inbox) and return the outputs in server order,
+    /// `out[s] == f(s, items[s])`.
+    ///
+    /// Under [`ExecMode::Serial`](crate::exec::ExecMode) this is an
+    /// inline loop; under `Parallel` each server's closure runs on a
+    /// pool worker and `map` blocks until the whole phase finishes (the
+    /// exchange boundaries on the calling thread are the barriers).
+    /// Results always merge in server order, so both modes are
+    /// byte-identical. `f` must be pure with respect to the
+    /// thread-local trace/metrics/faults runtimes: workers never see
+    /// them installed.
+    ///
+    /// # Panics
+    /// Re-raises the first panicking server's panic (in submit order);
+    /// use [`Cluster::try_map`] for a typed error instead.
+    pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        match &self.pool {
+            None => items
+                .into_iter()
+                .enumerate()
+                .map(|(s, it)| f(s, it))
+                .collect(),
+            Some(pool) => match pool.map(items, f) {
+                Ok(out) => out,
+                Err(e) => std::panic::resume_unwind(Box::new(e.message)),
+            },
+        }
+    }
+
+    /// Fallible [`Cluster::map`]: a panic on any server (worker or
+    /// inline) is caught and returned as [`MpcError::WorkerPanic`],
+    /// never a hang — the rest of the phase still runs to completion.
+    pub fn try_map<I, O, F>(&self, items: Vec<I>, f: F) -> Result<Vec<O>, MpcError>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        match &self.pool {
+            None => {
+                let mut out = Vec::with_capacity(items.len());
+                for (s, it) in items.into_iter().enumerate() {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(s, it))) {
+                        Ok(o) => out.push(o),
+                        Err(payload) => {
+                            return Err(MpcError::WorkerPanic {
+                                server: s,
+                                message: parqp_testkit::pool::panic_message(payload.as_ref()),
+                            })
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Some(pool) => pool.map(items, f).map_err(|e| MpcError::WorkerPanic {
+                server: e.job,
+                message: e.message,
+            }),
+        }
     }
 
     /// Record a round in which server `s` received `tuples[s]` tuples and

@@ -27,6 +27,9 @@ pub enum MpcError {
     BadCoordinate { coord: usize, dim_size: usize },
     /// A rank exceeded the grid size.
     BadRank { rank: usize, size: usize },
+    /// A per-server compute closure panicked during
+    /// [`Cluster::try_map`](crate::Cluster::try_map).
+    WorkerPanic { server: usize, message: String },
 }
 
 impl std::fmt::Display for MpcError {
@@ -55,6 +58,9 @@ impl std::fmt::Display for MpcError {
             }
             MpcError::BadRank { rank, size } => {
                 write!(f, "rank {rank} out of range for grid of {size}")
+            }
+            MpcError::WorkerPanic { server, message } => {
+                write!(f, "server {server} compute closure panicked: {message}")
             }
         }
     }

@@ -1,0 +1,164 @@
+//! Execution modes: serial (the default) or parallel local compute.
+//!
+//! The simulator's *communication* always happens on the calling
+//! thread: exchanges collect messages, charge the ledger, emit trace
+//! and metrics events, and resolve fault batches exactly as before, in
+//! both modes. What [`ExecMode::Parallel`] changes is purely the
+//! *local compute* phases — the per-server closures algorithms pass to
+//! [`Cluster::map`](crate::Cluster::map) run on a
+//! [`parqp_testkit::pool::WorkerPool`] instead of an inline loop.
+//!
+//! Determinism argument, in full:
+//!
+//! 1. every exchange boundary is a barrier — `map` blocks until all
+//!    jobs finish, and all sends happen on the calling thread after it
+//!    returns;
+//! 2. the pool stores job `i`'s output in slot `i`, so results merge
+//!    in server order regardless of completion order;
+//! 3. worker closures are pure (`Fn(usize, I) -> O`): the thread-local
+//!    trace/metrics/faults runtimes live on the calling thread and are
+//!    never touched from a worker.
+//!
+//! Hence ledgers, trace streams, metrics registries, and output
+//! digests are byte-identical to serial mode *by construction*.
+//!
+//! Like the trace sink and the metrics registry, the mode is a
+//! thread-local slot: [`install`] returns a guard that restores the
+//! previous mode on drop (panic-safe), and every `Cluster` snapshots
+//! the installed pool at construction time, so nested clusters (the
+//! skew join's sub-joins, plan sub-queries) inherit the mode with no
+//! signature changes anywhere.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use parqp_testkit::pool::{ncpu, WorkerPool};
+
+/// How [`Cluster::map`](crate::Cluster::map) runs per-server compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every per-server closure runs inline on the calling thread.
+    Serial,
+    /// Per-server closures run on a pool of `workers` threads
+    /// (`workers == 0` means one per available CPU).
+    Parallel {
+        /// Worker-thread count; `0` = [`ncpu`].
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// Resolve `workers == 0` to the machine's CPU count.
+    pub fn resolved_workers(self) -> usize {
+        match self {
+            ExecMode::Serial => 0,
+            ExecMode::Parallel { workers: 0 } => ncpu(),
+            ExecMode::Parallel { workers } => workers,
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<WorkerPool>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed execution mode when dropped.
+#[must_use = "dropping the guard immediately restores the previous mode"]
+pub struct ExecGuard {
+    previous: Option<Rc<WorkerPool>>,
+}
+
+impl Drop for ExecGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| *slot.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Install `mode` for this thread until the returned guard drops.
+/// Parallel mode spawns its worker pool here, once; every `Cluster`
+/// created while the guard lives shares it.
+pub fn install(mode: ExecMode) -> ExecGuard {
+    let pool = match mode {
+        ExecMode::Serial => None,
+        parallel @ ExecMode::Parallel { .. } => {
+            Some(Rc::new(WorkerPool::new(parallel.resolved_workers())))
+        }
+    };
+    let previous = ACTIVE.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), pool));
+    ExecGuard { previous }
+}
+
+/// Install an existing pool (reuse across runs without respawning).
+pub fn install_pool(pool: Rc<WorkerPool>) -> ExecGuard {
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(pool));
+    ExecGuard { previous }
+}
+
+/// The currently installed mode.
+pub fn current() -> ExecMode {
+    ACTIVE.with(|slot| match &*slot.borrow() {
+        None => ExecMode::Serial,
+        Some(pool) => ExecMode::Parallel {
+            workers: pool.workers(),
+        },
+    })
+}
+
+/// Run `f` under `mode` and restore the previous mode afterwards.
+pub fn with_mode<R>(mode: ExecMode, f: impl FnOnce() -> R) -> R {
+    let _guard = install(mode);
+    f()
+}
+
+/// The pool a `Cluster` built right now would snapshot.
+pub(crate) fn snapshot() -> Option<Rc<WorkerPool>> {
+    ACTIVE.with(|slot| slot.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_serial() {
+        assert_eq!(current(), ExecMode::Serial);
+    }
+
+    #[test]
+    fn install_restores_previous_mode_on_drop() {
+        let outer = install(ExecMode::Parallel { workers: 2 });
+        assert_eq!(current(), ExecMode::Parallel { workers: 2 });
+        {
+            let _inner = install(ExecMode::Serial);
+            assert_eq!(current(), ExecMode::Serial);
+        }
+        assert_eq!(current(), ExecMode::Parallel { workers: 2 });
+        drop(outer);
+        assert_eq!(current(), ExecMode::Serial);
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_mode(ExecMode::Parallel { workers: 1 }, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(current(), ExecMode::Serial);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_ncpu() {
+        assert_eq!(ExecMode::Parallel { workers: 0 }.resolved_workers(), ncpu());
+        with_mode(ExecMode::Parallel { workers: 0 }, || {
+            assert_eq!(current(), ExecMode::Parallel { workers: ncpu() });
+        });
+    }
+
+    #[test]
+    fn install_pool_shares_an_existing_pool() {
+        let pool = Rc::new(WorkerPool::new(3));
+        let _guard = install_pool(pool.clone());
+        assert_eq!(current(), ExecMode::Parallel { workers: 3 });
+        assert!(snapshot().is_some_and(|p| Rc::ptr_eq(&p, &pool)));
+    }
+}

@@ -25,6 +25,11 @@
 //! * [`cluster`] — the cluster, exchanges, and round accounting;
 //! * [`error`] — typed invariant violations ([`MpcError`]); every
 //!   panicking entry point has a `try_*` sibling returning these;
+//! * [`exec`] — serial vs parallel local compute ([`ExecMode`]):
+//!   install a mode and [`Cluster::map`](cluster::Cluster::map) runs
+//!   per-server compute closures on a sanctioned worker pool, with
+//!   every exchange boundary a barrier and results merged in server
+//!   order, so both modes are byte-identical;
 //! * [`stats`] — per-round statistics and the final [`LoadReport`];
 //! * [`grid`] — `p₁ × … × p_k` hypercube topologies with `*`-broadcast
 //!   (the HyperCube algorithm's addressing primitive, slide 35);
@@ -49,6 +54,7 @@
 
 pub mod cluster;
 pub mod error;
+pub mod exec;
 pub mod grid;
 pub mod hash;
 pub mod stats;
@@ -60,6 +66,7 @@ pub use parqp_trace as trace;
 
 pub use cluster::{Cluster, Exchange};
 pub use error::MpcError;
+pub use exec::ExecMode;
 pub use grid::Grid;
 pub use hash::HashFamily;
 pub use stats::{LoadReport, RoundStats};

@@ -48,10 +48,10 @@ pub fn psrs(cluster: &mut Cluster, local: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
 pub fn psrs_by<T, K>(
     cluster: &mut Cluster,
     local: Vec<Vec<T>>,
-    key: impl Fn(&T) -> K,
+    key: impl Fn(&T) -> K + Sync,
 ) -> Vec<Vec<T>>
 where
-    T: Clone + Weight,
+    T: Clone + Weight + Send,
     K: Ord + Copy + Weight,
 {
     let p = cluster.p();
@@ -70,10 +70,10 @@ where
     }
 
     // Phase 1: local sort + regular sample.
-    let mut local: Vec<Vec<T>> = local;
-    for part in &mut local {
+    let local: Vec<Vec<T>> = cluster.map(local, |_, mut part| {
         part.sort_by_key(|t| key(t));
-    }
+        part
+    });
     // Round 1: broadcast regular samples (p−1 keys per server).
     let sample_span = trace::span("psrs/sample-broadcast");
     let mut ex = cluster.exchange::<K>();
@@ -108,11 +108,11 @@ where
             ex.send(dest.min(p - 1), item);
         }
     }
-    let mut partitions = ex.finish();
-    for part in &mut partitions {
+    let partitions = ex.finish();
+    cluster.map(partitions, |_, mut part| {
         part.sort_by_key(|t| key(t));
-    }
-    partitions
+        part
+    })
 }
 
 /// `p−1` evenly spaced keys from a locally sorted partition (fewer if the

@@ -23,6 +23,7 @@
 //! Two runs with the same seeds are byte-identical.
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

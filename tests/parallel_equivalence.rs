@@ -1,0 +1,355 @@
+//! Serial-vs-parallel differential suite: the tentpole proof that
+//! `ExecMode::Parallel` is *observationally invisible*.
+//!
+//! Every observe experiment is run at p ∈ {8, 27, 64} in serial mode
+//! and under worker pools of 1, 2, 4 and NCPU threads, with a trace
+//! recorder and a metrics registry installed simultaneously — and the
+//! output digest, the `LoadReport` ledger (every `RoundStats`), the
+//! exported trace JSONL, and a canonical snapshot of the metrics
+//! registry must all be byte-identical to the serial run. A second
+//! matrix repeats the comparison under seeded fault plans with both
+//! recovery strategies, so recovery replays parallelize identically
+//! too.
+//!
+//! Also here: the pool-stress satellites — submit-order merging under
+//! adversarial completion order, panic-in-worker surfacing as a typed
+//! [`MpcError::WorkerPanic`] instead of a hang, and pool reuse across
+//! repeated runs and `Cluster::reset`.
+
+use std::rc::Rc;
+
+use parqp::faults::{capture as fault_capture, FaultLog, FaultPlan, FaultSpec, RecoveryStrategy};
+use parqp::mpc::exec;
+use parqp::mpc::metrics::{LoadUnit, MetricsRegistry};
+use parqp::mpc::{Cluster, ExecMode, LoadReport, MpcError};
+use parqp::trace::export;
+use parqp_testkit::pool::{ncpu, WorkerPool};
+
+/// The full cluster-size axis of the acceptance criterion.
+const SIZES: &[usize] = &[8, 27, 64];
+
+/// Worker counts to differentiate against serial: degenerate (1),
+/// small (2, 4), and whatever this machine actually has.
+fn worker_counts() -> Vec<usize> {
+    let mut w = vec![1, 2, 4, ncpu()];
+    w.sort_unstable();
+    w.dedup();
+    w
+}
+
+/// A canonical, total rendering of a metrics registry. Two registries
+/// that print identically observed identical event streams.
+fn registry_snapshot(reg: &MetricsRegistry) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (name, v) in reg.counters() {
+        let _ = writeln!(s, "counter {name} = {v}");
+    }
+    for (name, v) in reg.gauges() {
+        let _ = writeln!(s, "gauge {name} = {v}");
+    }
+    for b in reg.bounds() {
+        let _ = writeln!(s, "bound {b:?}");
+    }
+    let _ = writeln!(
+        s,
+        "load_max tuples={} words={} rounds={} skew={} hist={:?}",
+        reg.load_max(LoadUnit::Tuples),
+        reg.load_max(LoadUnit::Words),
+        reg.rounds(),
+        reg.max_skew_ratio(),
+        reg.recv_histogram()
+    );
+    s
+}
+
+/// Everything observable about one experiment run.
+struct Observed {
+    digest: u64,
+    report: LoadReport,
+    jsonl: String,
+    registry: String,
+}
+
+/// Run `name` at `p` under `mode` with trace + metrics installed.
+fn observe(name: &str, p: usize, seed: u64, mode: ExecMode) -> Observed {
+    exec::with_mode(mode, || {
+        let (registry, run) =
+            parqp::mpc::metrics::capture(|| parqp::observe::run_experiment_full(name, p, seed));
+        let run = run.expect("known experiment");
+        Observed {
+            digest: run.digest,
+            report: run.report,
+            jsonl: export::jsonl(&run.recorder),
+            registry: registry_snapshot(&registry),
+        }
+    })
+}
+
+fn assert_identical(label: &str, serial: &Observed, parallel: &Observed) {
+    assert_eq!(serial.digest, parallel.digest, "{label}: output digest");
+    assert_eq!(
+        serial.report, parallel.report,
+        "{label}: ledger (RoundStats sequence)"
+    );
+    assert_eq!(serial.jsonl, parallel.jsonl, "{label}: trace JSONL");
+    assert_eq!(
+        serial.registry, parallel.registry,
+        "{label}: metrics registry"
+    );
+}
+
+#[test]
+fn every_experiment_is_byte_identical_across_worker_counts() {
+    for e in parqp::observe::EXPERIMENTS {
+        for &p in SIZES {
+            let serial = observe(e.name, p, 42, ExecMode::Serial);
+            assert!(!serial.jsonl.is_empty(), "{}/p{p}: empty trace", e.name);
+            for w in worker_counts() {
+                let parallel = observe(e.name, p, 42, ExecMode::Parallel { workers: w });
+                let label = format!("{}/p{p} workers={w}", e.name);
+                assert_identical(&label, &serial, &parallel);
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_recovery_is_byte_identical_in_parallel_mode() {
+    let spec = FaultSpec {
+        crashes: 1,
+        drops: 1,
+        duplicates: 1,
+        stragglers: 1,
+        max_batch: 8,
+    };
+    let strategies = [
+        RecoveryStrategy::Checkpoint { every: 2 },
+        RecoveryStrategy::Replication { replicas: 2 },
+    ];
+    let mut fired_total = 0usize;
+    for e in parqp::observe::EXPERIMENTS {
+        for &p in SIZES {
+            for strategy in strategies {
+                let plan = FaultPlan::random(42, p, 6, &spec);
+                let run = |mode: ExecMode| -> (FaultLog, Observed) {
+                    exec::with_mode(mode, || {
+                        let (registry, (log, run)) = parqp::mpc::metrics::capture(|| {
+                            fault_capture(plan.clone(), strategy, || {
+                                parqp::observe::run_experiment_full(e.name, p, 42)
+                            })
+                        });
+                        let run = run.expect("known experiment");
+                        (
+                            log,
+                            Observed {
+                                digest: run.digest,
+                                report: run.report,
+                                jsonl: export::jsonl(&run.recorder),
+                                registry: registry_snapshot(&registry),
+                            },
+                        )
+                    })
+                };
+                let (serial_log, serial) = run(ExecMode::Serial);
+                let (parallel_log, parallel) = run(ExecMode::Parallel { workers: 0 });
+                let label = format!("{}/p{p} {strategy:?}", e.name);
+                assert_eq!(serial_log, parallel_log, "{label}: fault log");
+                assert_identical(&label, &serial, &parallel);
+                fired_total += serial_log.injected.len();
+            }
+        }
+    }
+    assert!(
+        fired_total > 0,
+        "the fault matrix never fired a fault — the differential is vacuous"
+    );
+}
+
+#[test]
+fn parallel_metrics_reconcile_with_ledger_and_trace_under_faults() {
+    // Satellite: trace recorder + fault clock + metrics registry
+    // installed *together* under parallel mode must reconcile exactly
+    // as tests/trace_invariants.rs pins for serial runs.
+    let _exec = exec::install(ExecMode::Parallel { workers: 0 });
+    let spec = FaultSpec {
+        crashes: 1,
+        drops: 1,
+        duplicates: 1,
+        stragglers: 1,
+        max_batch: 8,
+    };
+    for e in parqp::observe::EXPERIMENTS {
+        let plan = FaultPlan::random(7, 8, 4, &spec);
+        let (registry, (_log, run)) = parqp::mpc::metrics::capture(|| {
+            fault_capture(plan, RecoveryStrategy::Checkpoint { every: 2 }, || {
+                parqp::observe::run_experiment_full(e.name, 8, 42)
+            })
+        });
+        let run = run.expect("known experiment");
+        let totals = parqp::trace::analyze::totals(&run.recorder);
+        let name = e.name;
+        assert_eq!(
+            registry.counter("tuples"),
+            run.report.total_tuples(),
+            "{name}: metrics vs ledger Σ tuples"
+        );
+        assert_eq!(
+            registry.counter("words"),
+            run.report.total_words(),
+            "{name}: metrics vs ledger Σ words"
+        );
+        assert_eq!(
+            registry.counter("tuples"),
+            totals.tuples,
+            "{name}: metrics vs trace Σ tuples"
+        );
+        assert_eq!(
+            registry.counter("words"),
+            totals.words,
+            "{name}: metrics vs trace Σ words"
+        );
+        assert_eq!(
+            registry.rounds() as usize,
+            totals.rounds,
+            "{name}: metrics vs trace rounds"
+        );
+        assert_eq!(
+            registry.load_max(LoadUnit::Tuples),
+            run.report.max_load_tuples(),
+            "{name}: metrics vs ledger L_max (tuples)"
+        );
+        assert_eq!(
+            registry.load_max(LoadUnit::Words),
+            run.report.max_load_words(),
+            "{name}: metrics vs ledger L_max (words)"
+        );
+    }
+}
+
+#[test]
+fn compute_bound_experiment_speeds_up_on_multicore_hosts() {
+    // The perf half of the acceptance bar: matmul-square/p64 is
+    // compute-bound (Θ(n³) block multiplies against Θ(n²·H) words on
+    // the wire), so with ≥ 4 workers its wall clock must beat serial.
+    // Speedup is only physically observable when the host has the
+    // hardware threads to back it — a single-core container runs every
+    // "parallel" worker on the same core — so hosts with fewer than 4
+    // CPUs skip the timing assertion (the differential tests above
+    // still prove correctness there). The official 1.5× bar is
+    // measured in release mode by `bench tables --metrics`
+    // (BENCH_parqp.json); here a best-of-3 debug run asserts a
+    // conservative 1.25×.
+    let workers = ncpu();
+    if workers < 4 {
+        eprintln!("skipping speedup assertion: {workers} hardware thread(s) < 4");
+        return;
+    }
+    let wall = |mode: ExecMode| {
+        exec::with_mode(mode, || {
+            let mut best = u64::MAX;
+            for _ in 0..3 {
+                let t0 = parqp_testkit::bench::time_ns();
+                let run = parqp::observe::run_experiment_full("matmul-square", 64, 42)
+                    .expect("known experiment");
+                let dt = parqp_testkit::bench::time_ns().saturating_sub(t0);
+                std::hint::black_box(run.digest);
+                best = best.min(dt);
+            }
+            best
+        })
+    };
+    let serial = wall(ExecMode::Serial);
+    let parallel = wall(ExecMode::Parallel { workers });
+    assert!(
+        serial as f64 >= 1.25 * parallel as f64,
+        "no parallel speedup on a {workers}-thread host: serial {serial} ns vs parallel {parallel} ns"
+    );
+}
+
+// ------------------------------------------------------------------ pool
+
+#[test]
+fn map_merges_in_server_order_under_adversarial_completion_order() {
+    exec::with_mode(ExecMode::Parallel { workers: 4 }, || {
+        let cluster = Cluster::new(16);
+        // Low-ranked servers get the heaviest work, so completion order
+        // inverts submit order; the merged output must not care.
+        let out = cluster.map((0..16u64).collect(), |s, v| {
+            let mut acc = 0u64;
+            for i in 0..(16 - s as u64) * 50_000 {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            (s, v)
+        });
+        let expect: Vec<(usize, u64)> = (0..16u64).map(|i| (i as usize, i)).collect();
+        assert_eq!(out, expect);
+    });
+}
+
+#[test]
+fn worker_panic_is_a_typed_mpc_error_not_a_hang() {
+    let dying_map = |cluster: &Cluster| {
+        cluster.try_map((0..8u64).collect(), |s, v| {
+            assert!(s != 5, "server five rejects tuple {v}");
+            v * 2
+        })
+    };
+    for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 3 }] {
+        exec::with_mode(mode, || {
+            let cluster = Cluster::new(8);
+            match dying_map(&cluster) {
+                Err(MpcError::WorkerPanic { server, message }) => {
+                    assert_eq!(server, 5, "{mode:?}");
+                    assert!(
+                        message.contains("server five rejects tuple 5"),
+                        "{mode:?}: message {message:?}"
+                    );
+                }
+                other => panic!("{mode:?}: expected WorkerPanic, got {other:?}"),
+            }
+            // The pool survives the panicking batch: the same cluster
+            // keeps computing.
+            let ok = cluster.map(vec![1u64, 2, 3], |_, v| v + 1);
+            assert_eq!(ok, vec![2, 3, 4]);
+        });
+    }
+}
+
+#[test]
+fn pool_is_reused_across_runs_and_cluster_reset() {
+    let pool = Rc::new(WorkerPool::new(3));
+    let _guard = exec::install_pool(pool.clone());
+
+    // Repeated experiment runs share the one pool and stay identical.
+    let digests: Vec<u64> = (0..3)
+        .map(|_| {
+            parqp::observe::run_experiment_full("psrs", 8, 42)
+                .expect("known experiment")
+                .digest
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[1], digests[2]);
+
+    // Regression: a Cluster::reset between runs must not detach or
+    // wedge the snapshotted pool.
+    let mut cluster = Cluster::new(4);
+    assert_eq!(cluster.exec_mode(), ExecMode::Parallel { workers: 3 });
+    let input: Vec<u64> = (0..4000).rev().collect();
+    let local = cluster.scatter(input.clone());
+    let first = parqp::sort::psrs(&mut cluster, local);
+    let first_report = cluster.report();
+    cluster.reset();
+    let local = cluster.scatter(input);
+    let second = parqp::sort::psrs(&mut cluster, local);
+    assert_eq!(first, second, "replay after reset diverged");
+    assert_eq!(
+        first_report,
+        cluster.report(),
+        "ledger after reset diverged"
+    );
+    // The guard and the cluster both still hold the original pool.
+    assert!(Rc::strong_count(&pool) >= 2, "pool was dropped mid-session");
+}
