@@ -26,6 +26,13 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
+    // `lint` owns its own tiny flag set and installs no execution mode;
+    // the binary routes it before dispatch for the 0/1/2 exit contract,
+    // this arm keeps it reachable in-process (tests, help discovery).
+    if cmd == "lint" {
+        let (body, code) = lint_run(rest);
+        return if code == 0 { Ok(body) } else { Err(body) };
+    }
     let opts = Opts::parse(rest)?;
     // Install the execution mode for the whole invocation: every Cluster
     // any command constructs snapshots it, so `--exec parallel` applies
@@ -46,8 +53,82 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `parqp lint` front door: run the in-tree static analyzer over the
+/// workspace. Shared by [`dispatch`] (in-process tests) and
+/// [`lint_main`] (the binary, which needs the three-way exit code).
+/// Returns the report text plus the exit code: 0 clean, 1 findings,
+/// 2 setup error.
+fn lint_run(args: &[String]) -> (String, i32) {
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    return (
+                        format!("parqp lint: --format wants text|json, got \"{got}\"\n"),
+                        2,
+                    );
+                }
+            },
+            other => {
+                return (
+                    format!(
+                        "parqp lint: unknown option {other:?} (only --format text|json here; \
+                         use `cargo run -p parqp-lint` for --fix-baseline and friends)\n"
+                    ),
+                    2,
+                )
+            }
+        }
+    }
+    let root = parqp_lint::workspace_root();
+    let report = match parqp_lint::load_baseline(&root)
+        .and_then(|baseline| parqp_lint::lint_workspace(&root, Some(&baseline)))
+    {
+        Ok(report) => report,
+        Err(e) => return (format!("parqp lint: {e}\n"), 2),
+    };
+    let code = if report.diagnostics.is_empty() { 0 } else { 1 };
+    if json {
+        return (parqp_lint::render_json(&report), code);
+    }
+    let mut s = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(s, "{d}");
+    }
+    if code == 0 {
+        let _ = writeln!(
+            s,
+            "parqp-lint: clean ({} files, {} crates, {} worker roots checked)",
+            report.files_scanned,
+            report.panic_counts.len(),
+            report.worker_roots.len()
+        );
+    } else {
+        let _ = writeln!(s, "parqp-lint: {} finding(s)", report.diagnostics.len());
+    }
+    (s, code)
+}
+
+/// Binary entry point for `parqp lint`: prints the report and returns
+/// the process exit code (0 = clean, 1 = findings, 2 = setup error) —
+/// the plain [`dispatch`] path can only express success-or-2.
+pub fn lint_main(args: &[String]) -> i32 {
+    let (body, code) = lint_run(args);
+    if code == 0 {
+        print!("{body}");
+    } else {
+        eprint!("{body}");
+    }
+    code
+}
+
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|lint> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -68,6 +149,10 @@ fn usage() -> String {
               [--check BASELINE.json]\n\
               measure L, rounds and bound adherence of every experiment\n\
               at p = 8, 27, 64; --check gates against a committed baseline\n\
+     lint     [--format text|json]\n\
+              run the in-tree static analyzer (determinism, layering,\n\
+              worker-purity rules PQ401-PQ408) over the workspace;\n\
+              exits 0 clean, 1 findings, 2 setup error\n\
      \n\
      global   --exec serial|parallel [--workers N]\n\
               run every server's per-round compute on a worker pool\n\
@@ -830,6 +915,34 @@ mod tests {
         assert!(t.contains("bound_ratio"));
         assert!(t.contains("triangle-hypercube"));
         assert!(dispatch(&argv(&["metrics", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn lint_front_door_reports_a_clean_workspace() {
+        let out = dispatch(&argv(&["lint"])).expect("workspace is lint-clean");
+        assert!(out.contains("parqp-lint: clean"), "got: {out}");
+        assert!(out.contains("worker roots checked"), "got: {out}");
+    }
+
+    #[test]
+    fn lint_front_door_json_format() {
+        let out = dispatch(&argv(&["lint", "--format", "json"])).expect("json works");
+        assert!(out.contains("\"clean\": true"), "got: {out}");
+        assert!(out.contains("\"worker_roots\""), "got: {out}");
+    }
+
+    #[test]
+    fn lint_front_door_rejects_unknown_flags() {
+        let err = dispatch(&argv(&["lint", "--fix-baseline"])).expect_err("must fail");
+        assert!(err.contains("cargo run -p parqp-lint"), "got: {err}");
+        assert!(dispatch(&argv(&["lint", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn help_mentions_lint_and_exit_codes() {
+        let h = dispatch(&argv(&["help"])).expect("help");
+        assert!(h.contains("lint"), "got: {h}");
+        assert!(h.contains("exits 0 clean, 1 findings"), "got: {h}");
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Pass 2 of the effect analyzer: call extraction and best-effort
+//! binding.
+//!
+//! From sanitized source lines this pass extracts every syntactic call
+//! site ([`calls_in_line`]) and binds each one to workspace functions
+//! where it can ([`Index::resolve`]). Binding is *textual*, not
+//! semantic: there is no type inference, so method calls bind to every
+//! workspace method of that name (a union over candidates — sound for
+//! effect propagation, at the cost of precision) and free calls bind by
+//! scoped name lookup (same file, then same crate, then workspace).
+//!
+//! Three escape categories keep the textual scheme honest:
+//!
+//! - **Pure**: calls the resolver is confident cannot reach workspace
+//!   effect APIs — `std`/`core`/`alloc` paths, constructors
+//!   (uppercase identifiers), derive-shaped methods (`clone`, `fmt`,
+//!   …), and method names with *no* workspace definition (assumed to
+//!   be std methods; std cannot call back into this workspace).
+//! - **Edges**: calls bound to one or more workspace items.
+//! - **Unresolved**: everything else — calls through function-typed
+//!   parameters, names that exist nowhere in the workspace, methods
+//!   missing from a known workspace type. In worker-reachable code
+//!   these surface as PQ404 unless explicitly allowed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FnItem;
+
+/// One syntactic call site on a line.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: Callee,
+}
+
+#[derive(Debug, Clone)]
+pub enum Callee {
+    /// `name(...)` — a free call.
+    Free { name: String },
+    /// `recv.name(...)` — a method call; `recv` is the identifier
+    /// immediately before the dot, when there is one (`self`, a local,
+    /// …; `None` for chained calls like `x.a().b()`).
+    Method { name: String, recv: Option<String> },
+    /// `a::b::name(...)` — a path call (turbofish stripped).
+    Path { segs: Vec<String> },
+    /// `name!(...)` — a macro invocation.
+    Macro { name: String },
+}
+
+impl Callee {
+    /// Human-readable spelling for diagnostics.
+    pub fn display(&self) -> String {
+        match self {
+            Callee::Free { name } => format!("{name}()"),
+            Callee::Method { name, .. } => format!(".{name}()"),
+            Callee::Path { segs } => format!("{}()", segs.join("::")),
+            Callee::Macro { name } => format!("{name}!"),
+        }
+    }
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "let"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "type"
+            | "const"
+            | "static"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "break"
+            | "continue"
+            | "crate"
+            | "super"
+            | "async"
+            | "await"
+            | "true"
+            | "false"
+    )
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+fn lex(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(code[start..i].to_string()));
+        } else if c.is_ascii_digit() {
+            // Numeric literal (incl. suffixes like 0u64, 1.5f32): skip
+            // so `u64` is not lexed as an identifier.
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+        } else if c.is_whitespace() {
+            i += 1;
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Extract every call site from one sanitized line.
+pub fn calls_in_line(code: &str) -> Vec<CallSite> {
+    let toks = lex(code);
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        let Tok::Ident(name) = &toks[j] else {
+            j += 1;
+            continue;
+        };
+        if is_keyword(name) {
+            j += 1;
+            continue;
+        }
+        // `fn name(` is a definition, not a call.
+        if j > 0 && toks[j - 1] == Tok::Ident("fn".to_string()) {
+            j += 1;
+            continue;
+        }
+        // Build the longest `a::b::c` path starting here.
+        let mut segs = vec![name.clone()];
+        let mut k = j;
+        loop {
+            if toks.get(k + 1) == Some(&Tok::Punct(':'))
+                && toks.get(k + 2) == Some(&Tok::Punct(':'))
+            {
+                match toks.get(k + 3) {
+                    Some(Tok::Ident(seg)) => {
+                        segs.push(seg.clone());
+                        k += 3;
+                    }
+                    Some(Tok::Punct('<')) => {
+                        // Turbofish: skip to the matching `>`.
+                        let mut angle = 0usize;
+                        let mut m = k + 3;
+                        while m < toks.len() {
+                            match toks[m] {
+                                Tok::Punct('<') => angle += 1,
+                                Tok::Punct('>') => {
+                                    // `->` inside a turbofish fn type.
+                                    let arrow = m > 0 && toks[m - 1] == Tok::Punct('-');
+                                    if !arrow {
+                                        angle -= 1;
+                                        if angle == 0 {
+                                            break;
+                                        }
+                                    }
+                                }
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        k = m;
+                        break;
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let next = toks.get(k + 1);
+        let prev_dot = j > 0 && toks[j - 1] == Tok::Punct('.');
+        if next == Some(&Tok::Punct('!')) {
+            let after = toks.get(k + 2);
+            if segs.len() == 1
+                && (after == Some(&Tok::Punct('('))
+                    || after == Some(&Tok::Punct('['))
+                    || after == Some(&Tok::Punct('{')))
+            {
+                out.push(CallSite {
+                    callee: Callee::Macro { name: name.clone() },
+                });
+            }
+        } else if next == Some(&Tok::Punct('(')) {
+            if prev_dot {
+                let recv = if j >= 2 {
+                    match &toks[j - 2] {
+                        Tok::Ident(r) => Some(r.clone()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                out.push(CallSite {
+                    callee: Callee::Method {
+                        name: name.clone(),
+                        recv,
+                    },
+                });
+            } else if segs.len() > 1 {
+                out.push(CallSite {
+                    callee: Callee::Path { segs },
+                });
+            } else {
+                out.push(CallSite {
+                    callee: Callee::Free { name: name.clone() },
+                });
+            }
+        }
+        j = k + 1;
+    }
+    out
+}
+
+/// Method names whose std meaning is overwhelmingly more common than
+/// any workspace homonym. Binding these by bare name would poison
+/// every iterator chain with the workspace homonym's effects (e.g.
+/// `.map(` would union in `WorkerPool::map`, whose body takes a
+/// `Mutex`), so they resolve as std-pure. `Cluster::map` roots are
+/// recognized *before* resolution by receiver shape, so this loses no
+/// soundness for the worker-purity rules.
+const STD_SHADOW_METHODS: &[&str] = &[
+    "map",
+    "clone",
+    "fmt",
+    "next",
+    "len",
+    "is_empty",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "get",
+    "push",
+    "sort",
+    "contains",
+    "insert",
+    "extend",
+    "clear",
+    "iter",
+    "drain",
+    // Iterator adapters: binding these by bare name would make every
+    // iterator chain inherit a workspace homonym's params and effects
+    // (e.g. `.filter(` would bind to `Relation::filter`).
+    "filter",
+    "filter_map",
+    "flat_map",
+    "for_each",
+    "fold",
+    "retain",
+    "any",
+    "all",
+    "find",
+    "position",
+    "count",
+    "enumerate",
+    "zip",
+    "rev",
+    "take",
+    "skip",
+    "chain",
+    "sum",
+    "min",
+    "max",
+    "last",
+];
+
+/// Std prelude/collection types: `Type::method(...)` on these is always
+/// std, even when the workspace implements a *trait* for them (which
+/// would otherwise register them as known owners). Trait methods on
+/// these types still bind through the bare-name method table.
+const STD_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "Option",
+    "Result",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "BinaryHeap",
+    "Cow",
+    "Path",
+    "PathBuf",
+    "Iterator",
+    "Ord",
+    "Ordering",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Default",
+    "Clone",
+    "Copy",
+    "Duration",
+];
+
+/// Method names treated as derive-generated / std-trait implementations
+/// when called as `Type::method(...)` on a known workspace type that
+/// has no explicit definition.
+const DERIVED_PURE_METHODS: &[&str] = &[
+    "clone",
+    "default",
+    "from",
+    "fmt",
+    "to_string",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "into",
+];
+
+/// What a call site binds to.
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// Bound to these items (global indices into [`Index::items`]).
+    Edges(Vec<usize>),
+    /// Confidently outside the workspace effect surface.
+    Pure,
+    /// Cannot be bound; `reason` explains why (shown in PQ404).
+    Unresolved { reason: &'static str },
+}
+
+/// The calling context a resolution happens in.
+pub struct ResolveCtx<'a> {
+    pub crate_name: &'a str,
+    pub file_idx: usize,
+    /// Enclosing `impl`/`trait` owner of the calling fn.
+    pub owner: Option<&'a str>,
+    /// Parameter names of the calling fn (higher-order detection).
+    pub params: &'a [String],
+    pub is_test: bool,
+}
+
+/// A workspace-wide item index for name-based binding.
+pub struct Index {
+    /// Flattened `(file_idx, item)` across all files, in file order.
+    pub items: Vec<(usize, FnItem)>,
+    /// Crate name per file index.
+    pub file_crates: Vec<String>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    methods_by_owner: BTreeMap<(String, String), Vec<usize>>,
+    owners: BTreeSet<String>,
+}
+
+impl Index {
+    pub fn build(per_file: Vec<(String, Vec<FnItem>)>) -> Index {
+        let mut items = Vec::new();
+        let mut file_crates = Vec::new();
+        for (crate_name, fns) in per_file {
+            let file_idx = file_crates.len();
+            file_crates.push(crate_name);
+            for item in fns {
+                items.push((file_idx, item));
+            }
+        }
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut owners = BTreeSet::new();
+        for (idx, (_, item)) in items.iter().enumerate() {
+            match &item.owner {
+                Some(owner) => {
+                    owners.insert(owner.clone());
+                    methods_by_name
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(idx);
+                    methods_by_owner
+                        .entry((owner.clone(), item.name.clone()))
+                        .or_default()
+                        .push(idx);
+                }
+                None => {
+                    free_by_name.entry(item.name.clone()).or_default().push(idx);
+                }
+            }
+        }
+        Index {
+            items,
+            file_crates,
+            free_by_name,
+            methods_by_name,
+            methods_by_owner,
+            owners,
+        }
+    }
+
+    /// Candidates visible from `ctx` (prod code never binds into
+    /// `#[cfg(test)]` items).
+    fn visible<'s>(&'s self, ids: &'s [usize], ctx: &ResolveCtx) -> Vec<usize> {
+        ids.iter()
+            .copied()
+            .filter(|&i| ctx.is_test || !self.items[i].1.is_test)
+            .filter(|&i| self.items[i].1.has_body)
+            .collect()
+    }
+
+    fn free_scoped(&self, name: &str, ctx: &ResolveCtx) -> Option<Vec<usize>> {
+        let all = self.free_by_name.get(name)?;
+        let all = self.visible(all, ctx);
+        if all.is_empty() {
+            return None;
+        }
+        // Innermost scope wins: same file, then same crate, then all.
+        let same_file: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.items[i].0 == ctx.file_idx)
+            .collect();
+        if !same_file.is_empty() {
+            return Some(same_file);
+        }
+        let same_crate: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.file_crates[self.items[i].0] == ctx.crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return Some(same_crate);
+        }
+        Some(all)
+    }
+
+    /// Bind one call site. See the module docs for the scheme.
+    pub fn resolve(&self, callee: &Callee, ctx: &ResolveCtx) -> Resolution {
+        match callee {
+            Callee::Macro { .. } => Resolution::Pure,
+            Callee::Free { name } => {
+                if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Tuple-struct / enum-variant constructor.
+                    return Resolution::Pure;
+                }
+                if ctx.params.iter().any(|p| p == name) {
+                    return Resolution::Unresolved {
+                        reason: "higher-order call through a function parameter",
+                    };
+                }
+                match self.free_scoped(name, ctx) {
+                    Some(ids) => Resolution::Edges(ids),
+                    None => Resolution::Unresolved {
+                        reason: "no function of this name in the workspace",
+                    },
+                }
+            }
+            Callee::Method { name, recv } => {
+                // `self.m()` binds exactly within the enclosing impl.
+                if recv.as_deref() == Some("self") {
+                    if let Some(owner) = ctx.owner {
+                        if let Some(ids) = self
+                            .methods_by_owner
+                            .get(&(owner.to_string(), name.clone()))
+                        {
+                            let ids = self.visible(ids, ctx);
+                            if !ids.is_empty() {
+                                return Resolution::Edges(ids);
+                            }
+                        }
+                    }
+                }
+                if STD_SHADOW_METHODS.contains(&name.as_str()) {
+                    return Resolution::Pure;
+                }
+                match self.methods_by_name.get(name) {
+                    Some(ids) => {
+                        let ids = self.visible(ids, ctx);
+                        if ids.is_empty() {
+                            Resolution::Pure
+                        } else {
+                            Resolution::Edges(ids)
+                        }
+                    }
+                    // No workspace definition: a std/alias method, which
+                    // cannot call back into workspace effect APIs.
+                    None => Resolution::Pure,
+                }
+            }
+            Callee::Path { segs } => self.resolve_path(segs, ctx),
+        }
+    }
+
+    fn resolve_path(&self, segs: &[String], ctx: &ResolveCtx) -> Resolution {
+        let mut segs: Vec<&str> = segs.iter().map(|s| s.as_str()).collect();
+        match segs[0] {
+            "std" | "core" | "alloc" => return Resolution::Pure,
+            "crate" | "self" | "super" => {
+                segs.remove(0);
+                while !segs.is_empty() && segs[0] == "super" {
+                    segs.remove(0);
+                }
+                if segs.len() < 2 {
+                    if segs.len() == 1 {
+                        return self.resolve(
+                            &Callee::Free {
+                                name: segs[0].to_string(),
+                            },
+                            ctx,
+                        );
+                    }
+                    return Resolution::Unresolved {
+                        reason: "bare crate-relative path",
+                    };
+                }
+            }
+            _ => {}
+        }
+        let last = segs[segs.len() - 1].to_string();
+        let qual = segs[segs.len() - 2];
+        if qual.starts_with(|c: char| c.is_ascii_uppercase()) {
+            // `Type::method(...)` — an associated call.
+            if STD_TYPES.contains(&qual) {
+                return Resolution::Pure;
+            }
+            let type_name = if qual == "Self" {
+                match ctx.owner {
+                    Some(o) => o.to_string(),
+                    None => {
+                        return Resolution::Unresolved {
+                            reason: "Self:: path outside an impl block",
+                        }
+                    }
+                }
+            } else {
+                qual.to_string()
+            };
+            if self.owners.contains(&type_name) {
+                if let Some(ids) = self.methods_by_owner.get(&(type_name, last.clone())) {
+                    let ids = self.visible(ids, ctx);
+                    if !ids.is_empty() {
+                        return Resolution::Edges(ids);
+                    }
+                }
+                if DERIVED_PURE_METHODS.contains(&last.as_str()) {
+                    return Resolution::Pure;
+                }
+                return Resolution::Unresolved {
+                    reason: "method not defined on this workspace type",
+                };
+            }
+            // Unknown type: std or a type alias — outside the workspace
+            // effect surface.
+            return Resolution::Pure;
+        }
+        // Module path: use the leading crate segment as a scope hint.
+        let crate_hint = segs[0].strip_prefix("parqp_").unwrap_or(segs[0]);
+        if let Some(all) = self.free_by_name.get(&last) {
+            let all = self.visible(all, ctx);
+            let in_hinted: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.file_crates[self.items[i].0] == crate_hint)
+                .collect();
+            if !in_hinted.is_empty() {
+                return Resolution::Edges(in_hinted);
+            }
+            let in_crate: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.file_crates[self.items[i].0] == ctx.crate_name)
+                .collect();
+            if !in_crate.is_empty() {
+                return Resolution::Edges(in_crate);
+            }
+            if !all.is_empty() {
+                return Resolution::Edges(all);
+            }
+        }
+        Resolution::Unresolved {
+            reason: "path does not name a workspace function",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call_names(code: &str) -> Vec<String> {
+        calls_in_line(code)
+            .into_iter()
+            .map(|c| c.callee.display())
+            .collect()
+    }
+
+    #[test]
+    fn extracts_free_method_path_and_macro_calls() {
+        assert_eq!(
+            call_names("let x = helper(a) + obj.method(b) + mod_a::mod_b::f(c);"),
+            vec!["helper()", ".method()", "mod_a::mod_b::f()"]
+        );
+        assert_eq!(
+            call_names("vec![a, b]; assert_eq!(x, y);"),
+            vec!["vec!", "assert_eq!"]
+        );
+    }
+
+    #[test]
+    fn turbofish_is_stripped() {
+        assert_eq!(
+            call_names("xs.collect::<Vec<_>>(); parse::<u64>(s);"),
+            vec![".collect()", "parse()"]
+        );
+    }
+
+    #[test]
+    fn definitions_and_keywords_are_not_calls() {
+        assert!(call_names("fn helper(x: usize) {").is_empty());
+        assert!(call_names("if (a) { while (b) {} }").is_empty());
+    }
+
+    #[test]
+    fn method_receiver_is_captured() {
+        let calls = calls_in_line("pool.map(items, f)");
+        assert_eq!(calls.len(), 1);
+        match &calls[0].callee {
+            Callee::Method { name, recv } => {
+                assert_eq!(name, "map");
+                assert_eq!(recv.as_deref(), Some("pool"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_suffixes_are_not_idents() {
+        assert!(call_names("let x = 0u64 + 1.5; let y = 3usize;").is_empty());
+    }
+
+    #[test]
+    fn inner_calls_inside_macro_args_are_seen() {
+        assert_eq!(
+            call_names("vec![make(a), other.build(b)]"),
+            vec!["vec!", "make()", ".build()"]
+        );
+    }
+}

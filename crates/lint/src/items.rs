@@ -1,0 +1,654 @@
+//! Pass 1 of the effect analyzer: a lightweight item model.
+//!
+//! The effect rules (PQ401–PQ404, [`crate::effects`]) need to know *which
+//! function* a given source line belongs to, what that function is
+//! called, which type's `impl` block it sits in, and which identifiers
+//! are parameters (so higher-order calls through a parameter can be
+//! flagged as unresolvable). This pass extracts exactly that — a flat
+//! list of [`FnItem`]s with line spans — from the sanitized token stream
+//! produced by [`crate::tokenize`].
+//!
+//! Like the tokenizer it builds on, this is *not* a parser: it tracks
+//! brace depth and a handful of keywords (`fn`, `impl`, `trait`).
+//! Closures are deliberately **not** items — a closure body belongs to
+//! its enclosing function, which is the right granularity for effect
+//! propagation (a closure inherits its parent's calling context).
+
+use crate::tokenize::SourceFile;
+
+/// One `fn` item: a free function, an inherent/trait `impl` method, or a
+/// trait's default method.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// The self type of the enclosing `impl`/`trait` block, if any
+    /// (`impl Foo for Bar` records `Bar`; `trait Baz` records `Baz`).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 1-based line of the body's closing `}` (== `sig_line` for
+    /// bodyless trait declarations).
+    pub end_line: usize,
+    /// Parameter pattern identifiers (excluding `self`, `mut`, `ref`).
+    pub params: Vec<String>,
+    /// Whether the signature sits inside a `#[cfg(test)]` block.
+    pub is_test: bool,
+    /// Whether the item has a `{ … }` body.
+    pub has_body: bool,
+}
+
+impl FnItem {
+    /// Fully qualified display name for diagnostics: `Owner::name` or
+    /// `name`.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+enum Pending {
+    /// Accumulating a `fn` signature until its `{` or terminating `;`.
+    Fn {
+        text: String,
+        line: usize,
+        /// `(`/`[` nesting — a `;` inside `[u8; N]` must not end the item.
+        nest: usize,
+    },
+    /// Accumulating an `impl`/`trait` header until its `{`.
+    Header { text: String },
+}
+
+enum BlockKind {
+    Fn(usize),
+    Owner,
+    Other,
+}
+
+struct OpenBlock {
+    kind: BlockKind,
+    /// Brace depth *before* this block's `{` — the block closes when a
+    /// `}` returns the depth to this value.
+    close_depth: usize,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extract every `fn` item from a sanitized file.
+pub fn extract(file: &SourceFile) -> Vec<FnItem> {
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<OpenBlock> = Vec::new();
+    let mut depth: usize = 0;
+    let mut pending: Option<Pending> = None;
+
+    for line in &file.lines {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if let Some(p) = pending.as_mut() {
+                match p {
+                    Pending::Fn {
+                        text,
+                        line: sig,
+                        nest,
+                    } => match c {
+                        '(' | '[' => {
+                            *nest += 1;
+                            text.push(c);
+                            i += 1;
+                        }
+                        ')' | ']' => {
+                            *nest = nest.saturating_sub(1);
+                            text.push(c);
+                            i += 1;
+                        }
+                        ';' if *nest == 0 => {
+                            // Bodyless declaration (trait method) — or a
+                            // `fn(..)` pointer type, which parses to an
+                            // empty name and is dropped.
+                            if let Some(item) = finish_fn(text, *sig, *sig, line.in_test, false) {
+                                items.push(item);
+                            }
+                            pending = None;
+                            i += 1;
+                        }
+                        '}' if *nest == 0 => {
+                            // A `}` cannot occur in a fn signature: this
+                            // was a `fn(..)` pointer type in a struct
+                            // field. Drop it and reprocess the brace as
+                            // ordinary code.
+                            pending = None;
+                        }
+                        '{' => {
+                            let item = finish_fn(text, *sig, *sig, line.in_test, true);
+                            let kind = match item {
+                                Some(item) => {
+                                    items.push(item);
+                                    BlockKind::Fn(items.len() - 1)
+                                }
+                                None => BlockKind::Other,
+                            };
+                            stack.push(OpenBlock {
+                                kind,
+                                close_depth: depth,
+                            });
+                            depth += 1;
+                            pending = None;
+                            i += 1;
+                        }
+                        _ => {
+                            text.push(c);
+                            i += 1;
+                        }
+                    },
+                    Pending::Header { text } => match c {
+                        '{' => {
+                            stack.push(OpenBlock {
+                                kind: BlockKind::Owner,
+                                close_depth: depth,
+                            });
+                            depth += 1;
+                            pending = None;
+                            i += 1;
+                        }
+                        ';' => {
+                            // `impl Foo;`-style degenerate header: drop it.
+                            pending = None;
+                            i += 1;
+                        }
+                        _ => {
+                            text.push(c);
+                            i += 1;
+                        }
+                    },
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    i += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while stack.last().is_some_and(|b| b.close_depth == depth) {
+                        if let Some(OpenBlock {
+                            kind: BlockKind::Fn(idx),
+                            ..
+                        }) = stack.pop()
+                        {
+                            items[idx].end_line = line.number;
+                        }
+                    }
+                    i += 1;
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    match &line.code[start..i] {
+                        "fn" => {
+                            pending = Some(Pending::Fn {
+                                text: String::new(),
+                                line: line.number,
+                                nest: 0,
+                            });
+                        }
+                        kw @ ("impl" | "trait") => {
+                            pending = Some(Pending::Header {
+                                text: format!("{kw} "),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        // Line break inside a pending signature: keep tokens separated.
+        if let Some(Pending::Fn { text, .. } | Pending::Header { text }) = pending.as_mut() {
+            text.push(' ');
+        }
+    }
+    items
+}
+
+/// Map each 1-based line to the *innermost* item containing it.
+/// `result[line - 1]` is an index into the `extract` output.
+pub fn line_owners(items: &[FnItem], num_lines: usize) -> Vec<Option<usize>> {
+    let mut owners = vec![None; num_lines];
+    // Items appear in opening order, so an inner (nested) fn is visited
+    // after its enclosing fn and overwrites the shared range.
+    for (idx, item) in items.iter().enumerate() {
+        for l in item.sig_line..=item.end_line.min(num_lines) {
+            owners[l - 1] = Some(idx);
+        }
+    }
+    owners
+}
+
+/// Parse an accumulated signature (everything after `fn`, up to but not
+/// including the `{`/`;`). Returns `None` for nameless `fn(..)` pointer
+/// types.
+fn finish_fn(
+    text: &str,
+    sig_line: usize,
+    end_line: usize,
+    is_test: bool,
+    has_body: bool,
+) -> Option<FnItem> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    let name = &text[start..i];
+    if name.is_empty() {
+        return None;
+    }
+    Some(FnItem {
+        name: name.to_string(),
+        owner: None, // filled by the caller via the block stack
+        sig_line,
+        end_line,
+        params: parse_params(&text[i..]),
+        is_test,
+        has_body,
+    })
+}
+
+/// Extract the parameter-list identifiers from the signature tail after
+/// the name: skip the generics (angle-bracket matched, `->` ignored),
+/// match the first `(` … `)` group, split at top-level commas, and take
+/// each piece's pattern identifiers (the part before its `:`).
+fn parse_params(tail: &str) -> Vec<String> {
+    let bytes = tail.as_bytes();
+    let mut angle = 0usize;
+    let mut i = 0;
+    // Find the opening paren of the parameter list.
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => angle += 1,
+            b'>' if i == 0 || bytes[i - 1] != b'-' => angle = angle.saturating_sub(1),
+            b'(' if angle == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return Vec::new();
+    }
+    // Match to the closing paren.
+    let open = i;
+    let mut paren = 0usize;
+    let mut close = open;
+    while close < bytes.len() {
+        match bytes[close] {
+            b'(' => paren += 1,
+            b')' => {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        close += 1;
+    }
+    let inner = &tail[open + 1..close.min(tail.len())];
+
+    let mut params = Vec::new();
+    for piece in split_top_level(inner) {
+        let pattern = match find_top_level_colon(&piece) {
+            Some(pos) => &piece[..pos],
+            // `self`, `&mut self`, `_`: no binding to record.
+            None => continue,
+        };
+        for word in idents_of(pattern) {
+            if !matches!(word.as_str(), "mut" | "ref" | "self" | "_" | "box") {
+                params.push(word);
+            }
+        }
+    }
+    params
+}
+
+/// Split at commas that sit outside `()`/`[]`/`<>` nesting.
+fn split_top_level(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut nest = 0usize;
+    let mut angle = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' => nest += 1,
+            b')' | b']' => nest = nest.saturating_sub(1),
+            b'<' => angle += 1,
+            b'>' if i == 0 || bytes[i - 1] != b'-' => angle = angle.saturating_sub(1),
+            b',' if nest == 0 && angle == 0 => {
+                out.push(s[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < s.len() {
+        out.push(s[start..].to_string());
+    }
+    out
+}
+
+/// The byte offset of the pattern/type separator `:` (ignoring `::`),
+/// outside any nesting.
+fn find_top_level_colon(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut nest = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'<' => nest += 1,
+            b')' | b']' => nest = nest.saturating_sub(1),
+            b'>' if i == 0 || bytes[i - 1] != b'-' => nest = nest.saturating_sub(1),
+            b':' if nest == 0 => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    i += 2;
+                    continue;
+                }
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn idents_of(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if (bytes[i] as char).is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(s[start..i].to_string());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parse the self type out of an `impl`/`trait` header: the last path
+/// segment of the type after `for` (or after the generics when there is
+/// no `for`). `trait Foo` yields `Foo`.
+fn parse_owner(header: &str) -> String {
+    let bytes = header.as_bytes();
+    // Locate the subject: after ` for ` at angle-depth 0 if present.
+    let mut angle = 0usize;
+    let mut subject_start = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => angle += 1,
+            b'>' if i == 0 || bytes[i - 1] != b'-' => angle = angle.saturating_sub(1),
+            b'f' if angle == 0 => {
+                let is_word = header[i..].starts_with("for")
+                    && (i == 0 || !is_ident_byte(bytes[i - 1]))
+                    && !bytes.get(i + 3).copied().is_some_and(is_ident_byte);
+                if is_word {
+                    subject_start = Some(i + 3);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let subject = match subject_start {
+        Some(s) => &header[s..],
+        None => {
+            // Skip the keyword and any generic parameter list.
+            let after_kw = header
+                .trim_start()
+                .trim_start_matches("impl")
+                .trim_start_matches("trait");
+            skip_generics(after_kw)
+        }
+    };
+    // Cut the subject at a `where` clause or its own generics, then take
+    // the last `::` path segment.
+    let mut name = String::new();
+    let mut last = String::new();
+    for ch in subject.chars() {
+        match ch {
+            c if c.is_ascii_alphanumeric() || c == '_' => name.push(c),
+            '<' | '{' => break,
+            _ => {
+                if !name.is_empty() {
+                    if name == "where" {
+                        break;
+                    }
+                    if !matches!(name.as_str(), "dyn" | "mut") {
+                        last = std::mem::take(&mut name);
+                    } else {
+                        name.clear();
+                    }
+                }
+            }
+        }
+    }
+    if !name.is_empty() && name != "where" {
+        last = name;
+    }
+    last
+}
+
+/// Skip a leading `<…>` generics group (angle-matched, `->` ignored).
+fn skip_generics(s: &str) -> &str {
+    let t = s.trim_start();
+    if !t.starts_with('<') {
+        return t;
+    }
+    let bytes = t.as_bytes();
+    let mut angle = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' => angle += 1,
+            b'>' if i == 0 || bytes[i - 1] != b'-' => {
+                angle -= 1;
+                if angle == 0 {
+                    return &t[i + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Attach owners from the block structure: re-walk the file assigning
+/// each item the innermost `impl`/`trait` owner its signature line sits
+/// in. (Separated from `extract` so the scan logic stays linear.)
+pub fn extract_with_owners(file: &SourceFile) -> Vec<FnItem> {
+    let mut items = extract(file);
+    // Re-derive owner spans with the same scanner, tracking Owner blocks.
+    let owners = owner_spans(file);
+    for item in &mut items {
+        let mut best: Option<&(String, usize, usize)> = None;
+        for span in &owners {
+            if span.1 <= item.sig_line && item.sig_line <= span.2 {
+                // Innermost = latest-starting enclosing span.
+                if best.is_none_or(|b| span.1 >= b.1) {
+                    best = Some(span);
+                }
+            }
+        }
+        item.owner = best.map(|s| s.0.clone());
+    }
+    items
+}
+
+/// `(owner, first_line, last_line)` for every `impl`/`trait` block.
+fn owner_spans(file: &SourceFile) -> Vec<(String, usize, usize)> {
+    let mut spans: Vec<(String, usize, usize)> = Vec::new();
+    let mut stack: Vec<(usize, Option<usize>)> = Vec::new(); // (close_depth, span idx)
+    let mut depth = 0usize;
+    let mut pending: Option<(String, usize)> = None; // (header text, start line)
+    for line in &file.lines {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if let Some((text, start)) = pending.as_mut() {
+                if c == '{' {
+                    spans.push((parse_owner(text), *start, line.number));
+                    stack.push((depth, Some(spans.len() - 1)));
+                    depth += 1;
+                    pending = None;
+                } else if c == ';' {
+                    pending = None;
+                } else {
+                    text.push(c);
+                }
+                i += 1;
+                continue;
+            }
+            match c {
+                '{' => {
+                    stack.push((depth, None));
+                    depth += 1;
+                    i += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while stack.last().is_some_and(|(d, _)| *d == depth) {
+                        if let Some((_, Some(idx))) = stack.pop() {
+                            spans[idx].2 = line.number;
+                        }
+                    }
+                    i += 1;
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    if matches!(&line.code[start..i], "impl" | "trait") {
+                        pending = Some((String::new(), line.number));
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        if let Some((text, _)) = pending.as_mut() {
+            text.push(' ');
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::sanitize;
+
+    fn items_of(src: &str) -> Vec<FnItem> {
+        extract_with_owners(&sanitize(src))
+    }
+
+    #[test]
+    fn free_fn_with_span() {
+        let items = items_of("fn alpha(x: usize) -> usize {\n    x + 1\n}\nfn beta() {}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "alpha");
+        assert_eq!((items[0].sig_line, items[0].end_line), (1, 3));
+        assert_eq!(items[0].params, vec!["x"]);
+        assert_eq!((items[1].sig_line, items[1].end_line), (4, 4));
+        assert!(items[0].owner.is_none());
+    }
+
+    #[test]
+    fn impl_methods_get_owner() {
+        let src = "struct Foo;\nimpl Foo {\n    pub fn go(&self, n: u32) -> u32 { n }\n}\n\
+                   impl std::fmt::Display for Foo {\n    fn fmt(&self) {}\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].owner.as_deref(), Some("Foo"));
+        assert_eq!(items[0].params, vec!["n"]);
+        assert_eq!(items[1].owner.as_deref(), Some("Foo"));
+        assert_eq!(items[1].name, "fmt");
+    }
+
+    #[test]
+    fn generic_impl_and_multiline_signature() {
+        let src = "impl<T: Ord> Wrap<T>\nwhere\n    T: Clone,\n{\n    fn sort_key(\n        &self,\n        key: impl Fn(&T) -> u64,\n        n: usize,\n    ) -> u64 {\n        0\n    }\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].owner.as_deref(), Some("Wrap"));
+        assert_eq!(items[0].params, vec!["key", "n"]);
+        assert_eq!((items[0].sig_line, items[0].end_line), (5, 11));
+    }
+
+    #[test]
+    fn tuple_pattern_params() {
+        let items = items_of("fn f((mut a, b): (u32, u32), [c, d]: [u8; 2]) {}\n");
+        assert_eq!(items[0].params, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn nested_fn_is_innermost_owner_of_its_lines() {
+        let src = "fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n";
+        let f = sanitize(src);
+        let items = extract(&f);
+        assert_eq!(items.len(), 2);
+        let owners = line_owners(&items, f.lines.len());
+        // Line 3 (work();) belongs to `inner`, line 5 to `outer`.
+        assert_eq!(items[owners[2].unwrap()].name, "inner");
+        assert_eq!(items[owners[4].unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let items = items_of("struct S {\n    cb: fn(u64) -> u64,\n}\nfn real() {}\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn trait_default_methods_and_declarations() {
+        let src = "trait Greet {\n    fn hello(&self);\n    fn twice(&self, n: usize) -> usize {\n        n * 2\n    }\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 2);
+        assert!(!items[0].has_body);
+        assert!(items[1].has_body);
+        assert_eq!(items[1].owner.as_deref(), Some("Greet"));
+    }
+
+    #[test]
+    fn array_const_in_signature_does_not_end_item() {
+        let items = items_of("fn f(x: [u8; 4]) -> [u64; 2] {\n    [0, 0]\n}\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!((items[0].sig_line, items[0].end_line), (1, 3));
+    }
+
+    #[test]
+    fn test_module_items_flagged() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let items = items_of(src);
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test);
+    }
+}

@@ -26,9 +26,12 @@
 //! comment on the line above); regenerate the ratchet with
 //! `cargo run -p parqp-lint -- --fix-baseline`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
+pub mod effects;
+pub mod items;
 pub mod manifest;
 pub mod ratchet;
 pub mod rules;
@@ -72,6 +75,11 @@ pub struct LintReport {
     pub panic_counts: BTreeMap<String, PanicCounts>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Worker-context roots the effect analysis found (PQ401–PQ404).
+    /// Non-empty on a healthy workspace — the self-check test asserts
+    /// the analysis actually saw the mpc/join/sort/matmul worker phases
+    /// rather than vacuously passing.
+    pub worker_roots: Vec<effects::RootInfo>,
 }
 
 /// Locate the workspace root from this crate's manifest dir (two levels
@@ -129,15 +137,160 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// One loaded and sanitized workspace source file.
+pub struct LoadedFile {
+    pub crate_name: String,
+    pub rel_path: String,
+    pub file: tokenize::SourceFile,
+}
+
+impl LoadedFile {
+    /// Sanitize `src` into a loadable file (used by fixture tests to
+    /// run [`lint_files`] on in-memory sources).
+    pub fn from_source(crate_name: &str, rel_path: &str, src: &str) -> LoadedFile {
+        LoadedFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            file: tokenize::sanitize(src),
+        }
+    }
+}
+
+/// What [`lint_files`] produced for a file set: source-level
+/// diagnostics (token rules, effect analysis, PQ408) plus the raw
+/// panic counts and detected worker roots.
+pub struct SourceOutcome {
+    pub diagnostics: Vec<Diagnostic>,
+    pub panic_counts: BTreeMap<String, PanicCounts>,
+    pub worker_roots: Vec<effects::RootInfo>,
+}
+
+/// Phases B–E of the lint over an already-loaded file set: per-file
+/// token rules and panic counting, workspace-global effect analysis,
+/// central `allow(...)` suppression with usage tracking, and the PQ408
+/// dead-suppression pass. [`lint_workspace`] wraps this with manifest
+/// rules and the ratchet comparison; fixture tests call it directly.
+pub fn lint_files(loaded: &[LoadedFile]) -> SourceOutcome {
+    let mut diagnostics = Vec::new();
+    let mut panic_counts: BTreeMap<String, PanicCounts> = BTreeMap::new();
+
+    // Phase B: per-file token rules + ratchet counts, tracking which
+    // allow annotations actually suppressed a finding.
+    let mut used_allows: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    for (fi, lf) in loaded.iter().enumerate() {
+        let src = rules::lint_source_tracked(&lf.crate_name, &lf.rel_path, &lf.file);
+        diagnostics.extend(src.diagnostics);
+        for (line, rule) in src.used_allows {
+            used_allows.insert((fi, line, rule.to_string()));
+        }
+        let (counts, used_201) = ratchet::count_file_tracked(&lf.file);
+        panic_counts
+            .entry(lf.crate_name.clone())
+            .or_default()
+            .add(counts);
+        for line in used_201 {
+            used_allows.insert((fi, line, "PQ201".to_string()));
+        }
+    }
+
+    // Phase C: workspace-global effect analysis (PQ401–PQ404).
+    let inputs: Vec<effects::FileInput> = loaded
+        .iter()
+        .map(|lf| effects::FileInput {
+            crate_name: &lf.crate_name,
+            path: &lf.rel_path,
+            file: &lf.file,
+        })
+        .collect();
+    let effect_report = effects::analyze(&inputs);
+    drop(inputs);
+
+    // Phase D: central suppression for the effect family (its
+    // diagnostics can anchor in *other* files than the root's, so the
+    // per-file rule loop cannot do this).
+    let path_to_idx: BTreeMap<&str, usize> = loaded
+        .iter()
+        .enumerate()
+        .map(|(i, lf)| (lf.rel_path.as_str(), i))
+        .collect();
+    for d in effect_report.diagnostics {
+        let allowed = path_to_idx.get(d.path.as_str()).copied().and_then(|fi| {
+            let line = loaded[fi].file.lines.get(d.line.wrapping_sub(1))?;
+            line.allows(d.rule).then_some((fi, d.line))
+        });
+        match allowed {
+            Some((fi, line)) => {
+                used_allows.insert((fi, line, d.rule.to_string()));
+            }
+            None => diagnostics.push(d),
+        }
+    }
+
+    // Phase E: PQ408 — allow annotations that suppressed nothing.
+    // An `allow(PQ408)` on the same line vets its stale neighbours
+    // (one level only: a dead PQ408 allow is always reported).
+    let mut dead: Vec<(usize, usize, String)> = Vec::new();
+    for (fi, lf) in loaded.iter().enumerate() {
+        for line in &lf.file.lines {
+            for id in &line.allows {
+                // Malformed IDs are PQ000's business, not PQ408's.
+                if !rules::is_valid_rule_id(id) || id == "PQ408" {
+                    continue;
+                }
+                if !used_allows.contains(&(fi, line.number, id.clone())) {
+                    dead.push((fi, line.number, id.clone()));
+                }
+            }
+        }
+    }
+    for (fi, lf) in loaded.iter().enumerate() {
+        for line in &lf.file.lines {
+            if !line.allows("PQ408") {
+                continue;
+            }
+            let before = dead.len();
+            dead.retain(|(dfi, dline, _)| !(*dfi == fi && *dline == line.number));
+            if dead.len() == before {
+                // Nothing to vet: the PQ408 allow is itself stale.
+                dead.push((fi, line.number, "PQ408".to_string()));
+            }
+        }
+    }
+    for (fi, line, id) in dead {
+        diagnostics.push(Diagnostic {
+            rule: "PQ408",
+            path: loaded[fi].rel_path.clone(),
+            line,
+            message: format!(
+                "`allow({id})` suppresses nothing on this line; remove the stale annotation \
+                 so the escape-hatch surface ratchets down"
+            ),
+        });
+    }
+
+    SourceOutcome {
+        diagnostics,
+        panic_counts,
+        worker_roots: effect_report.roots,
+    }
+}
+
 /// Run every rule family over the workspace at `root`.
 ///
 /// `baseline` governs the PQ201 ratchet: `Some` compares against it,
 /// `None` skips the comparison (used by `--fix-baseline`, which only
 /// wants the counts back).
+///
+/// Structure: load *every* source file first (phase A), run the
+/// per-file token rules and panic counting (phase B), then the
+/// workspace-global effect analysis (phase C — PQ401–PQ404 need the
+/// whole call graph at once), apply `allow(...)` suppression centrally
+/// while recording which annotations earned their keep (phase D), and
+/// finally flag the annotations that suppressed nothing as PQ408
+/// (phase E) before the baseline comparison.
 pub fn lint_workspace(root: &Path, baseline: Option<&Baseline>) -> Result<LintReport, String> {
     let mut diagnostics = Vec::new();
     let mut panic_counts: BTreeMap<String, PanicCounts> = BTreeMap::new();
-    let mut files_scanned = 0;
 
     // Workspace-root manifest (offline rules).
     let ws_manifest_path = root.join("Cargo.toml");
@@ -147,7 +300,8 @@ pub fn lint_workspace(root: &Path, baseline: Option<&Baseline>) -> Result<LintRe
         &ws_manifest,
     ));
 
-    // Member crates: manifest rules + source rules + panic counting.
+    // Phase A: manifests + load all member sources.
+    let mut loaded: Vec<LoadedFile> = Vec::new();
     for dir in member_dirs(root)? {
         let crate_name = dir
             .file_name()
@@ -163,18 +317,23 @@ pub fn lint_workspace(root: &Path, baseline: Option<&Baseline>) -> Result<LintRe
             &toml,
         ));
 
-        let counts = panic_counts.entry(crate_name.clone()).or_default();
+        panic_counts.entry(crate_name.clone()).or_default();
         for file in rust_files(&dir.join("src")) {
             let text = read(&file)?;
-            let sanitized = tokenize::sanitize(&text);
-            diagnostics.extend(rules::lint_source(
-                &crate_name,
-                &rel(root, &file),
-                &sanitized,
-            ));
-            counts.add(ratchet::count_file(&sanitized));
-            files_scanned += 1;
+            loaded.push(LoadedFile {
+                crate_name: crate_name.clone(),
+                rel_path: rel(root, &file),
+                file: tokenize::sanitize(&text),
+            });
         }
+    }
+    let files_scanned = loaded.len();
+
+    // Phases B–E over the loaded set.
+    let outcome = lint_files(&loaded);
+    diagnostics.extend(outcome.diagnostics);
+    for (name, counts) in outcome.panic_counts {
+        panic_counts.entry(name).or_default().add(counts);
     }
 
     let mut stale_baseline = Vec::new();
@@ -191,7 +350,105 @@ pub fn lint_workspace(root: &Path, baseline: Option<&Baseline>) -> Result<LintRe
         stale_baseline,
         panic_counts,
         files_scanned,
+        worker_roots: outcome.worker_roots,
     })
+}
+
+/// Render a report as deterministic machine-readable JSON (the
+/// `--format json` output CI archives as an artifact). Hand-rolled —
+/// the crate stays zero-dependency — and stable: maps are BTree-backed
+/// and vectors arrive pre-sorted.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"clean\": {},\n",
+        report.diagnostics.is_empty()
+    ));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"stale_baseline\": [");
+    for (i, s) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", json_escape(s)));
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"worker_roots\": [");
+    for (i, r) in report.worker_roots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"crate\": \"{}\", \"closure\": {}, \
+             \"reachable_fns\": {}}}",
+            json_escape(&r.path),
+            r.line,
+            json_escape(&r.crate_name),
+            r.closure,
+            r.reachable_fns
+        ));
+    }
+    if !report.worker_roots.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"panic_counts\": {");
+    for (i, (name, c)) in report.panic_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"unwrap\": {}, \"expect\": {}, \"panic\": {}, \"index\": {}}}",
+            json_escape(name),
+            c.unwrap,
+            c.expect,
+            c.panic,
+            c.index
+        ));
+    }
+    if !report.panic_counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The default baseline location: `lint/baseline.toml` under `root`.

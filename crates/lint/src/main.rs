@@ -17,17 +17,33 @@ OPTIONS:
                         panic-surface counts instead of checking
     --root <PATH>       workspace root (default: auto-detected)
     --baseline <PATH>   ratchet baseline (default: <root>/lint/baseline.toml)
+    --format <FMT>      output format: text (default) or json
+    --out <PATH>        also write the JSON report to PATH (written even
+                        when findings fail the run, so CI can archive it)
     -q, --quiet         print only diagnostics, no summary
     -h, --help          this text
 
+EXIT CODES:
+    0   clean
+    1   findings reported
+    2   usage or setup error (bad flag, unreadable baseline, ...)
+
 Suppress a finding inline with `// parqp-lint: allow(PQxxx)`; see
 DESIGN.md § \"Static analysis & determinism invariants\" for rule docs.";
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     root: PathBuf,
     baseline: Option<PathBuf>,
     fix_baseline: bool,
     quiet: bool,
+    format: Format,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +52,8 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         fix_baseline: false,
         quiet: false,
+        format: Format::Text,
+        out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +64,16 @@ fn parse_args() -> Result<Options, String> {
             }
             "--baseline" => {
                 opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--format" => {
+                opts.format = match args.next().ok_or("--format needs text|json")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (want text|json)")),
+                };
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?));
             }
             "-q" | "--quiet" => opts.quiet = true,
             "-h" | "--help" => {
@@ -99,6 +127,23 @@ fn run() -> Result<i32, String> {
     })?)?;
     let report = parqp_lint::lint_workspace(&opts.root, Some(&baseline))?;
 
+    // The JSON artifact is written before the exit decision, so CI can
+    // archive the report of a *failing* run.
+    if let Some(out) = &opts.out {
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(out, parqp_lint::render_json(&report))
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+    }
+
+    if opts.format == Format::Json {
+        print!("{}", parqp_lint::render_json(&report));
+        return Ok(if report.diagnostics.is_empty() { 0 } else { 1 });
+    }
+
     for d in &report.diagnostics {
         eprintln!("{d}");
     }
@@ -110,9 +155,10 @@ fn run() -> Result<i32, String> {
         }
         if report.diagnostics.is_empty() {
             println!(
-                "parqp-lint: clean ({} files, {} crates)",
+                "parqp-lint: clean ({} files, {} crates, {} worker roots checked)",
                 report.files_scanned,
-                report.panic_counts.len()
+                report.panic_counts.len(),
+                report.worker_roots.len()
             );
         } else {
             eprintln!("parqp-lint: {} finding(s)", report.diagnostics.len());

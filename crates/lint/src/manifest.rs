@@ -33,6 +33,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "core",
         &[
             "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "metrics", "faults",
+            "lint",
         ],
     ),
     ("data", &["testkit"]),
@@ -279,7 +280,8 @@ mod tests {
         // holds only the shared RNG, metrics reads only the event
         // model, mpc sees its instrumentation sinks (trace + metrics +
         // faults) plus testkit for the sanctioned worker pool, core
-        // sees every algorithm crate, nothing depends on lint.
+        // sees every algorithm crate, and only core may depend on the
+        // linter (the `parqp lint` front door).
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -296,8 +298,11 @@ mod tests {
         assert!(find("core").contains(&"trace"));
         assert!(find("core").contains(&"metrics"));
         assert!(find("core").contains(&"faults"));
-        for (_, deps) in ALLOWED_DEPS {
-            assert!(!deps.contains(&"lint"), "nothing may depend on the linter");
+        for (name, deps) in ALLOWED_DEPS {
+            assert!(
+                *name == "core" || !deps.contains(&"lint"),
+                "only core (the `parqp lint` front door) may depend on the linter"
+            );
         }
     }
 }

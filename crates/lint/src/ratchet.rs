@@ -47,17 +47,35 @@ impl PanicCounts {
 /// Count panic sites in one sanitized file, skipping test modules and
 /// lines that allow `PQ201`.
 pub fn count_file(file: &SourceFile) -> PanicCounts {
+    count_file_tracked(file).0
+}
+
+/// [`count_file`], additionally reporting the lines whose
+/// `allow(PQ201)` annotation actually excluded panic sites from the
+/// count (fed to the PQ408 dead-suppression pass — an `allow(PQ201)`
+/// on a panic-free line suppresses nothing).
+pub fn count_file_tracked(file: &SourceFile) -> (PanicCounts, Vec<usize>) {
     let mut c = PanicCounts::default();
+    let mut used_allows = Vec::new();
     for line in &file.lines {
-        if line.in_test || line.allows("PQ201") {
+        if line.in_test {
             continue;
         }
-        c.unwrap += occurrences(&line.code, ".unwrap()");
-        c.expect += occurrences(&line.code, ".expect(");
-        c.panic += occurrences(&line.code, "panic!");
-        c.index += index_sites(&line.code);
+        let here = PanicCounts {
+            unwrap: occurrences(&line.code, ".unwrap()"),
+            expect: occurrences(&line.code, ".expect("),
+            panic: occurrences(&line.code, "panic!"),
+            index: index_sites(&line.code),
+        };
+        if line.allows("PQ201") {
+            if here.total() > 0 {
+                used_allows.push(line.number);
+            }
+            continue;
+        }
+        c.add(here);
     }
-    c
+    (c, used_allows)
 }
 
 fn occurrences(code: &str, needle: &str) -> usize {

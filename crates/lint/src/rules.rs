@@ -245,11 +245,28 @@ const TOKEN_RULES: &[TokenRule] = &[
     },
 ];
 
+/// Result of [`lint_source_tracked`]: diagnostics plus the allow
+/// annotations that earned their keep (fed to the PQ408 dead-
+/// suppression pass in [`crate::lint_workspace`]).
+pub struct SourceLint {
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(line, rule)` pairs where an `allow(rule)` suppressed a real
+    /// finding on that line.
+    pub used_allows: Vec<(usize, &'static str)>,
+}
+
 /// Lint one sanitized source file belonging to crate `crate_name`
 /// (the directory name under `crates/`, e.g. `"mpc"`). `path` is used
 /// verbatim in diagnostics.
 pub fn lint_source(crate_name: &str, path: &str, file: &SourceFile) -> Vec<Diagnostic> {
+    lint_source_tracked(crate_name, path, file).diagnostics
+}
+
+/// [`lint_source`], additionally reporting which allow annotations
+/// actually suppressed a finding.
+pub fn lint_source_tracked(crate_name: &str, path: &str, file: &SourceFile) -> SourceLint {
     let mut out = Vec::new();
+    let mut used_allows = Vec::new();
     for line in &file.lines {
         // Malformed allow IDs are reported even on test lines: a typo'd
         // annotation silently fails open otherwise.
@@ -272,19 +289,21 @@ pub fn lint_source(crate_name: &str, path: &str, file: &SourceFile) -> Vec<Diagn
                     continue;
                 }
             }
-            if tr.exempt.contains(&crate_name)
-                || tr.exempt_paths.iter().any(|p| path.ends_with(p))
-                || line.allows(tr.rule)
+            if tr.exempt.contains(&crate_name) || tr.exempt_paths.iter().any(|p| path.ends_with(p))
             {
                 continue;
             }
             if contains_token(&line.code, tr.token) {
-                out.push(Diagnostic {
-                    rule: tr.rule,
-                    path: path.to_string(),
-                    line: line.number,
-                    message: format!("`{}`: {}", tr.token, tr.message),
-                });
+                if line.allows(tr.rule) {
+                    used_allows.push((line.number, tr.rule));
+                } else {
+                    out.push(Diagnostic {
+                        rule: tr.rule,
+                        path: path.to_string(),
+                        line: line.number,
+                        message: format!("`{}`: {}", tr.token, tr.message),
+                    });
+                }
             }
         }
         // PQ104 second form: a `LoadReport { … }` struct literal. The
@@ -292,21 +311,26 @@ pub fn lint_source(crate_name: &str, path: &str, file: &SourceFile) -> Vec<Diagn
         // only *construction* outside mpc fabricates accounting. A `{`
         // directly after the token in a non-return-type position is a
         // struct literal.
-        if crate_name != "mpc"
-            && !line.allows("PQ104")
-            && find_struct_literal(&line.code, "LoadReport").is_some()
-        {
-            out.push(Diagnostic {
-                rule: "PQ104",
-                path: path.to_string(),
-                line: line.number,
-                message: "`LoadReport { … }` literal: only parqp-mpc may fabricate load reports; \
-                          use LoadReport::empty/idle/padded or compose with parallel/sequential"
-                    .to_string(),
-            });
+        if crate_name != "mpc" && find_struct_literal(&line.code, "LoadReport").is_some() {
+            if line.allows("PQ104") {
+                used_allows.push((line.number, "PQ104"));
+            } else {
+                out.push(Diagnostic {
+                    rule: "PQ104",
+                    path: path.to_string(),
+                    line: line.number,
+                    message: "`LoadReport { … }` literal: only parqp-mpc may fabricate load \
+                              reports; use LoadReport::empty/idle/padded or compose with \
+                              parallel/sequential"
+                        .to_string(),
+                });
+            }
         }
     }
-    out
+    SourceLint {
+        diagnostics: out,
+        used_allows,
+    }
 }
 
 /// Whether `id` looks like a rule ID this tool could own (`PQ` + 3 digits).
@@ -340,7 +364,7 @@ pub fn contains_token(code: &str, token: &str) -> bool {
 
 /// Find `Token {` (a struct literal) that is not a function return type
 /// (`-> Token {`). Returns the byte offset of the token.
-fn find_struct_literal(code: &str, token: &str) -> Option<usize> {
+pub(crate) fn find_struct_literal(code: &str, token: &str) -> Option<usize> {
     let bytes = code.as_bytes();
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {

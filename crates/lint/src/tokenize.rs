@@ -105,7 +105,14 @@ pub fn sanitize(text: &str) -> SourceFile {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // escaped char (incl. \" and \\)
+                    // Escaped char (incl. \" and \\). A backslash-newline
+                    // (string line continuation) still ends a source
+                    // line — skipping it silently would shift every
+                    // later line number.
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        lines.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+                    }
+                    i += 2;
                 } else if c == '"' {
                     code.push('"');
                     state = State::Code;

@@ -1,0 +1,14 @@
+//! Tokenizer regression fixture: raw strings, nested block comments,
+//! attribute lines, and escaped-newline string continuations must not
+//! hide real code or shift line numbers.
+
+#[rustfmt::skip]
+pub fn attributed() -> u64 {
+    let banned_in_raw = r#"HashMap::new() // "quoted" not code"#;
+    let hashes = br##"nested "#" quote"##;
+    /* block /* nested block */ still a comment: HashMap::new() */
+    let cont = "line one \
+HashMap continues";
+    let real = std::collections::HashMap::new();
+    real.len() as u64
+}

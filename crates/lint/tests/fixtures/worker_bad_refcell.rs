@@ -1,0 +1,13 @@
+//! Mutation fixture: a worker closure that mutates state captured
+//! through a `RefCell` — a data race the moment two pool threads share
+//! it. PQ402 must anchor at the root line.
+
+use std::cell::RefCell;
+
+pub fn scratch_phase(cluster: &Cluster, parts: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    let scratch = RefCell::new(Vec::new());
+    cluster.map(parts, |_sid, part| {
+        scratch.borrow_mut().push(part.len());
+        part
+    })
+}

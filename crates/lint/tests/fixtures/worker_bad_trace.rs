@@ -1,0 +1,10 @@
+//! Mutation fixture: a worker closure that emits a trace event.
+//! The closure runs on a pool thread, where the thread-local trace
+//! runtime is not installed — PQ401 must anchor at the root line.
+
+pub fn probe_phase(cluster: &Cluster, parts: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    cluster.map(parts, |_sid, part| {
+        trace::emit(part.len());
+        part
+    })
+}

@@ -1,0 +1,16 @@
+//! Negative fixture: a pure worker phase — local compute through a
+//! helper, all results returned to the calling thread. No PQ4xx
+//! findings, but the root and its reachable functions must still be
+//! recorded (the analysis saw it, it didn't vacuously pass).
+
+pub fn pure_phase(cluster: &Cluster, parts: Vec<Vec<u64>>) -> Vec<u64> {
+    cluster.map(parts, |sid, part| weigh(sid, &part))
+}
+
+fn weigh(sid: usize, part: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for v in part {
+        acc = acc.wrapping_add(*v ^ (sid as u64));
+    }
+    acc
+}
