@@ -39,6 +39,13 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     // uniformly to trace, faults, metrics, run, … The guard restores the
     // caller's mode on return (dispatch is re-entrant in tests).
     let _exec = parqp_mpc::exec::install(opts.exec_mode()?);
+    // `--page-size`/`--pool-pages` install a paged store the same way;
+    // `store` manages its own (it runs both modes to compare them).
+    let _store = if cmd == "store" {
+        None
+    } else {
+        opts.store_config().map(parqp_data::paged::install)
+    };
     match cmd.as_str() {
         "analyze" => analyze(&opts),
         "plan" => plan_cmd(&opts, false),
@@ -48,6 +55,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "trace" => trace_cmd(&opts),
         "faults" => faults_cmd(&opts),
         "metrics" => metrics_cmd(&opts),
+        "store" => store_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -128,7 +136,7 @@ pub fn lint_main(args: &[String]) -> i32 {
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|lint> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|store|lint> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -149,6 +157,11 @@ fn usage() -> String {
               [--check BASELINE.json]\n\
               measure L, rounds and bound adherence of every experiment\n\
               at p = 8, 27, 64; --check gates against a committed baseline\n\
+     store    [--servers P] [--seed S] [--page-size W] [--pool-pages N]\n\
+              [--out F]\n\
+              run every experiment unpaged and under the paged store\n\
+              and verify digests, ledgers and traces are byte-identical;\n\
+              reports per-experiment page-IO (reads, misses, evictions)\n\
      lint     [--format text|json]\n\
               run the in-tree static analyzer (determinism, layering,\n\
               worker-purity rules PQ401-PQ408) over the workspace;\n\
@@ -157,7 +170,11 @@ fn usage() -> String {
      global   --exec serial|parallel [--workers N]\n\
               run every server's per-round compute on a worker pool\n\
               (N = 0 or omitted: all cores); output is byte-identical\n\
-              to serial mode\n"
+              to serial mode\n\
+              --page-size W --pool-pages N\n\
+              run the command against the paged store (W words per page,\n\
+              N resident pages per server); output is byte-identical to\n\
+              the unpaged run, only the page-IO ledger changes\n"
         .into()
 }
 
@@ -185,6 +202,8 @@ struct Opts {
     check: Option<String>,
     exec: Option<String>,
     workers: usize,
+    page_size: Option<usize>,
+    pool_pages: Option<usize>,
 }
 
 impl Opts {
@@ -212,6 +231,8 @@ impl Opts {
             check: None,
             exec: None,
             workers: 0,
+            page_size: None,
+            pool_pages: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -269,6 +290,20 @@ impl Opts {
                         .parse()
                         .map_err(|e| format!("--workers: {e}"))?;
                 }
+                "--page-size" => {
+                    o.page_size = Some(
+                        value("--page-size")?
+                            .parse()
+                            .map_err(|e| format!("--page-size: {e}"))?,
+                    );
+                }
+                "--pool-pages" => {
+                    o.pool_pages = Some(
+                        value("--pool-pages")?
+                            .parse()
+                            .map_err(|e| format!("--pool-pages: {e}"))?,
+                    );
+                }
                 "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
                 | "--stragglers" | "--horizon" => {
                     let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -288,6 +323,12 @@ impl Opts {
         if o.servers == 0 {
             return Err("--servers must be positive".into());
         }
+        if o.page_size == Some(0) {
+            return Err("--page-size must be positive".into());
+        }
+        if o.pool_pages == Some(0) {
+            return Err("--pool-pages must be positive".into());
+        }
         Ok(o)
     }
 
@@ -300,6 +341,19 @@ impl Opts {
             }),
             other => Err(format!("unknown --exec {other:?} (serial|parallel)")),
         }
+    }
+
+    /// The paged-store configuration requested by `--page-size`/
+    /// `--pool-pages`, `None` when neither flag was given (unpaged).
+    fn store_config(&self) -> Option<parqp_data::paged::StoreConfig> {
+        if self.page_size.is_none() && self.pool_pages.is_none() {
+            return None;
+        }
+        let defaults = parqp_data::paged::StoreConfig::default();
+        Some(parqp_data::paged::StoreConfig {
+            page_size: self.page_size.unwrap_or(defaults.page_size),
+            pool_pages: self.pool_pages.unwrap_or(defaults.pool_pages),
+        })
     }
 }
 
@@ -610,6 +664,83 @@ fn metrics_cmd(o: &Opts) -> Result<String, String> {
     }
 }
 
+/// `parqp store`: the paged-vs-unpaged differential. Every experiment
+/// runs twice at the same `(p, seed)` — once unpaged, once under a
+/// bounded buffer pool — and the command verifies the paged run is
+/// *observationally identical*: same output digest, same `(L, r, C)`
+/// ledger, byte-identical trace JSONL. Only the page-IO ledger may
+/// differ (it is the whole point), and it is what gets reported.
+fn store_cmd(o: &Opts) -> Result<String, String> {
+    use parqp_trace::export;
+
+    let cfg = o.store_config().unwrap_or_default();
+    let mut s = format!(
+        "paged-vs-unpaged differential: p = {}, seed {}, page_size {}, pool_pages {}\n",
+        o.servers, o.seed, cfg.page_size, cfg.pool_pages
+    );
+    let _ = writeln!(
+        s,
+        "{:<20} {:>12} {:>10} {:>10} {:>8}  result",
+        "experiment", "io_reads", "misses", "evictions", "hit_rate"
+    );
+    let mut failures = Vec::new();
+    for e in crate::observe::EXPERIMENTS {
+        let unpaged = crate::observe::run_experiment_full(e.name, o.servers, o.seed)?;
+        let (totals, paged) = parqp_data::paged::capture(cfg, || {
+            crate::observe::run_experiment_full(e.name, o.servers, o.seed)
+        });
+        let paged = paged?;
+        let mut io = parqp_data::paged::IoStats::default();
+        for t in &totals {
+            io.merge(t);
+        }
+        let mut verdict = Vec::new();
+        if paged.digest != unpaged.digest {
+            verdict.push("digest");
+        }
+        if paged.report != unpaged.report {
+            verdict.push("ledger");
+        }
+        if export::jsonl(&paged.recorder) != export::jsonl(&unpaged.recorder) {
+            verdict.push("trace");
+        }
+        let result = if verdict.is_empty() {
+            "identical".to_string()
+        } else {
+            let what = verdict.join("+");
+            failures.push(format!("{}: {what} diverged under paging", e.name));
+            format!("DIVERGED ({what})")
+        };
+        let _ = writeln!(
+            s,
+            "{:<20} {:>12} {:>10} {:>10} {:>8.4}  {result}",
+            e.name,
+            io.reads,
+            io.misses,
+            io.evictions,
+            io.hit_rate()
+        );
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} experiment(s) diverged under the paged store:\n  {}\n\n{s}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    let _ = writeln!(
+        s,
+        "all {} experiments byte-identical under paging",
+        crate::observe::EXPERIMENTS.len()
+    );
+    if let Some(out) = &o.out {
+        std::fs::write(out, &s).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n", s.len()))
+    } else {
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,6 +919,14 @@ mod tests {
     }
 
     #[test]
+    fn paging_flags_must_be_positive() {
+        let err = dispatch(&argv(&["store", "--page-size", "0"])).expect_err("must fail");
+        assert!(err.contains("--page-size must be positive"), "got: {err}");
+        let err = dispatch(&argv(&["store", "--pool-pages", "0"])).expect_err("must fail");
+        assert!(err.contains("--pool-pages must be positive"), "got: {err}");
+    }
+
+    #[test]
     fn faults_lists_experiments_without_name() {
         let out = dispatch(&argv(&["faults"])).expect("listing works");
         assert!(out.contains("triangle-hypercube"));
@@ -915,6 +1054,84 @@ mod tests {
         assert!(t.contains("bound_ratio"));
         assert!(t.contains("triangle-hypercube"));
         assert!(dispatch(&argv(&["metrics", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn store_differential_reports_identical_experiments() {
+        let out = dispatch(&argv(&["store", "--servers", "8", "--seed", "7"])).expect("store runs");
+        assert!(out.contains("paged-vs-unpaged differential"), "got: {out}");
+        assert!(out.contains("twoway-hash"), "got: {out}");
+        assert!(out.contains("bigjoin"), "got: {out}");
+        assert!(
+            out.contains("all 9 experiments byte-identical under paging"),
+            "got: {out}"
+        );
+        assert!(!out.contains("DIVERGED"), "got: {out}");
+    }
+
+    #[test]
+    fn store_differential_with_tiny_pool_still_identical() {
+        // A pool this small thrashes (forced evictions on every scan);
+        // replacement pressure must never leak into observable output.
+        let out = dispatch(&argv(&[
+            "store",
+            "--servers",
+            "8",
+            "--page-size",
+            "64",
+            "--pool-pages",
+            "2",
+        ]))
+        .expect("store runs");
+        assert!(out.contains("page_size 64, pool_pages 2"), "got: {out}");
+        assert!(out.contains("byte-identical under paging"), "got: {out}");
+    }
+
+    #[test]
+    fn store_out_writes_artifact_table() {
+        let dir = tmpdir("store_out");
+        let f = dir.join("store.txt");
+        let out = dispatch(&argv(&[
+            "store",
+            "--servers",
+            "8",
+            "--out",
+            f.to_str().expect("utf8"),
+        ]))
+        .expect("store --out works");
+        assert!(out.contains("wrote"), "got: {out}");
+        let body = std::fs::read_to_string(&f).expect("file written");
+        assert!(body.contains("io_reads"), "got: {body}");
+        assert!(body.contains("hit_rate"), "got: {body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paged_trace_is_byte_identical_to_unpaged() {
+        let base = [
+            "trace",
+            "--experiment",
+            "twoway-hash",
+            "--servers",
+            "8",
+            "--seed",
+            "7",
+            "--format",
+            "jsonl",
+        ];
+        let unpaged = dispatch(&argv(&base)).expect("unpaged works");
+        let mut args = base.to_vec();
+        args.extend(["--page-size", "128", "--pool-pages", "4"]);
+        let paged = dispatch(&argv(&args)).expect("paged works");
+        assert_eq!(unpaged, paged, "paging must not change the trace");
+    }
+
+    #[test]
+    fn help_mentions_store_and_paging_flags() {
+        let h = dispatch(&argv(&["help"])).expect("help");
+        assert!(h.contains("store"), "got: {h}");
+        assert!(h.contains("--page-size"), "got: {h}");
+        assert!(h.contains("--pool-pages"), "got: {h}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! match the baseline exactly (every run of a fixed seed is
 //! deterministic); `wall_ns` is checked within a ±30% budget and only
 //! when both sides actually measured it, so a committed baseline with
-//! `wall_ns = 0` gates byte-exactly.
+//! `wall_ns = 0` gates byte-exactly. The page-IO ledger (`io_reads`,
+//! `io_hit_rate`) follows the same back-compat rule: baselines written
+//! before the paged store existed parse as 0 and are skipped by the
+//! gate until regenerated.
 //!
 //! Wall-clock never enters this crate: collection is deterministic
 //! unless the caller supplies a clock (`parqp-bench` passes
@@ -56,6 +59,15 @@ pub struct ExperimentPoint {
     /// Pre-parallel baselines omit the field and parse as 0, so the
     /// gate only budgets it once both sides measured it.
     pub wall_par_ns: u64,
+    /// Total logical page reads charged by the paged store's buffer
+    /// pools across the run (collection installs a default-config
+    /// store, so every point measures IO). Pre-store baselines omit
+    /// the field and parse as 0, which [`compare`] treats as
+    /// unmeasured.
+    pub io_reads: u64,
+    /// Buffer-pool hit rate `1 − io_misses/io_reads`, rounded to 4
+    /// decimals; 0 when no paged scan ran.
+    pub io_hit_rate: f64,
     /// Worst per-round skew `L_max / L_mean` (in-memory only; not part
     /// of the v1 JSON schema, so parsed reports carry 0 here).
     pub skew: f64,
@@ -84,6 +96,10 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
     for e in crate::observe::EXPERIMENTS {
         for &p in METRICS_POINTS {
             let t0 = clock.map(|c| c());
+            // Fresh default-config paged store per point: the cluster
+            // drains its IO into the registry, so every point carries
+            // the page-IO ledger beside the communication ledger.
+            let _store = parqp_data::paged::install(parqp_data::paged::StoreConfig::default());
             let (registry, run) =
                 metrics::capture(|| crate::observe::run_experiment_full(e.name, p, seed));
             run?;
@@ -100,6 +116,8 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
                     .map_or(0.0, |r| (r * 10_000.0).round() / 10_000.0),
                 wall_ns,
                 wall_par_ns: 0,
+                io_reads: registry.io_reads(),
+                io_hit_rate: (registry.io_hit_rate() * 10_000.0).round() / 10_000.0,
                 skew: registry.max_skew_ratio(),
             };
             experiments.insert(format!("{}/p{p}", e.name), point);
@@ -126,6 +144,7 @@ pub fn collect_dual(
     for e in crate::observe::EXPERIMENTS {
         for &p in METRICS_POINTS {
             let t0 = clock();
+            let _store = parqp_data::paged::install(parqp_data::paged::StoreConfig::default());
             let (registry, run) =
                 metrics::capture(|| crate::observe::run_experiment_full(e.name, p, seed));
             run?;
@@ -141,14 +160,17 @@ pub fn collect_dual(
             if registry.load_max(unit) != pt.l
                 || registry.rounds() != pt.rounds
                 || (ratio - pt.bound_ratio).abs() > 1e-9
+                || registry.io_reads() != pt.io_reads
             {
                 return Err(format!(
                     "{key}: parallel run diverged from serial \
-                     (L {} vs {}, rounds {} vs {})",
+                     (L {} vs {}, rounds {} vs {}, io_reads {} vs {})",
                     registry.load_max(unit),
                     pt.l,
                     registry.rounds(),
-                    pt.rounds
+                    pt.rounds,
+                    registry.io_reads(),
+                    pt.io_reads
                 ));
             }
             pt.wall_par_ns = wall_par_ns;
@@ -170,8 +192,14 @@ pub fn to_json(report: &MetricsReport) -> String {
         let _ = write!(
             s,
             "    \"{key}\": {{\"L\": {}, \"rounds\": {}, \"bound_ratio\": {:.4}, \
-             \"wall_ns\": {}, \"wall_par_ns\": {}}}",
-            pt.l, pt.rounds, pt.bound_ratio, pt.wall_ns, pt.wall_par_ns
+             \"wall_ns\": {}, \"wall_par_ns\": {}, \"io_reads\": {}, \"io_hit_rate\": {:.4}}}",
+            pt.l,
+            pt.rounds,
+            pt.bound_ratio,
+            pt.wall_ns,
+            pt.wall_par_ns,
+            pt.io_reads,
+            pt.io_hit_rate
         );
         s.push_str(if i == last { "\n" } else { ",\n" });
     }
@@ -219,6 +247,15 @@ pub fn from_json(src: &str) -> Result<MetricsReport, String> {
                 wall_par_ns: match field(t, "wall_par_ns") {
                     Ok(v) => v.parse().map_err(|e| format!("{key} wall_par_ns: {e}"))?,
                     Err(_) => 0,
+                },
+                // Absent in pre-store baselines: default to unmeasured.
+                io_reads: match field(t, "io_reads") {
+                    Ok(v) => v.parse().map_err(|e| format!("{key} io_reads: {e}"))?,
+                    Err(_) => 0,
+                },
+                io_hit_rate: match field(t, "io_hit_rate") {
+                    Ok(v) => v.parse().map_err(|e| format!("{key} io_hit_rate: {e}"))?,
+                    Err(_) => 0.0,
                 },
                 skew: 0.0,
             };
@@ -277,6 +314,23 @@ pub fn compare(baseline: &MetricsReport, current: &MetricsReport) -> Vec<String>
                 b.bound_ratio, c.bound_ratio
             ));
         }
+        // The IO ledger is deterministic like L/rounds, but pre-store
+        // baselines carry 0 (unmeasured) — gate only once the baseline
+        // has been regenerated with a measured ledger.
+        if b.io_reads > 0 {
+            if b.io_reads != c.io_reads {
+                out.push(format!(
+                    "{key}: io_reads changed {} → {}",
+                    b.io_reads, c.io_reads
+                ));
+            }
+            if (b.io_hit_rate - c.io_hit_rate).abs() > 1e-9 {
+                out.push(format!(
+                    "{key}: io_hit_rate changed {:.4} → {:.4}",
+                    b.io_hit_rate, c.io_hit_rate
+                ));
+            }
+        }
         for (name, bw, cw) in [
             ("wall_ns", b.wall_ns, c.wall_ns),
             ("wall_par_ns", b.wall_par_ns, c.wall_par_ns),
@@ -311,7 +365,8 @@ pub fn table(report: &MetricsReport) -> String {
         report.experiments.len()
     );
     s.push_str(
-        "experiment              p      L_meas  rounds  bound_ratio   skew       wall  wall(par)\n",
+        "experiment              p      L_meas  rounds  bound_ratio   skew       wall  \
+         wall(par)   io_reads  io_hit\n",
     );
     for (key, pt) in &report.experiments {
         let (name, p) = key.rsplit_once("/p").unwrap_or((key.as_str(), "?"));
@@ -328,9 +383,15 @@ pub fn table(report: &MetricsReport) -> String {
             }
         };
         let (wall, wall_par) = (ms(pt.wall_ns), ms(pt.wall_par_ns));
+        let (io_reads, io_hit) = if pt.io_reads > 0 {
+            (pt.io_reads.to_string(), format!("{:.4}", pt.io_hit_rate))
+        } else {
+            ("-".into(), "-".into())
+        };
         let _ = writeln!(
             s,
-            "{name:<21} {p:>4} {:>11} {:>7} {ratio:>12} {:>6.2} {wall:>10} {wall_par:>10}",
+            "{name:<21} {p:>4} {:>11} {:>7} {ratio:>12} {:>6.2} {wall:>10} {wall_par:>10} \
+             {io_reads:>10} {io_hit:>7}",
             pt.l, pt.rounds, pt.skew
         );
     }
@@ -351,6 +412,8 @@ mod tests {
                 bound_ratio: 1.0312,
                 wall_ns: 0,
                 wall_par_ns: 0,
+                io_reads: 0,
+                io_hit_rate: 0.0,
                 skew: 1.1,
             },
         );
@@ -362,6 +425,8 @@ mod tests {
                 bound_ratio: 1.0,
                 wall_ns: 2_000_000,
                 wall_par_ns: 1_000_000,
+                io_reads: 4096,
+                io_hit_rate: 0.875,
                 skew: 1.0,
             },
         );
@@ -381,10 +446,17 @@ mod tests {
         for (key, pt) in &report.experiments {
             let got = parsed.experiments[key];
             assert_eq!(
-                (got.l, got.rounds, got.wall_ns, got.wall_par_ns),
-                (pt.l, pt.rounds, pt.wall_ns, pt.wall_par_ns)
+                (
+                    got.l,
+                    got.rounds,
+                    got.wall_ns,
+                    got.wall_par_ns,
+                    got.io_reads
+                ),
+                (pt.l, pt.rounds, pt.wall_ns, pt.wall_par_ns, pt.io_reads)
             );
             assert!((got.bound_ratio - pt.bound_ratio).abs() < 1e-9);
+            assert!((got.io_hit_rate - pt.io_hit_rate).abs() < 1e-9);
             assert_eq!(got.skew, 0.0, "skew is not serialized");
         }
         // Canonical: serializing the parse reproduces the bytes.
@@ -406,6 +478,24 @@ mod tests {
             parsed.experiments["matmul-square/p27"].wall_par_ns,
             1_000_000
         );
+    }
+
+    #[test]
+    fn from_json_accepts_pre_store_baselines() {
+        // A v1 document written before the page-IO ledger existed must
+        // parse with both io fields defaulting to unmeasured.
+        let json = to_json(&sample())
+            .replace(", \"io_reads\": 4096, \"io_hit_rate\": 0.8750", "")
+            .replace(", \"io_reads\": 0, \"io_hit_rate\": 0.0000", "");
+        assert!(!json.contains("io_reads"), "fields really stripped");
+        let parsed = from_json(&json).expect("old schema parses");
+        for pt in parsed.experiments.values() {
+            assert_eq!(pt.io_reads, 0);
+            assert_eq!(pt.io_hit_rate, 0.0);
+        }
+        // And compare treats the unmeasured baseline as passing against
+        // a current run that does measure IO.
+        assert!(compare(&parsed, &sample()).is_empty());
     }
 
     #[test]
@@ -434,6 +524,34 @@ mod tests {
         assert!(msgs.iter().any(|m| m.contains("L changed")));
         assert!(msgs.iter().any(|m| m.contains("rounds changed")));
         assert!(msgs.iter().any(|m| m.contains("bound_ratio changed")));
+    }
+
+    #[test]
+    fn compare_flags_io_drift_only_when_baseline_measured() {
+        let baseline = sample();
+        let mut current = sample();
+        // Drift on a measured baseline point is exact-gated.
+        {
+            let pt = current
+                .experiments
+                .get_mut("matmul-square/p27")
+                .expect("point");
+            pt.io_reads += 1;
+            pt.io_hit_rate -= 0.01;
+        }
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 2, "got: {msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("io_reads changed")));
+        assert!(msgs.iter().any(|m| m.contains("io_hit_rate changed")));
+        // The psrs point's baseline is unmeasured (io_reads = 0): a
+        // current run that measures IO there is not a regression.
+        let mut current = sample();
+        current
+            .experiments
+            .get_mut("psrs/p8")
+            .expect("point")
+            .io_reads = 123_456;
+        assert!(compare(&baseline, &current).is_empty());
     }
 
     #[test]
@@ -502,6 +620,7 @@ mod tests {
             let s = serial.experiments[key];
             assert_eq!((pt.l, pt.rounds), (s.l, s.rounds), "{key}");
             assert!((pt.bound_ratio - s.bound_ratio).abs() < 1e-9, "{key}");
+            assert_eq!(pt.io_reads, s.io_reads, "{key}: io ledger diverged");
             assert!(pt.wall_ns > 0, "{key}: serial pass untimed");
             assert!(pt.wall_par_ns > 0, "{key}: parallel pass untimed");
         }
@@ -548,6 +667,14 @@ mod tests {
             );
             assert_eq!(pt.wall_ns, 0, "{key}: clockless collection timed itself");
             assert!(pt.skew >= 1.0, "{key}: skew {} < 1", pt.skew);
+            // Collection installs a default store, so every experiment's
+            // scans charge the IO ledger.
+            assert!(pt.io_reads > 0, "{key}: no page IO measured");
+            assert!(
+                pt.io_hit_rate > 0.0 && pt.io_hit_rate <= 1.0,
+                "{key}: implausible hit rate {}",
+                pt.io_hit_rate
+            );
         }
     }
 

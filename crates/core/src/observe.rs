@@ -62,6 +62,10 @@ pub const EXPERIMENTS: &[Experiment] = &[
         name: "matmul-square",
         description: "multi-round square-block matrix multiplication",
     },
+    Experiment {
+        name: "bigjoin",
+        description: "large two-way hash join (IN = 320k) sized for out-of-core paging",
+    },
 ];
 
 /// One completed experiment run: its trace, its ledger, and a digest
@@ -143,6 +147,16 @@ pub fn run_experiment_full(name: &str, servers: usize, seed: u64) -> Result<Expe
             let b = parqp_matmul::Matrix::random(144, s.wrapping_add(1));
             let run = parqp_matmul::square_block(&a, &b, 4, p);
             (run.report.clone(), digest_matrix(&run.c))
+        },
+        "bigjoin" => |p, s| {
+            // 10× twoway-hash's input (IN = 320k tuples): under a
+            // default-size pool the partition scans cycle far more
+            // pages than fit resident, so this is the experiment where
+            // bounded-pool evictions are exercised at realistic scale.
+            let r = generate::uniform(2, 160_000, 80_000, s);
+            let t = generate::uniform(2, 160_000, 80_000, s.wrapping_add(1));
+            let run = parqp_join::twoway::hash_join(&r, 1, &t, 0, p, s);
+            (run.report.clone(), digest_relation(&run.gathered()))
         },
         other => {
             let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();

@@ -17,11 +17,15 @@
 //!   cardinality;
 //! * [`sampling`] — Bernoulli-sample degree estimation, the way a real
 //!   system would detect heavy hitters (slide 46);
-//! * [`io`] — CSV/TSV relation loading and saving.
+//! * [`io`] — CSV/TSV relation loading and saving;
+//! * [`paged`] — paged relation scans over `parqp-store`'s bounded
+//!   buffer pools, charging an exact page-IO ledger beside the
+//!   communication ledger (inert unless a store runtime is installed).
 
 pub mod fasthash;
 pub mod generate;
 pub mod io;
+pub mod paged;
 pub mod relation;
 pub mod sampling;
 pub mod stats;

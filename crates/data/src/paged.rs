@@ -1,0 +1,286 @@
+//! Paged relation scans: the `parqp-data` face of `parqp-store`.
+//!
+//! A [`PagedRelation`] copies a [`Relation`]'s rows into fixed-size
+//! pages (rows never straddle a page boundary) and iterates them back
+//! **byte-identically, in the original order**, charging the owning
+//! server's buffer pool one logical read per row as each page is
+//! entered. With no store runtime installed the whole layer is inert:
+//! page IDs come from a local counter and pool touches are no-ops, so
+//! paged and unpaged scans are observationally identical except for the
+//! IO ledger — the property the `store_differential` suite pins.
+//!
+//! This module also re-exports the store runtime surface (install,
+//! capture, cursors, regions) so the algorithm crates — join, sort,
+//! matmul, core — reach paging exclusively through `parqp_data::paged`
+//! and never grow a direct `parqp-store` dependency (the lint DAG keeps
+//! `store` reachable only from `data` and `mpc`).
+
+use crate::relation::{Relation, Value};
+use parqp_store::{self as store, MemStore, Page, PageId, PageStore};
+
+pub use parqp_store::{
+    capture, install, io_report, is_enabled, IoCursor, IoRegion, IoStats, StoreConfig, StoreGuard,
+    DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+};
+
+/// A relation materialized as fixed-size pages owned by one server.
+#[derive(Debug, Clone)]
+pub struct PagedRelation {
+    server: usize,
+    arity: usize,
+    len: usize,
+    ids: Vec<PageId>,
+    store: MemStore,
+}
+
+impl PagedRelation {
+    /// Page `rel`'s rows for `server`, honoring the installed page size
+    /// (or [`DEFAULT_PAGE_SIZE`] when nothing is installed). Each page
+    /// holds `max(1, page_size / arity)` whole rows.
+    pub fn build(server: usize, rel: &Relation) -> Self {
+        let arity = rel.arity().max(1);
+        let page_size = store::config().map_or(DEFAULT_PAGE_SIZE, |c| c.page_size);
+        let rows_per_page = (page_size / arity).max(1);
+        let num_pages = rel.len().div_ceil(rows_per_page) as u64;
+        let base = if num_pages > 0 {
+            store::alloc_pages(num_pages).unwrap_or(0)
+        } else {
+            0
+        };
+        let mut pages = MemStore::new();
+        let mut ids = Vec::with_capacity(num_pages as usize);
+        for (i, rows) in rel.raw().chunks(rows_per_page * arity).enumerate() {
+            let mut page = Page::new(rows_per_page * arity);
+            for row in rows.chunks_exact(arity) {
+                let fit = page.push_row(row);
+                debug_assert!(fit, "whole rows always fit a row-aligned page");
+            }
+            let id = base + i as u64;
+            pages.insert(id, page);
+            ids.push(id);
+        }
+        Self {
+            server,
+            arity: rel.arity(),
+            len: rel.len(),
+            ids,
+            store: pages,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of pages backing the relation.
+    pub fn num_pages(&self) -> usize {
+        self.store.num_pages()
+    }
+
+    /// Scan the rows in original order, charging `server`'s pool one
+    /// logical read per row (billed page-at-a-time on page entry).
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        let arity = self.arity.max(1);
+        self.ids.iter().flat_map(move |&id| {
+            let page = self
+                .store
+                .page(id)
+                .expect("paged relation owns every page it indexes");
+            store::touch_page(self.server, id, (page.len() / arity) as u64);
+            page.words().chunks_exact(arity)
+        })
+    }
+
+    /// Rebuild the flat relation (test helper for round-trip checks).
+    pub fn to_relation(&self) -> Relation {
+        let mut rel = Relation::with_capacity(self.arity, self.len);
+        for row in self.iter() {
+            rel.push(row);
+        }
+        rel
+    }
+}
+
+/// The scan every routing loop runs on: paged (through `server`'s
+/// buffer pool, charging the IO ledger) when a store runtime is
+/// installed, a plain flat scan otherwise. Rows come back
+/// byte-identical in either mode, so algorithms can adopt paging
+/// without perturbing outputs, ledgers or traces.
+#[derive(Debug)]
+pub enum RouteScan<'a> {
+    /// No store installed: scan the relation's flat row vector.
+    Flat(&'a Relation),
+    /// Store installed: scan a freshly paged copy owned by `server`.
+    Paged(PagedRelation),
+}
+
+impl<'a> RouteScan<'a> {
+    /// A scan of `part` on `server`'s behalf, paged iff a store
+    /// runtime is installed.
+    pub fn new(server: usize, part: &'a Relation) -> Self {
+        if is_enabled() {
+            RouteScan::Paged(PagedRelation::build(server, part))
+        } else {
+            RouteScan::Flat(part)
+        }
+    }
+
+    /// The rows, in the relation's original order.
+    pub fn iter(&self) -> ScanIter<'_> {
+        match self {
+            RouteScan::Flat(rel) => ScanIter {
+                inner: ScanInner::Flat(rel.raw().chunks_exact(rel.arity().max(1))),
+            },
+            RouteScan::Paged(paged) => ScanIter {
+                inner: ScanInner::Paged(Box::new(paged.iter())),
+            },
+        }
+    }
+}
+
+/// Iterator over a [`RouteScan`]'s rows.
+pub struct ScanIter<'a> {
+    inner: ScanInner<'a>,
+}
+
+enum ScanInner<'a> {
+    Flat(std::slice::ChunksExact<'a, Value>),
+    Paged(Box<dyn Iterator<Item = &'a [Value]> + 'a>),
+}
+
+impl<'a> Iterator for ScanIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        match &mut self.inner {
+            ScanInner::Flat(it) => it.next(),
+            ScanInner::Paged(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn paged_scan_is_byte_identical_to_flat_scan() {
+        let rel = generate::uniform(3, 500, 64, 7);
+        let paged = PagedRelation::build(0, &rel);
+        assert_eq!(paged.len(), rel.len());
+        let flat: Vec<&[Value]> = rel.iter().collect();
+        let via_pages: Vec<&[Value]> = paged.iter().collect();
+        assert_eq!(flat, via_pages, "same rows, same order");
+        assert_eq!(paged.to_relation().raw(), rel.raw());
+    }
+
+    #[test]
+    fn scan_charges_one_read_per_row() {
+        let rel = generate::uniform(2, 100, 32, 9);
+        let (totals, pages) = capture(
+            StoreConfig {
+                page_size: 16, // 8 two-column rows per page
+                pool_pages: 4,
+            },
+            || {
+                let paged = PagedRelation::build(3, &rel);
+                let rows = paged.iter().count();
+                assert_eq!(rows, 100);
+                paged.num_pages()
+            },
+        );
+        assert_eq!(pages, 13, "100 rows at 8 rows/page");
+        assert_eq!(totals[3].reads, 100, "one logical read per row");
+        assert_eq!(totals[3].misses, 13, "one miss per cold page");
+    }
+
+    #[test]
+    fn small_pool_forces_evictions_on_rescan() {
+        let rel = generate::uniform(2, 64, 16, 5);
+        let (totals, ()) = capture(
+            StoreConfig {
+                page_size: 8,
+                pool_pages: 2,
+            },
+            || {
+                let paged = PagedRelation::build(0, &rel);
+                for _ in 0..2 {
+                    assert_eq!(paged.iter().count(), 64);
+                }
+            },
+        );
+        assert_eq!(totals[0].reads, 128);
+        assert!(
+            totals[0].evictions > 0,
+            "16 pages cycling through a 2-page pool must evict"
+        );
+        assert_eq!(
+            totals[0].misses, 32,
+            "every page entry misses when thrashing"
+        );
+    }
+
+    #[test]
+    fn route_scan_switches_on_the_installed_runtime() {
+        let rel = generate::uniform(2, 40, 16, 11);
+        let flat: Vec<Vec<Value>> = rel.iter().map(<[Value]>::to_vec).collect();
+
+        let unpaged = RouteScan::new(0, &rel);
+        assert!(matches!(unpaged, RouteScan::Flat(_)));
+        let rows: Vec<Vec<Value>> = unpaged.iter().map(<[Value]>::to_vec).collect();
+        assert_eq!(rows, flat);
+
+        let (totals, rows) = capture(StoreConfig::default(), || {
+            let scan = RouteScan::new(2, &rel);
+            assert!(matches!(scan, RouteScan::Paged(_)));
+            scan.iter().map(<[Value]>::to_vec).collect::<Vec<_>>()
+        });
+        assert_eq!(rows, flat, "paged and flat scans agree byte-for-byte");
+        assert_eq!(totals[2].reads, 40);
+    }
+
+    #[test]
+    fn disabled_runtime_scans_without_accounting() {
+        assert!(!is_enabled());
+        let rel = generate::uniform(2, 50, 16, 3);
+        let paged = PagedRelation::build(1, &rel);
+        assert_eq!(paged.to_relation().raw(), rel.raw());
+        assert!(io_report().is_empty());
+    }
+
+    #[test]
+    fn empty_and_unit_relations_page_cleanly() {
+        let empty = Relation::new(2);
+        let paged = PagedRelation::build(0, &empty);
+        assert!(paged.is_empty());
+        assert_eq!(paged.num_pages(), 0);
+        assert_eq!(paged.iter().count(), 0);
+
+        let mut one = Relation::new(4);
+        one.push(&[9, 8, 7, 6]);
+        let (totals, ()) = capture(
+            StoreConfig {
+                page_size: 1, // narrower than a row: one row per page, whole
+                pool_pages: 1,
+            },
+            || {
+                let paged = PagedRelation::build(0, &one);
+                assert_eq!(paged.num_pages(), 1);
+                assert_eq!(paged.iter().next(), Some(&[9, 8, 7, 6][..]));
+            },
+        );
+        assert_eq!((totals[0].reads, totals[0].misses), (1, 1));
+    }
+}

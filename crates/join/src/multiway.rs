@@ -14,6 +14,7 @@
 //! triangle query (slide 36).
 
 use crate::common::{scatter, JoinRun, Tagged};
+use parqp_data::paged::RouteScan;
 use parqp_data::Relation;
 use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
 use parqp_query::{evaluate, Query};
@@ -100,7 +101,8 @@ pub fn hypercube_with_shares(
         let atom = &query.atoms()[j];
         for (sid, part) in scatter(rel, grid.len()).into_iter().enumerate() {
             ex.set_sender(sid);
-            for row in part.iter() {
+            let scan = RouteScan::new(sid, &part);
+            for row in scan.iter() {
                 let mut partial: Vec<Option<usize>> = vec![None; query.num_vars()];
                 for (pos, &v) in atom.vars.iter().enumerate() {
                     partial[v] = Some(h.hash(v, row[pos], shares[v]));

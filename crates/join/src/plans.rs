@@ -12,6 +12,7 @@
 //! their respective regimes.
 
 use crate::common::{scatter, JoinRun, Tagged};
+use parqp_data::paged::{IoCursor, RouteScan};
 use parqp_data::{FastMap, Relation, Value};
 use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
 use parqp_query::{Query, Var};
@@ -108,7 +109,11 @@ pub fn binary_join_plan(
             let mut idx = 0u64;
             for (sid, part) in parts.iter().enumerate() {
                 ex.set_sender(sid);
+                // Intermediate rows stream through the server's buffer
+                // pool (one logical read per row) under a paged store.
+                let mut io = IoCursor::new(sid);
                 for row in part {
+                    io.read(row.len());
                     let band = (h.digest(0, idx) % p1 as u64) as usize;
                     idx += 1;
                     for dest in grid.matching(&[Some(band), None]) {
@@ -119,7 +124,8 @@ pub fn binary_join_plan(
             idx = 0;
             for (sid, part) in right_parts.iter().enumerate() {
                 ex.set_sender(sid);
-                for row in part.iter() {
+                let scan = RouteScan::new(sid, part);
+                for row in scan.iter() {
                     let band = (h.digest(0, !idx) % p2 as u64) as usize;
                     idx += 1;
                     for dest in grid.matching(&[None, Some(band)]) {
@@ -135,14 +141,17 @@ pub fn binary_join_plan(
             let mut ex = cluster.exchange::<Tagged>();
             for (sid, part) in parts.iter().enumerate() {
                 ex.set_sender(sid);
+                let mut io = IoCursor::new(sid);
                 for row in part {
+                    io.read(row.len());
                     let dest = (combined_hash(&h, row, &shared_left) % p as u64) as usize;
                     ex.send(dest, Tagged::new(TAG_LEFT, row.clone()));
                 }
             }
             for (sid, part) in right_parts.iter().enumerate() {
                 ex.set_sender(sid);
-                for row in part.iter() {
+                let scan = RouteScan::new(sid, part);
+                for row in scan.iter() {
                     let dest = (combined_hash(&h, row, &shared_right) % p as u64) as usize;
                     ex.send(dest, Tagged::new(TAG_RIGHT, row.to_vec()));
                 }

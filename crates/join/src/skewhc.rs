@@ -23,6 +23,7 @@
 //! hash-join's `N` (slides 48–51).
 
 use crate::common::{scatter, JoinRun, Tagged};
+use parqp_data::paged::RouteScan;
 use parqp_data::stats::degree_counts;
 use parqp_data::{FastSet, Relation, Value};
 use parqp_mpc::{metrics, trace, Cluster, Grid, HashFamily};
@@ -154,7 +155,8 @@ pub fn skewhc_with_plans(
         let atom = &query.atoms()[j];
         for (sid, part) in scatter(rel, total_servers).into_iter().enumerate() {
             ex.set_sender(sid);
-            for row in part.iter() {
+            let scan = RouteScan::new(sid, &part);
+            for row in scan.iter() {
                 // Status of the atom's own variables.
                 let mut own_mask = 0usize;
                 let mut own_bits = 0usize;

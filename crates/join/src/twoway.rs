@@ -12,6 +12,7 @@
 //! `S` row minus its join column ([`crate::common::merge_rows`]).
 
 use crate::common::{joined_arity, local_hash_join, merge_rows, scatter, JoinRun, Tagged};
+use parqp_data::paged::RouteScan;
 use parqp_data::stats::{degree_counts, join_heavy_hitters, join_output_size};
 use parqp_data::{Relation, Value};
 use parqp_mpc::{metrics, trace, Cluster, HashFamily, LoadReport, Weight};
@@ -61,13 +62,15 @@ pub fn hash_join(
     let mut ex = cluster.exchange::<Tagged>();
     for (sid, part) in r_parts.iter().enumerate() {
         ex.set_sender(sid);
-        for row in part.iter() {
+        let scan = RouteScan::new(sid, part);
+        for row in scan.iter() {
             ex.send(h.hash(0, row[r_col], p), Tagged::new(TAG_R, row.to_vec()));
         }
     }
     for (sid, part) in s_parts.iter().enumerate() {
         ex.set_sender(sid);
-        for row in part.iter() {
+        let scan = RouteScan::new(sid, part);
+        for row in scan.iter() {
             ex.send(h.hash(0, row[s_col], p), Tagged::new(TAG_S, row.to_vec()));
         }
     }
@@ -108,7 +111,8 @@ pub fn broadcast_join(r: &Relation, r_col: usize, s: &Relation, s_col: usize, p:
     let mut ex = cluster.exchange::<Vec<Value>>();
     for (sid, part) in r_parts.iter().enumerate() {
         ex.set_sender(sid);
-        for row in part.iter() {
+        let scan = RouteScan::new(sid, part);
+        for row in scan.iter() {
             ex.broadcast(row.to_vec());
         }
     }
@@ -181,7 +185,8 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
     let mut index = 0u64;
     for (sid, part) in r_parts.iter().enumerate() {
         ex.set_sender(sid);
-        for row in part.iter() {
+        let scan = RouteScan::new(sid, part);
+        for row in scan.iter() {
             let band = h.hash(0, index, p1);
             index += 1;
             ex.send_matching(&grid, &[Some(band), None], Tagged::new(TAG_R, row.to_vec()));
@@ -190,7 +195,8 @@ pub fn cartesian(r: &Relation, s: &Relation, p: usize, seed: u64) -> JoinRun {
     index = 0;
     for (sid, part) in s_parts.iter().enumerate() {
         ex.set_sender(sid);
-        for row in part.iter() {
+        let scan = RouteScan::new(sid, part);
+        for row in scan.iter() {
             let band = h.hash(1, index, p2);
             index += 1;
             ex.send_matching(&grid, &[None, Some(band)], Tagged::new(TAG_S, row.to_vec()));
@@ -488,7 +494,9 @@ pub fn sort_merge_join(
     let mut ex = cluster.exchange::<SortItem>();
     for (sid, part) in parts.iter().enumerate() {
         ex.set_sender(sid);
+        let mut io = parqp_data::paged::IoCursor::new(sid);
         for item in part {
+            io.read(item.row.len());
             if !crossing_keys.contains(&item.key) {
                 continue;
             }

@@ -36,16 +36,17 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "lint",
         ],
     ),
-    ("data", &["testkit"]),
+    ("data", &["store", "testkit"]),
     ("faults", &["testkit"]),
     ("join", &["mpc", "data", "lp", "query", "sort"]),
     ("lint", &[]),
     ("lp", &[]),
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
     ("metrics", &["trace"]),
-    ("mpc", &["trace", "metrics", "faults", "testkit"]),
+    ("mpc", &["trace", "metrics", "faults", "store", "testkit"]),
     ("query", &["data", "lp"]),
     ("sort", &["mpc", "data"]),
+    ("store", &[]),
     ("testkit", &[]),
     ("trace", &[]),
 ];
@@ -276,12 +277,13 @@ mod tests {
 
     #[test]
     fn dag_matches_design_doc_shape() {
-        // Spot-check the table itself: trace and lp are leaves, faults
-        // holds only the shared RNG, metrics reads only the event
-        // model, mpc sees its instrumentation sinks (trace + metrics +
-        // faults) plus testkit for the sanctioned worker pool, core
-        // sees every algorithm crate, and only core may depend on the
-        // linter (the `parqp lint` front door).
+        // Spot-check the table itself: trace, lp and store are leaves,
+        // faults holds only the shared RNG, metrics reads only the
+        // event model, mpc sees its instrumentation sinks (trace +
+        // metrics + faults + store's IO ledger) plus testkit for the
+        // sanctioned worker pool, core sees every algorithm crate, and
+        // only core may depend on the linter (the `parqp lint` front
+        // door).
         let find = |n: &str| {
             ALLOWED_DEPS
                 .iter()
@@ -289,8 +291,13 @@ mod tests {
                 .map(|(_, d)| *d)
                 .expect("crate in table")
         };
-        assert_eq!(find("mpc"), &["trace", "metrics", "faults", "testkit"]);
+        assert_eq!(
+            find("mpc"),
+            &["trace", "metrics", "faults", "store", "testkit"]
+        );
         assert!(find("trace").is_empty());
+        assert!(find("store").is_empty());
+        assert_eq!(find("data"), &["store", "testkit"]);
         assert_eq!(find("faults"), &["testkit"]);
         assert_eq!(find("metrics"), &["trace"]);
         assert!(find("lp").is_empty());

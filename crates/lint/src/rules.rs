@@ -29,6 +29,13 @@
 //! |       |             | `parqp-mpc`/`parqp-metrics`; algorithm crates may only  |
 //! |       |             | `metrics::announce` bounds, consumers only read the     |
 //! |       |             | captured registry                                       |
+//! | PQ109 | layering    | raw page access or IO-counter fabrication               |
+//! |       |             | (`touch_page`, `alloc_pages`) outside                   |
+//! |       |             | `parqp-store`/`parqp-data`; draining/rewinding the IO   |
+//! |       |             | ledger (`drain_io`, `reset_io`) outside `parqp-mpc`;    |
+//! |       |             | feeding it to metrics (`emit_io`) outside               |
+//! |       |             | `parqp-mpc`/`parqp-metrics`. Algorithm crates touch     |
+//! |       |             | paging only through `parqp_data::paged` scans           |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -42,7 +49,7 @@ use crate::Diagnostic;
 /// (file I/O), `core` (CLI), `bench` (CSV output), `testkit` (env-var
 /// knobs) and `lint` (this tool) legitimately touch the OS.
 pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
-    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics",
+    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics", "store",
 ];
 
 /// The one file in the workspace allowed to touch `std::thread`: the
@@ -239,6 +246,46 @@ const TOKEN_RULES: &[TokenRule] = &[
         rule: "PQ107",
         token: "metrics::emit",
         message: "only parqp-mpc feeds the metrics registry, so metrics mirror the exchange ledger exactly; announce bounds via metrics::announce instead",
+        scope: None,
+        exempt: &["mpc", "metrics"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ109",
+        token: "touch_page",
+        message: "only parqp-store's pools and parqp-data's paged scans charge page reads; fabricating them elsewhere desyncs the IO ledger from the data actually scanned",
+        scope: None,
+        exempt: &["store", "data"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ109",
+        token: "alloc_pages",
+        message: "only parqp-store and parqp-data's paged representations allocate pages; scan through parqp_data::paged (RouteScan/IoCursor/IoRegion) instead",
+        scope: None,
+        exempt: &["store", "data"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ109",
+        token: "drain_io",
+        message: "only parqp-mpc drains the IO ledger (at round boundaries), so io metrics mirror the rounds exactly; read totals via store::io_report instead",
+        scope: None,
+        exempt: &["store", "mpc"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ109",
+        token: "reset_io",
+        message: "only parqp-mpc rewinds the IO ledger (in Cluster::reset), so counters stay aligned with the round clock",
+        scope: None,
+        exempt: &["store", "mpc"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ109",
+        token: "emit_io",
+        message: "only parqp-mpc feeds drained IO deltas to the metrics registry; observe them via the captured registry instead",
         scope: None,
         exempt: &["mpc", "metrics"],
         exempt_paths: &[],
@@ -515,6 +562,47 @@ mod tests {
         assert_eq!(rules_of("core", emit), vec![("PQ107", 1)]);
         assert!(rules_of("mpc", emit).is_empty());
         assert!(rules_of("metrics", emit).is_empty());
+    }
+
+    #[test]
+    fn page_io_fabrication_flagged_outside_store_and_data() {
+        let touch = "store::touch_page(sid, page, rows);\nlet base = store::alloc_pages(n);\n";
+        assert_eq!(rules_of("join", touch), vec![("PQ109", 1), ("PQ109", 2)]);
+        assert_eq!(rules_of("core", touch), vec![("PQ109", 1), ("PQ109", 2)]);
+        assert!(rules_of("store", touch).is_empty());
+        assert!(rules_of("data", touch).is_empty());
+    }
+
+    #[test]
+    fn io_ledger_draining_flagged_outside_mpc() {
+        let drain = "let d = store::drain_io();\nstore::reset_io();\n";
+        assert_eq!(rules_of("join", drain), vec![("PQ109", 1), ("PQ109", 2)]);
+        assert_eq!(rules_of("core", drain), vec![("PQ109", 1), ("PQ109", 2)]);
+        assert!(rules_of("mpc", drain).is_empty());
+        assert!(rules_of("store", drain).is_empty());
+    }
+
+    #[test]
+    fn io_metrics_emission_flagged_outside_mpc_and_metrics() {
+        let emit = "metrics::emit_io(d.reads, d.misses, d.evictions);\n";
+        assert_eq!(rules_of("join", emit), vec![("PQ109", 1)]);
+        assert_eq!(rules_of("store", emit), vec![("PQ109", 1)]);
+        assert!(rules_of("mpc", emit).is_empty());
+        assert!(rules_of("metrics", emit).is_empty());
+        // The PQ107 token `metrics::emit` must not also fire on the
+        // ident-distinct `metrics::emit_io`.
+        assert!(!rules_of("join", emit).contains(&("PQ107", 1)));
+    }
+
+    #[test]
+    fn paged_scans_allowed_everywhere() {
+        let src = "let scan = RouteScan::new(sid, part);\n\
+                   let mut io = parqp_data::paged::IoCursor::new(sid);\n\
+                   let region = parqp_data::paged::IoRegion::new(words);\n\
+                   let _g = parqp_data::paged::install(cfg);\n";
+        assert!(rules_of("join", src).is_empty());
+        assert!(rules_of("sort", src).is_empty());
+        assert!(rules_of("core", src).is_empty());
     }
 
     #[test]

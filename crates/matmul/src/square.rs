@@ -51,9 +51,20 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
     let nb = n / h;
     let mut cluster = Cluster::new(p);
 
-    let block_of = |m: &Matrix, bi: usize, bj: usize| -> Vec<f64> {
+    // Paged views of A and B: when a store runtime is installed, every
+    // block fetch charges the destination processor one logical read
+    // per block row against the page span the row occupies.
+    let a_region = parqp_data::paged::IoRegion::new((n * n) as u64);
+    let b_region = parqp_data::paged::IoRegion::new((n * n) as u64);
+    let block_of = |m: &Matrix,
+                    region: &parqp_data::paged::IoRegion,
+                    proc: usize,
+                    bi: usize,
+                    bj: usize|
+     -> Vec<f64> {
         let mut out = Vec::with_capacity(nb * nb);
         for r in 0..nb {
+            region.read_at(proc, ((bi * nb + r) * n + bj * nb) as u64, nb as u64);
             out.extend_from_slice(&m.row(bi * nb + r)[bj * nb..(bj + 1) * nb]);
         }
         out
@@ -101,7 +112,7 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
                     kind: 0,
                     bi: i,
                     bj: j,
-                    vals: block_of(a, i, j),
+                    vals: block_of(a, &a_region, proc, i, j),
                 },
             );
             ex.send(
@@ -110,7 +121,7 @@ pub fn square_block(a: &Matrix, b: &Matrix, h: usize, p: usize) -> MatMulRun {
                     kind: 1,
                     bi: j,
                     bj: k,
-                    vals: block_of(b, j, k),
+                    vals: block_of(b, &b_region, proc, j, k),
                 },
             );
         }

@@ -41,4 +41,4 @@ pub mod runtime;
 
 pub use bound::{BoundProvider, LoadUnit, PaperBound};
 pub use registry::{BoundRecord, MetricsRegistry};
-pub use runtime::{announce, capture, emit, install, is_enabled, MetricsGuard};
+pub use runtime::{announce, capture, emit, emit_io, install, is_enabled, MetricsGuard};

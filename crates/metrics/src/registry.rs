@@ -97,6 +97,32 @@ impl MetricsRegistry {
         }
     }
 
+    /// Observe a drained page-IO delta from the store ledger: counters
+    /// `io_reads`, `io_misses` and `io_evictions` accumulate exactly
+    /// what the buffer pools measured (the second cost axis beside
+    /// communication load). Zero deltas are recorded as-is.
+    pub fn observe_io(&mut self, reads: u64, misses: u64, evictions: u64) {
+        self.add("io_reads", reads);
+        self.add("io_misses", misses);
+        self.add("io_evictions", evictions);
+    }
+
+    /// Total logical page reads observed (counter `io_reads`).
+    pub fn io_reads(&self) -> u64 {
+        self.counter("io_reads")
+    }
+
+    /// Buffer-pool hit rate `1 − io_misses/io_reads`; 0 when no paged
+    /// scan ran.
+    pub fn io_hit_rate(&self) -> f64 {
+        let reads = self.counter("io_reads");
+        if reads == 0 {
+            0.0
+        } else {
+            1.0 - self.counter("io_misses") as f64 / reads as f64
+        }
+    }
+
     /// Feed every event of an already-captured stream into the
     /// registry (offline filling, e.g. from a `Recorder`).
     pub fn ingest<'a>(&mut self, events: impl IntoIterator<Item = &'a TraceEvent>) {
@@ -317,6 +343,19 @@ mod tests {
         assert_eq!(reg.counter("recovery_tuples"), 25);
         assert_eq!(reg.counter("recovery_words"), 50);
         assert_eq!(reg.counter("spans"), 1);
+    }
+
+    #[test]
+    fn io_deltas_accumulate_into_counters() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.io_reads(), 0);
+        assert_eq!(reg.io_hit_rate(), 0.0);
+        reg.observe_io(80, 10, 2);
+        reg.observe_io(20, 10, 3);
+        assert_eq!(reg.io_reads(), 100);
+        assert_eq!(reg.counter("io_misses"), 20);
+        assert_eq!(reg.counter("io_evictions"), 5);
+        assert!((reg.io_hit_rate() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -70,6 +70,20 @@ pub fn emit(event: &TraceEvent) {
     });
 }
 
+/// Forward a drained page-IO delta (summed across servers) to the
+/// installed registry, if any. Like [`emit`], this is simulator-only:
+/// `parqp-mpc` drains the store ledger at round boundaries and on
+/// `Cluster::report` (lint rule PQ109 — counters must come from the
+/// store runtime, never be fabricated). A no-op when nothing is
+/// installed.
+pub fn emit_io(reads: u64, misses: u64, evictions: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(reg) = slot.borrow().as_ref() {
+            reg.borrow_mut().observe_io(reads, misses, evictions);
+        }
+    });
+}
+
 /// Announce a paper bound to the installed registry, if any. Unlike
 /// [`emit`], algorithm crates call this freely — it is the metrics
 /// analogue of `trace::span`. A no-op when nothing is installed.

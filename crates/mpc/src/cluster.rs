@@ -37,6 +37,7 @@ use crate::stats::{LoadReport, RoundStats};
 use crate::weight::Weight;
 use parqp_faults::{self as faults, FaultKind, RecoveryStrategy};
 use parqp_metrics as metrics;
+use parqp_store as store;
 use parqp_trace::{self as trace, TraceEvent};
 
 /// A simulated MPC cluster of `p` shared-nothing servers.
@@ -68,6 +69,10 @@ impl Cluster {
         if p == 0 {
             return Err(MpcError::EmptyTopology { what: "cluster" });
         }
+        // Give every virtual server its buffer pool up front, so paged
+        // scans never race pool creation (a no-op when no store runtime
+        // is installed, and when a sub-cluster reuses servers 0..p).
+        store::ensure_servers(p);
         Ok(Self {
             p,
             rounds: Vec::new(),
@@ -349,6 +354,7 @@ impl Cluster {
                 FaultKind::Crash => self.recover_crash(fault_round, f.server, observed),
             }
         }
+        flush_io();
     }
 
     /// Charge crash recovery to the ledger per the installed strategy.
@@ -437,6 +443,9 @@ impl Cluster {
 
     /// The `(L, r, C)` summary of all rounds recorded so far.
     pub fn report(&self) -> LoadReport {
+        // Final IO flush: paged scans after the last exchange (output
+        // digests, result materialization) land in the registry too.
+        flush_io();
         LoadReport {
             servers: self.p,
             rounds: self.rounds.clone(),
@@ -457,6 +466,10 @@ impl Cluster {
     pub fn reset(&mut self) {
         self.rounds.clear();
         faults::reset_round_clock();
+        // The page-IO ledger rewinds with the communication ledger:
+        // pools drop residency and zero their counters, so a replay
+        // re-pays the exact cold-start IO of the original run.
+        store::reset_io();
     }
 }
 
@@ -504,6 +517,22 @@ fn observe(event: TraceEvent) {
         metrics::emit(&event);
     }
     trace::emit(event);
+}
+
+/// Drain the store runtime's page-IO delta into the installed metrics
+/// registry. `parqp-mpc` is the only bridge between the two runtimes
+/// (lint rule PQ109, the IO twin of PQ107's event monopoly), called at
+/// every round boundary and once more from [`Cluster::report`]. The
+/// drain itself advances the store's snapshots only when a registry is
+/// listening, so unobserved runs keep their cumulative per-server
+/// totals intact for `io_report`.
+fn flush_io() {
+    if metrics::is_enabled() {
+        let delta = store::drain_io();
+        if !delta.is_zero() {
+            metrics::emit_io(delta.reads, delta.misses, delta.evictions);
+        }
+    }
 }
 
 /// Emit one round's trace block: `RoundBegin`, optional `Topology`,
@@ -815,6 +844,50 @@ mod tests {
         assert_eq!(c.report().num_rounds(), 3);
         c.reset();
         assert_eq!(c.report().num_rounds(), 0);
+    }
+
+    #[test]
+    fn reset_rewinds_per_server_page_io_counters() {
+        let cfg = store::StoreConfig {
+            page_size: 4,
+            pool_pages: 2,
+        };
+        let (totals, ()) = store::capture(cfg, || {
+            let mut c = Cluster::new(3);
+            store::touch_page(0, store::alloc_pages(1).unwrap(), 4);
+            store::touch_page(2, store::alloc_pages(1).unwrap(), 1);
+            assert!(store::io_report().iter().any(|s| !s.is_zero()));
+            c.reset();
+            assert!(
+                store::io_report().iter().all(|s| s.is_zero()),
+                "reset must rewind every server's IO ledger"
+            );
+            assert_eq!(c.report().num_rounds(), 0);
+        });
+        assert_eq!(totals.len(), 3, "ensure_servers sized one pool per server");
+        assert!(totals.iter().all(|s| s.is_zero()));
+    }
+
+    #[test]
+    fn round_boundaries_drain_io_into_the_metrics_registry() {
+        let cfg = store::StoreConfig {
+            page_size: 4,
+            pool_pages: 2,
+        };
+        let (reg, ()) = metrics::capture(|| {
+            let (_totals, ()) = store::capture(cfg, || {
+                let mut c = Cluster::new(2);
+                let page = store::alloc_pages(1).unwrap();
+                store::touch_page(0, page, 5);
+                let mut ex = c.exchange::<u64>();
+                ex.send(1, 9);
+                ex.finish(); // round boundary: the delta drains here
+                store::touch_page(1, page, 2);
+                let _ = c.report(); // final flush catches the tail
+            });
+        });
+        assert_eq!(reg.io_reads(), 7);
+        assert_eq!(reg.counter("io_misses"), 2);
     }
 
     #[test]

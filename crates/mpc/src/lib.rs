@@ -62,6 +62,7 @@ pub mod weight;
 
 pub use parqp_faults as faults;
 pub use parqp_metrics as metrics;
+pub use parqp_store as store;
 pub use parqp_trace as trace;
 
 pub use cluster::{Cluster, Exchange};

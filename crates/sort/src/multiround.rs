@@ -162,7 +162,11 @@ pub fn multiround_sort_with_oversample(
             }
             for (m, member) in data[lo..hi].iter().enumerate() {
                 ex.set_sender(lo + m);
+                // Each level re-scans the member's run; a paged store
+                // charges every key as one logical read.
+                let mut io = parqp_data::paged::IoCursor::new(lo + m);
                 for (idx, &k) in member.iter().enumerate() {
+                    io.read(1);
                     let sub = splitters.partition_point(|&sp| sp < k);
                     let (slo, shi) = (bounds[sub], bounds[sub + 1].max(bounds[sub] + 1).min(hi));
                     let dest = slo + idx % (shi - slo);

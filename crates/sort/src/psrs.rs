@@ -98,11 +98,15 @@ where
     let splitters = choose_splitters(&all, p);
 
     // Round 2: route every item to its interval's server; local sort.
+    // The routing scan streams each server's run through its buffer
+    // pool (one logical read per item) when a paged store is installed.
     let _span = trace::span("psrs/route");
     let mut ex = cluster.exchange::<T>();
     for (sid, part) in local.into_iter().enumerate() {
         ex.set_sender(sid);
+        let mut io = parqp_data::paged::IoCursor::new(sid);
         for item in part {
+            io.read(item.words() as usize);
             let k = key(&item);
             let dest = splitters.partition_point(|&s| s < k);
             ex.send(dest.min(p - 1), item);

@@ -181,6 +181,47 @@ fn metrics_reconcile_with_ledger_and_trace_for_every_experiment() {
 }
 
 #[test]
+fn page_io_metrics_reconcile_with_the_store_ledger_for_every_experiment() {
+    // The IO ledger has two views: the store's per-server totals
+    // (io_report) and the metrics registry's counters, fed by the
+    // cluster draining deltas at round boundaries. Since every
+    // experiment ends with a report() flush, the two must reconcile
+    // exactly — a drain dropped or double-counted would show here.
+    use parqp::data::paged::{self, IoStats, StoreConfig};
+    for e in parqp::observe::EXPERIMENTS {
+        let (totals, (registry, run)) = paged::capture(StoreConfig::default(), || {
+            parqp::mpc::metrics::capture(|| parqp::observe::run_experiment_full(e.name, 8, 42))
+        });
+        run.expect("known experiment");
+        let mut sum = IoStats::default();
+        for t in &totals {
+            sum.merge(t);
+        }
+        let name = e.name;
+        assert!(sum.reads > 0, "{name}: paged run charged no reads");
+        assert_eq!(
+            registry.counter("io_reads"),
+            sum.reads,
+            "{name}: metrics vs store Σ reads"
+        );
+        assert_eq!(
+            registry.counter("io_misses"),
+            sum.misses,
+            "{name}: metrics vs store Σ misses"
+        );
+        assert_eq!(
+            registry.counter("io_evictions"),
+            sum.evictions,
+            "{name}: metrics vs store Σ evictions"
+        );
+        assert!(
+            (registry.io_hit_rate() - sum.hit_rate()).abs() < 1e-12,
+            "{name}: hit-rate views diverge"
+        );
+    }
+}
+
+#[test]
 fn mean_load_bounds_are_adhered_to_within_half_of_themselves() {
     // Acceptance criterion: the skew-free experiments whose announced
     // bound is the paper's mean load (hash join's IN/p, HyperCube's
