@@ -40,8 +40,9 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     // caller's mode on return (dispatch is re-entrant in tests).
     let _exec = parqp_mpc::exec::install(opts.exec_mode()?);
     // `--page-size`/`--pool-pages` install a paged store the same way;
-    // `store` manages its own (it runs both modes to compare them).
-    let _store = if cmd == "store" {
+    // `store` and `serve` manage their own (store runs both modes to
+    // compare them, serve captures per-replay IO ledgers).
+    let _store = if cmd == "store" || cmd == "serve" {
         None
     } else {
         opts.store_config().map(parqp_data::paged::install)
@@ -56,6 +57,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "faults" => faults_cmd(&opts),
         "metrics" => metrics_cmd(&opts),
         "store" => store_cmd(&opts),
+        "serve" => serve_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -136,7 +138,7 @@ pub fn lint_main(args: &[String]) -> i32 {
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|store|lint> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|store|serve|lint> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -162,6 +164,17 @@ fn usage() -> String {
               run every experiment unpaged and under the paged store\n\
               and verify digests, ledgers and traces are byte-identical;\n\
               reports per-experiment page-IO (reads, misses, evictions)\n\
+     serve    [--servers P] [--seed S] [--tenants T] [--templates K]\n\
+              [--groups G] [--ticks N] [--zipf-q A] [--zipf-data A]\n\
+              [--cache-budget B] [--faults] [--verify]\n\
+              [--format table|jsonl] [--out F]\n\
+              replay a seeded multi-tenant query stream against one\n\
+              long-lived cluster with shared-plan caching and exact\n\
+              per-tenant ledgers; --cache-budget 0 disables the cache,\n\
+              --faults injects a seeded fault plan under load (same\n\
+              --strategy/--crashes/... flags as `faults`), --verify\n\
+              re-runs cache-off and fails on any per-query digest\n\
+              divergence\n\
      lint     [--format text|json]\n\
               run the in-tree static analyzer (determinism, layering,\n\
               worker-purity rules PQ401-PQ408) over the workspace;\n\
@@ -204,6 +217,15 @@ struct Opts {
     workers: usize,
     page_size: Option<usize>,
     pool_pages: Option<usize>,
+    tenants: usize,
+    templates: usize,
+    groups: usize,
+    ticks: u64,
+    zipf_q: f64,
+    zipf_data: f64,
+    cache_budget: u64,
+    faults: bool,
+    verify: bool,
 }
 
 impl Opts {
@@ -233,6 +255,15 @@ impl Opts {
             workers: 0,
             page_size: None,
             pool_pages: None,
+            tenants: 4,
+            templates: 3,
+            groups: 12,
+            ticks: 120,
+            zipf_q: 1.1,
+            zipf_data: 1.2,
+            cache_budget: 120_000,
+            faults: false,
+            verify: false,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -304,6 +335,43 @@ impl Opts {
                             .map_err(|e| format!("--pool-pages: {e}"))?,
                     );
                 }
+                "--tenants" => {
+                    o.tenants = value("--tenants")?
+                        .parse()
+                        .map_err(|e| format!("--tenants: {e}"))?;
+                }
+                "--templates" => {
+                    o.templates = value("--templates")?
+                        .parse()
+                        .map_err(|e| format!("--templates: {e}"))?;
+                }
+                "--groups" => {
+                    o.groups = value("--groups")?
+                        .parse()
+                        .map_err(|e| format!("--groups: {e}"))?;
+                }
+                "--ticks" => {
+                    o.ticks = value("--ticks")?
+                        .parse()
+                        .map_err(|e| format!("--ticks: {e}"))?;
+                }
+                "--zipf-q" => {
+                    o.zipf_q = value("--zipf-q")?
+                        .parse()
+                        .map_err(|e| format!("--zipf-q: {e}"))?;
+                }
+                "--zipf-data" => {
+                    o.zipf_data = value("--zipf-data")?
+                        .parse()
+                        .map_err(|e| format!("--zipf-data: {e}"))?;
+                }
+                "--cache-budget" => {
+                    o.cache_budget = value("--cache-budget")?
+                        .parse()
+                        .map_err(|e| format!("--cache-budget: {e}"))?;
+                }
+                "--faults" => o.faults = true,
+                "--verify" => o.verify = true,
                 "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
                 | "--stragglers" | "--horizon" => {
                     let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -340,6 +408,34 @@ impl Opts {
                 workers: self.workers,
             }),
             other => Err(format!("unknown --exec {other:?} (serial|parallel)")),
+        }
+    }
+
+    /// The recovery strategy requested by `--strategy`/`--every`/
+    /// `--replicas` (shared by `faults` and `serve --faults`).
+    fn recovery_strategy(&self) -> Result<parqp_faults::RecoveryStrategy, String> {
+        match self.strategy.as_deref().unwrap_or("checkpoint") {
+            "checkpoint" => Ok(parqp_faults::RecoveryStrategy::Checkpoint {
+                every: self.every.max(1),
+            }),
+            "replication" => Ok(parqp_faults::RecoveryStrategy::Replication {
+                replicas: self.replicas.max(1),
+            }),
+            other => Err(format!(
+                "unknown --strategy {other:?} (checkpoint|replication)"
+            )),
+        }
+    }
+
+    /// The fault specification requested by `--crashes`/`--drops`/
+    /// `--duplicates`/`--stragglers`.
+    fn fault_spec(&self) -> parqp_faults::FaultSpec {
+        parqp_faults::FaultSpec {
+            crashes: self.crashes,
+            drops: self.drops,
+            duplicates: self.duplicates,
+            stragglers: self.stragglers,
+            max_batch: 8,
         }
     }
 
@@ -523,7 +619,7 @@ fn trace_cmd(o: &Opts) -> Result<String, String> {
 }
 
 fn faults_cmd(o: &Opts) -> Result<String, String> {
-    use parqp_faults::{capture, FaultPlan, FaultSpec, RecoveryStrategy};
+    use parqp_faults::{capture, FaultPlan, RecoveryStrategy};
     use parqp_trace::{analyze, export};
 
     let Some(name) = o.experiment.as_deref() else {
@@ -533,27 +629,8 @@ fn faults_cmd(o: &Opts) -> Result<String, String> {
         }
         return Ok(s);
     };
-    let strategy = match o.strategy.as_deref().unwrap_or("checkpoint") {
-        "checkpoint" => RecoveryStrategy::Checkpoint {
-            every: o.every.max(1),
-        },
-        "replication" => RecoveryStrategy::Replication {
-            replicas: o.replicas.max(1),
-        },
-        other => {
-            return Err(format!(
-                "unknown --strategy {other:?} (checkpoint|replication)"
-            ))
-        }
-    };
-    let spec = FaultSpec {
-        crashes: o.crashes,
-        drops: o.drops,
-        duplicates: o.duplicates,
-        stragglers: o.stragglers,
-        max_batch: 8,
-    };
-    let plan = FaultPlan::random(o.seed, o.servers, o.horizon, &spec);
+    let strategy = o.recovery_strategy()?;
+    let plan = FaultPlan::random(o.seed, o.servers, o.horizon, &o.fault_spec());
     let clean = crate::observe::run_experiment_full(name, o.servers, o.seed)?;
     let (log, faulty) = capture(plan.clone(), strategy, || {
         crate::observe::run_experiment_full(name, o.servers, o.seed)
@@ -738,6 +815,76 @@ fn store_cmd(o: &Opts) -> Result<String, String> {
         Ok(format!("wrote {} bytes to {out}\n", s.len()))
     } else {
         Ok(s)
+    }
+}
+
+/// `parqp serve`: replay a seeded multi-tenant query stream against one
+/// long-lived cluster. With `--verify` the same stream is replayed a
+/// second time with the cache disabled and every per-query output
+/// digest is compared — caching must be a pure cost optimization, never
+/// observable in results.
+fn serve_cmd(o: &Opts) -> Result<String, String> {
+    use parqp_serve::{replay, FaultSetup, ServeConfig};
+
+    let faults = if o.faults {
+        Some(FaultSetup {
+            spec: o.fault_spec(),
+            strategy: o.recovery_strategy()?,
+            horizon: o.horizon,
+        })
+    } else {
+        None
+    };
+    let cfg = ServeConfig {
+        servers: o.servers,
+        tenants: o.tenants,
+        templates: o.templates,
+        groups: o.groups,
+        ticks: o.ticks,
+        seed: o.seed,
+        zipf_q: o.zipf_q,
+        zipf_data: o.zipf_data,
+        cache_budget: o.cache_budget,
+        store: o.store_config().unwrap_or_default(),
+        faults,
+    };
+    let report = replay(&cfg)?;
+    let mut verified = String::new();
+    if o.verify {
+        let off = replay(&ServeConfig {
+            cache_budget: 0,
+            ..cfg.clone()
+        })?;
+        let diverged: Vec<String> = report
+            .records
+            .iter()
+            .zip(off.records.iter())
+            .filter(|(on, off)| on.digest != off.digest)
+            .map(|(on, _)| format!("query #{} ({} group {})", on.serial, on.template, on.group))
+            .collect();
+        if report.served() != off.served() || !diverged.is_empty() {
+            return Err(format!(
+                "serve --verify: {} of {} per-query digests diverged cache-on vs cache-off:\n  {}",
+                diverged.len(),
+                report.served(),
+                diverged.join("\n  ")
+            ));
+        }
+        verified = format!(
+            "verified: {} per-query digests identical cache-on vs cache-off\n",
+            report.served()
+        );
+    }
+    let body = match o.format.as_deref().unwrap_or("table") {
+        "table" => format!("{}{verified}", report.table()),
+        "jsonl" => report.jsonl(),
+        other => return Err(format!("unknown --format {other:?} (table|jsonl)")),
+    };
+    if let Some(out) = &o.out {
+        std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n{verified}", body.len()))
+    } else {
+        Ok(body)
     }
 }
 
@@ -1160,6 +1307,105 @@ mod tests {
         let h = dispatch(&argv(&["help"])).expect("help");
         assert!(h.contains("lint"), "got: {h}");
         assert!(h.contains("exits 0 clean, 1 findings"), "got: {h}");
+    }
+
+    const SERVE_SMALL: &[&str] = &[
+        "serve",
+        "--servers",
+        "4",
+        "--tenants",
+        "2",
+        "--templates",
+        "2",
+        "--groups",
+        "4",
+        "--ticks",
+        "16",
+        "--cache-budget",
+        "50000",
+    ];
+
+    #[test]
+    fn serve_table_reports_tenants_and_cache() {
+        let out = dispatch(&argv(SERVE_SMALL)).expect("serve runs");
+        assert!(out.contains("serve replay: p=4 tenants=2"), "got: {out}");
+        assert!(out.contains("cache: hits="), "got: {out}");
+        assert!(out.contains("q/kticks"), "got: {out}");
+        assert!(out.contains("digest=0x"), "got: {out}");
+    }
+
+    #[test]
+    fn serve_jsonl_is_deterministic() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--format", "jsonl"]);
+        let a = dispatch(&argv(&args)).expect("jsonl works");
+        let b = dispatch(&argv(&args)).expect("jsonl works");
+        assert_eq!(a, b, "fixed seed must export byte-identical JSONL");
+        assert!(a.starts_with("{\"type\":\"config\""), "got: {a}");
+        assert!(a.contains("\"type\":\"query\""), "got: {a}");
+        assert!(a.contains("\"type\":\"totals\""), "got: {a}");
+    }
+
+    #[test]
+    fn serve_verify_passes_and_reports() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.push("--verify");
+        let out = dispatch(&argv(&args)).expect("verification passes");
+        assert!(
+            out.contains("digests identical cache-on vs cache-off"),
+            "got: {out}"
+        );
+    }
+
+    #[test]
+    fn serve_parallel_exec_is_byte_identical_to_serial() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--format", "jsonl"]);
+        let serial = dispatch(&argv(&args)).expect("serial works");
+        args.extend(["--exec", "parallel", "--workers", "2"]);
+        let parallel = dispatch(&argv(&args)).expect("parallel works");
+        assert_eq!(serial, parallel, "--exec parallel must not change output");
+    }
+
+    #[test]
+    fn serve_faulted_run_reports_recovery_under_load() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--faults", "--crashes", "2", "--horizon", "4"]);
+        let out = dispatch(&argv(&args)).expect("faulted serve runs");
+        assert!(out.contains("faults=checkpoint(4)/h4"), "got: {out}");
+        assert!(out.contains("faults: fired="), "got: {out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(dispatch(&argv(&["serve", "--format", "wat"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--tenants", "0"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--ticks", "0"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--templates", "99"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--zipf-q", "-1"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--faults", "--strategy", "wat"])).is_err());
+    }
+
+    #[test]
+    fn serve_out_writes_jsonl_artifact() {
+        let dir = tmpdir("serve_out");
+        let f = dir.join("serve.jsonl");
+        let mut args = SERVE_SMALL.to_vec();
+        let path = f.to_str().expect("utf8");
+        args.extend(["--format", "jsonl", "--out", path]);
+        let out = dispatch(&argv(&args)).expect("serve --out works");
+        assert!(out.contains("wrote"), "got: {out}");
+        let body = std::fs::read_to_string(&f).expect("file written");
+        assert!(body.contains("\"type\":\"tenant\""), "got: {body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn help_mentions_serve_flags() {
+        let h = dispatch(&argv(&["help"])).expect("help");
+        assert!(h.contains("serve"), "got: {h}");
+        assert!(h.contains("--cache-budget"), "got: {h}");
+        assert!(h.contains("--zipf-q"), "got: {h}");
     }
 
     #[test]

@@ -49,6 +49,9 @@
 //! * [`metrics`] — bound-adherence metrics over the experiments
 //!   (`parqp metrics`) and the JSON baseline the CI perf gate compares
 //!   against;
+//! * [`serve`] — the multi-tenant workload driver (`parqp serve`):
+//!   seeded bursty query streams against one long-lived cluster, with
+//!   shared-plan caching and per-tenant ledgers;
 //! * [`cli`] — the `parqp` command-line tool (plan/run/analyze/stats/
 //!   generate/trace/faults/metrics over CSV relations).
 
@@ -59,6 +62,7 @@ pub use parqp_lp as lp;
 pub use parqp_matmul as matmul;
 pub use parqp_mpc as mpc;
 pub use parqp_query as query;
+pub use parqp_serve as serve;
 pub use parqp_sort as sort;
 pub use parqp_trace as trace;
 

@@ -73,6 +73,18 @@ pub struct ExperimentPoint {
     pub skew: f64,
 }
 
+/// Measured serving metrics of one `parqp serve` workload preset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServePoint {
+    /// Queries served per 1000 logical ticks.
+    pub throughput: u64,
+    /// 99th-percentile per-query load `L` in tuples (nearest rank).
+    pub p99_l: u64,
+    /// Plan-cache hit rate `hits / (hits + misses)`, rounded to 4
+    /// decimals; 0 when the preset disables the cache.
+    pub cache_hit_rate: f64,
+}
+
 /// Metrics of every experiment × cluster-size point, keyed
 /// `"<experiment>/p<P>"`.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -81,6 +93,46 @@ pub struct MetricsReport {
     pub seed: u64,
     /// Points in key order (`BTreeMap`, so serialization is canonical).
     pub experiments: BTreeMap<String, ExperimentPoint>,
+    /// Serving-workload points keyed `"<preset>/p<P>"`. Empty in
+    /// baselines written before `parqp serve` existed; [`to_json`]
+    /// omits the section entirely then, and [`compare`] treats an
+    /// empty baseline section as unmeasured.
+    pub serve: BTreeMap<String, ServePoint>,
+}
+
+/// The `parqp serve` workload presets measured by [`collect`], keyed by
+/// the `"<preset>/p<P>"` name they get in the report: a steady cached
+/// stream, the same stream with the cache disabled (cold), and the
+/// cached stream under the default fault plan.
+pub fn serve_presets(seed: u64) -> Vec<(&'static str, parqp_serve::ServeConfig)> {
+    use parqp_serve::{FaultSetup, ServeConfig};
+    let steady = ServeConfig {
+        servers: 8,
+        tenants: 4,
+        templates: 3,
+        groups: 8,
+        ticks: 48,
+        seed,
+        cache_budget: 120_000,
+        ..ServeConfig::default()
+    };
+    vec![
+        ("steady/p8", steady.clone()),
+        (
+            "cold/p8",
+            ServeConfig {
+                cache_budget: 0,
+                ..steady.clone()
+            },
+        ),
+        (
+            "faulted/p8",
+            ServeConfig {
+                faults: Some(FaultSetup::default()),
+                ..steady
+            },
+        ),
+    ]
 }
 
 /// Collect metrics for every experiment at every [`METRICS_POINTS`]
@@ -123,7 +175,23 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
             experiments.insert(format!("{}/p{p}", e.name), point);
         }
     }
-    Ok(MetricsReport { seed, experiments })
+    let mut serve = BTreeMap::new();
+    for (name, cfg) in serve_presets(seed) {
+        let report = parqp_serve::replay(&cfg)?;
+        serve.insert(
+            name.to_string(),
+            ServePoint {
+                throughput: report.throughput_per_kticks(),
+                p99_l: report.l_percentile(99),
+                cache_hit_rate: (report.cache.hit_rate() * 10_000.0).round() / 10_000.0,
+            },
+        );
+    }
+    Ok(MetricsReport {
+        seed,
+        experiments,
+        serve,
+    })
 }
 
 /// [`collect_with`] a clock, then re-run every point under
@@ -203,7 +271,23 @@ pub fn to_json(report: &MetricsReport) -> String {
         );
         s.push_str(if i == last { "\n" } else { ",\n" });
     }
-    s.push_str("  }\n}\n");
+    s.push_str("  }");
+    // The serve section is omitted (not emitted empty) so documents
+    // written before `parqp serve` existed stay canonical round-trips.
+    if !report.serve.is_empty() {
+        s.push_str(",\n  \"serve\": {\n");
+        let last = report.serve.len().saturating_sub(1);
+        for (i, (key, pt)) in report.serve.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    \"{key}\": {{\"throughput\": {}, \"p99_l\": {}, \"cache_hit_rate\": {:.4}}}",
+                pt.throughput, pt.p99_l, pt.cache_hit_rate
+            );
+            s.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        s.push_str("  }");
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -225,6 +309,25 @@ pub fn from_json(src: &str) -> Result<MetricsReport, String> {
                 .trim()
                 .parse()
                 .map_err(|e| format!("bad seed value: {e}"))?;
+        } else if t.starts_with('"') && t.contains("\"throughput\":") {
+            // A serve-preset entry (absent in pre-serve baselines, which
+            // simply leave the map empty).
+            let key = t
+                .split('"')
+                .nth(1)
+                .ok_or_else(|| format!("malformed serve entry: {t}"))?;
+            let point = ServePoint {
+                throughput: field(t, "throughput")?
+                    .parse()
+                    .map_err(|e| format!("{key} throughput: {e}"))?,
+                p99_l: field(t, "p99_l")?
+                    .parse()
+                    .map_err(|e| format!("{key} p99_l: {e}"))?,
+                cache_hit_rate: field(t, "cache_hit_rate")?
+                    .parse()
+                    .map_err(|e| format!("{key} cache_hit_rate: {e}"))?,
+            };
+            report.serve.insert(key.to_string(), point);
         } else if t.starts_with('"') && t.contains("\"L\":") {
             let key = t
                 .split('"')
@@ -354,6 +457,42 @@ pub fn compare(baseline: &MetricsReport, current: &MetricsReport) -> Vec<String>
             ));
         }
     }
+    // Serving points are deterministic like L/rounds, but a baseline
+    // written before `parqp serve` existed carries no section at all —
+    // skip the whole family until the baseline is regenerated.
+    if !baseline.serve.is_empty() {
+        for (key, b) in &baseline.serve {
+            let Some(c) = current.serve.get(key) else {
+                out.push(format!("serve {key}: missing from current run"));
+                continue;
+            };
+            if b.throughput != c.throughput {
+                out.push(format!(
+                    "serve {key}: throughput changed {} → {}",
+                    b.throughput, c.throughput
+                ));
+            }
+            if b.p99_l != c.p99_l {
+                out.push(format!(
+                    "serve {key}: p99_l changed {} → {}",
+                    b.p99_l, c.p99_l
+                ));
+            }
+            if (b.cache_hit_rate - c.cache_hit_rate).abs() > 1e-9 {
+                out.push(format!(
+                    "serve {key}: cache_hit_rate changed {:.4} → {:.4}",
+                    b.cache_hit_rate, c.cache_hit_rate
+                ));
+            }
+        }
+        for key in current.serve.keys() {
+            if !baseline.serve.contains_key(key) {
+                out.push(format!(
+                    "serve {key}: not in baseline (regenerate it to admit new points)"
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -395,6 +534,17 @@ pub fn table(report: &MetricsReport) -> String {
             pt.l, pt.rounds, pt.skew
         );
     }
+    if !report.serve.is_empty() {
+        s.push_str("\nserve preset            p  throughput/kticks   p99(L)  cache_hit\n");
+        for (key, pt) in &report.serve {
+            let (name, p) = key.rsplit_once("/p").unwrap_or((key.as_str(), "?"));
+            let _ = writeln!(
+                s,
+                "{name:<21} {p:>4} {:>18} {:>8} {:>10.4}",
+                pt.throughput, pt.p99_l, pt.cache_hit_rate
+            );
+        }
+    }
     s
 }
 
@@ -430,9 +580,27 @@ mod tests {
                 skew: 1.0,
             },
         );
+        let mut serve = BTreeMap::new();
+        serve.insert(
+            "steady/p8".to_string(),
+            ServePoint {
+                throughput: 1200,
+                p99_l: 950,
+                cache_hit_rate: 0.7347,
+            },
+        );
+        serve.insert(
+            "cold/p8".to_string(),
+            ServePoint {
+                throughput: 1200,
+                p99_l: 950,
+                cache_hit_rate: 0.0,
+            },
+        );
         MetricsReport {
             seed: 42,
             experiments,
+            serve,
         }
     }
 
@@ -496,6 +664,60 @@ mod tests {
         // And compare treats the unmeasured baseline as passing against
         // a current run that does measure IO.
         assert!(compare(&parsed, &sample()).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_serve_section() {
+        let report = sample();
+        let parsed = from_json(&to_json(&report)).expect("own output parses");
+        assert_eq!(parsed.serve.len(), 2);
+        let steady = parsed.serve["steady/p8"];
+        assert_eq!(steady.throughput, 1200);
+        assert_eq!(steady.p99_l, 950);
+        assert!((steady.cache_hit_rate - 0.7347).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_accepts_pre_serve_baselines() {
+        // A v1 document written before `parqp serve` existed has no
+        // serve section at all; it must parse with the map empty, and
+        // compare must skip the whole family.
+        let mut old = sample();
+        old.serve.clear();
+        let json = to_json(&old);
+        assert!(!json.contains("serve"), "section really omitted");
+        let parsed = from_json(&json).expect("old schema parses");
+        assert!(parsed.serve.is_empty());
+        assert!(compare(&parsed, &sample()).is_empty());
+        // And the omitted section keeps the document canonical.
+        assert_eq!(to_json(&parsed), json);
+    }
+
+    #[test]
+    fn compare_flags_serve_drift_exactly() {
+        let baseline = sample();
+        let mut current = sample();
+        {
+            let pt = current.serve.get_mut("steady/p8").expect("point");
+            pt.throughput += 10;
+            pt.p99_l -= 1;
+            pt.cache_hit_rate += 0.1;
+        }
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 3, "got: {msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("throughput changed")));
+        assert!(msgs.iter().any(|m| m.contains("p99_l changed")));
+        assert!(msgs.iter().any(|m| m.contains("cache_hit_rate changed")));
+        // Missing and extra serve points are flagged once the baseline
+        // has a section at all.
+        let mut current = sample();
+        let moved = current.serve.remove("cold/p8").expect("point");
+        current.serve.insert("new/p8".to_string(), moved);
+        let msgs = compare(&baseline, &current);
+        assert!(msgs.iter().any(|m| m.contains("serve cold/p8: missing")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("serve new/p8: not in baseline")));
     }
 
     #[test]
@@ -639,10 +861,18 @@ mod tests {
 
     #[test]
     fn table_renders_one_row_per_point() {
-        let t = table(&sample());
-        assert_eq!(t.lines().count(), 2 + sample().experiments.len());
+        let s = sample();
+        let t = table(&s);
+        // Experiment header (2 lines) + rows, then a blank line, the
+        // serve header, and one row per serve preset.
+        assert_eq!(
+            t.lines().count(),
+            2 + s.experiments.len() + 2 + s.serve.len()
+        );
         assert!(t.contains("bound_ratio"));
         assert!(t.contains("psrs"));
+        assert!(t.contains("serve preset"));
+        assert!(t.contains("steady"));
         // Unmeasured wall-clock renders as "-".
         assert!(t.lines().any(|l| l.contains("psrs") && l.ends_with('-')));
     }
@@ -676,6 +906,14 @@ mod tests {
                 pt.io_hit_rate
             );
         }
+        assert_eq!(report.serve.len(), serve_presets(7).len());
+        for (key, pt) in &report.serve {
+            assert!(pt.throughput > 0, "{key}: zero throughput");
+            assert!(pt.p99_l > 0, "{key}: zero p99 load");
+        }
+        // The cached presets hit, the cold preset cannot.
+        assert!(report.serve["steady/p8"].cache_hit_rate > 0.0);
+        assert_eq!(report.serve["cold/p8"].cache_hit_rate, 0.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "core",
         &[
             "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "metrics", "faults",
-            "lint",
+            "serve", "lint",
         ],
     ),
     ("data", &["store", "testkit"]),
@@ -45,6 +45,10 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("metrics", &["trace"]),
     ("mpc", &["trace", "metrics", "faults", "store", "testkit"]),
     ("query", &["data", "lp"]),
+    (
+        "serve",
+        &["mpc", "data", "join", "metrics", "faults", "testkit"],
+    ),
     ("sort", &["mpc", "data"]),
     ("store", &[]),
     ("testkit", &[]),
@@ -56,7 +60,8 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
 /// runtime dependency, plus `mpc`, which holds the sanctioned worker
 /// pool (`testkit::pool`) behind `ExecMode::Parallel`. Everywhere else
 /// testkit is dev-only (PQ102).
-pub const TESTKIT_RUNTIME_WHITELIST: &[&str] = &["data", "matmul", "bench", "faults", "mpc"];
+pub const TESTKIT_RUNTIME_WHITELIST: &[&str] =
+    &["data", "matmul", "bench", "faults", "mpc", "serve"];
 
 /// Registry crates whose roles `parqp-testkit` absorbed in PR 1; they
 /// must never reappear in any manifest (PQ302).
@@ -305,6 +310,20 @@ mod tests {
         assert!(find("core").contains(&"trace"));
         assert!(find("core").contains(&"metrics"));
         assert!(find("core").contains(&"faults"));
+        // The serving layer composes the simulator, the algorithms it
+        // serves, and its observability sinks; only core (the `parqp
+        // serve` front door) may depend on it.
+        assert_eq!(
+            find("serve"),
+            &["mpc", "data", "join", "metrics", "faults", "testkit"]
+        );
+        assert!(find("core").contains(&"serve"));
+        for (name, deps) in ALLOWED_DEPS {
+            assert!(
+                *name == "core" || !deps.contains(&"serve"),
+                "only core (the `parqp serve` front door) may depend on serve"
+            );
+        }
         for (name, deps) in ALLOWED_DEPS {
             assert!(
                 *name == "core" || !deps.contains(&"lint"),

@@ -36,6 +36,12 @@
 //! |       |             | feeding it to metrics (`emit_io`) outside               |
 //! |       |             | `parqp-mpc`/`parqp-metrics`. Algorithm crates touch     |
 //! |       |             | paging only through `parqp_data::paged` scans           |
+//! | PQ110 | layering    | driving the shared-plan cache (`PlanCache`) or          |
+//! |       |             | fabricating per-tenant ledgers (`TenantLedger`) outside |
+//! |       |             | `parqp-serve`; tenant counters must come out of the     |
+//! |       |             | cluster's ledger deltas, and cache admission/eviction   |
+//! |       |             | must stay inside the serving layer's exact hit/miss     |
+//! |       |             | accounting. Consumers read `ServeReport` instead        |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -49,7 +55,7 @@ use crate::Diagnostic;
 /// (file I/O), `core` (CLI), `bench` (CSV output), `testkit` (env-var
 /// knobs) and `lint` (this tool) legitimately touch the OS.
 pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
-    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics", "store",
+    "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics", "store", "serve",
 ];
 
 /// The one file in the workspace allowed to touch `std::thread`: the
@@ -280,6 +286,22 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-mpc rewinds the IO ledger (in Cluster::reset), so counters stay aligned with the round clock",
         scope: None,
         exempt: &["store", "mpc"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ110",
+        token: "PlanCache",
+        message: "only parqp-serve drives the shared-plan cache, so its hit/miss/evict ledger stays exact; consumers read the CacheStats in a ServeReport instead",
+        scope: None,
+        exempt: &["serve"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ110",
+        token: "TenantLedger",
+        message: "only parqp-serve folds per-tenant ledgers (from the cluster's per-query report_since deltas); fabricating tenant counters elsewhere desyncs them from the (L, r, C) ledger",
+        scope: None,
+        exempt: &["serve"],
         exempt_paths: &[],
     },
     TokenRule {
@@ -592,6 +614,29 @@ mod tests {
         // The PQ107 token `metrics::emit` must not also fire on the
         // ident-distinct `metrics::emit_io`.
         assert!(!rules_of("join", emit).contains(&("PQ107", 1)));
+    }
+
+    #[test]
+    fn plan_cache_and_tenant_ledger_confined_to_serve() {
+        let src = "let mut cache = PlanCache::new(budget);\nlet t = TenantLedger::default();\n";
+        assert_eq!(rules_of("join", src), vec![("PQ110", 1), ("PQ110", 2)]);
+        assert_eq!(rules_of("core", src), vec![("PQ110", 1), ("PQ110", 2)]);
+        assert!(rules_of("serve", src).is_empty());
+    }
+
+    #[test]
+    fn serve_report_consumption_allowed_everywhere() {
+        let src = "let report = parqp_serve::replay(&cfg)?;\n\
+                   let rate = report.cache.hit_rate();\n\
+                   let p99 = report.l_percentile(99);\n";
+        assert!(rules_of("core", src).is_empty());
+        assert!(rules_of("bench", src).is_empty());
+    }
+
+    #[test]
+    fn serve_is_side_channel_scoped() {
+        assert_eq!(rules_of("serve", "use std::fs;\n"), vec![("PQ103", 1)]);
+        assert_eq!(rules_of("serve", "use std::env;\n"), vec![("PQ103", 1)]);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Fixture: driving the shared-plan cache and fabricating a tenant
+//! ledger from outside the serving layer (PQ110).
+
+use parqp_serve::cache::{BuildCost, PlanCache};
+
+pub fn poison_cache(parts: Vec<parqp_data::Relation>) -> u64 {
+    let mut cache = PlanCache::new(1_000_000);
+    let key = parqp_serve::cache::CacheKey {
+        template: 0,
+        group: 0,
+        shares: 4,
+    };
+    cache.insert(key, parts, BuildCost::default(), 0);
+    cache.stats().hits
+}
+
+pub struct TenantLedger {
+    pub served: u64,
+}
+
+pub fn forge_tenant_counters() -> TenantLedger {
+    TenantLedger { served: 9000 }
+}

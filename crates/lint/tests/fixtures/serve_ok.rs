@@ -1,0 +1,15 @@
+//! Fixture: serving-layer-clean code — replays a stream and reads the
+//! resulting report; cache admission and tenant tallying stay inside
+//! parqp-serve.
+
+use parqp_serve::{replay, ServeConfig};
+
+pub fn serve_summary(cfg: &ServeConfig) -> Result<(u64, f64), String> {
+    let report = replay(cfg)?;
+    Ok((report.l_percentile(99), report.cache.hit_rate()))
+}
+
+pub fn tenant_hit_rates(cfg: &ServeConfig) -> Result<Vec<f64>, String> {
+    let report = replay(cfg)?;
+    Ok(report.tenants.iter().map(|t| t.hit_rate()).collect())
+}

@@ -452,6 +452,24 @@ impl Cluster {
         }
     }
 
+    /// The `(L, r, C)` summary of the rounds recorded *after* `mark`
+    /// (a prior [`Cluster::rounds_so_far`] value): the per-query slice
+    /// of a long-lived cluster's ledger. Serving layers mark the ledger
+    /// before each admitted query and attribute the delta — including
+    /// any recovery rounds faults appended during it — to exactly that
+    /// query, so per-query slices sum to [`Cluster::report`] with no
+    /// round counted twice or dropped. Like `report`, this flushes the
+    /// page-IO ledger first, so a query's paged scans reach the metrics
+    /// registry before its slice is taken. A `mark` at or beyond the
+    /// current round count yields an empty report.
+    pub fn report_since(&self, mark: usize) -> LoadReport {
+        flush_io();
+        LoadReport {
+            servers: self.p,
+            rounds: self.rounds.get(mark..).unwrap_or_default().to_vec(),
+        }
+    }
+
     /// Number of rounds recorded so far.
     pub fn rounds_so_far(&self) -> usize {
         self.rounds.len()
@@ -831,6 +849,30 @@ mod tests {
         let received: Vec<usize> = (0..6).filter(|&s| !inboxes[s].is_empty()).collect();
         assert_eq!(received, g.matching(&[Some(1), None]));
         assert_eq!(c.report().total_tuples(), 3);
+    }
+
+    #[test]
+    fn report_since_slices_the_ledger_exactly() {
+        let mut c = Cluster::new(2);
+        let mut ex = c.exchange::<u64>();
+        ex.send(0, 1);
+        ex.finish();
+        let mark = c.rounds_so_far();
+        let mut ex = c.exchange::<u64>();
+        ex.send(1, 7);
+        ex.send(1, 8);
+        ex.finish();
+        let delta = c.report_since(mark);
+        assert_eq!(delta.num_rounds(), 1);
+        assert_eq!(delta.rounds[0].tuples, vec![0, 2]);
+        assert_eq!(delta.servers, 2);
+        // Slices partition the full ledger: prefix + delta == report.
+        let full = c.report();
+        assert_eq!(full.num_rounds(), 2);
+        assert_eq!(full.rounds[mark..], delta.rounds[..]);
+        // Marks at or past the end are empty, not a panic.
+        assert_eq!(c.report_since(2).num_rounds(), 0);
+        assert_eq!(c.report_since(99).num_rounds(), 0);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! The shared-plan cache: hash-partitioned base relations keyed by
+//! canonical `(template, group, shares)`, with deterministic LRU-by-tick
+//! eviction and an exact hit/miss/insert/evict ledger.
+//!
+//! The cache is purely observational with respect to query *results*:
+//! a hit hands back exactly the partitions a rebuild would produce
+//! (bases are pure functions of their key and the replay seed), so
+//! output digests are byte-identical cache-on vs cache-off — only the
+//! `(L, r, C)` and page-IO ledgers shrink. Eviction order is a pure
+//! function of the admission/touch sequence: least-recently-used tick
+//! first, ties broken by smallest key, so replays never diverge.
+//!
+//! Constructing a [`PlanCache`] outside `parqp-serve` is a layering
+//! violation (lint rule PQ110), the same way fabricating a
+//! `LoadReport` outside `parqp-mpc` is (PQ104): cache hits excuse
+//! queries from communication charges, so only the serving layer —
+//! whose differential tests prove the excusal sound — may grant them.
+
+use std::collections::BTreeMap;
+
+use parqp_data::Relation;
+
+/// Canonical identity of a cacheable partitioned base: the template,
+/// the data-key group, and the share count `p` it was partitioned for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Index into [`crate::templates::TEMPLATES`].
+    pub template: usize,
+    /// Data-key group.
+    pub group: u64,
+    /// Number of hash shares (the cluster's `p`): the same base
+    /// partitioned for a different cluster width is a different plan.
+    pub shares: usize,
+}
+
+/// What building one entry cost — the charges a future hit skips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildCost {
+    /// Logical page reads charged by the base scan.
+    pub reads: u64,
+    /// Words the partition exchange moved.
+    pub words: u64,
+    /// Tuples the partition exchange moved (also the resident size).
+    pub tuples: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    parts: Vec<Relation>,
+    cost: BuildCost,
+    last_used: u64,
+}
+
+/// The exact cache ledger, mirroring the store's [`IoStats`] shape:
+/// every admission decision is counted, nothing is sampled.
+///
+/// [`IoStats`]: parqp_data::paged::IoStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing (each followed by a build).
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted to respect the budget.
+    pub evictions: u64,
+    /// Builds too large to ever fit the budget, served uncached.
+    pub rejected: u64,
+    /// Tuples resident right now.
+    pub resident_tuples: u64,
+    /// High-water mark of `resident_tuples`.
+    pub peak_resident_tuples: u64,
+    /// Logical page reads hits avoided (sum of hit entries' build reads).
+    pub reads_saved: u64,
+    /// Exchange words hits avoided.
+    pub words_saved: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A budgeted store of hash-partitioned base relations shared across
+/// queries and tenants. Budget 0 disables the cache entirely (every
+/// lookup misses without being counted — the "off" differential arm).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: BTreeMap<CacheKey, Entry>,
+    budget_tuples: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// A cache holding at most `budget_tuples` resident tuples; 0
+    /// disables caching.
+    pub fn new(budget_tuples: u64) -> Self {
+        Self {
+            budget_tuples,
+            ..Self::default()
+        }
+    }
+
+    /// Whether caching is on at all.
+    pub fn enabled(&self) -> bool {
+        self.budget_tuples > 0
+    }
+
+    /// Look `key` up at `tick`. A hit refreshes the entry's LRU tick
+    /// and banks its skipped build charges; a miss is counted and the
+    /// caller is expected to build + [`PlanCache::insert`]. Always a
+    /// miss (uncounted) when the cache is disabled.
+    pub fn lookup(&mut self, key: &CacheKey, tick: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.stats.hits += 1;
+                self.stats.reads_saved += entry.cost.reads;
+                self.stats.words_saved += entry.cost.words;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// The resident partitions for `key`, if any (no ledger effect —
+    /// bookkeeping happened at [`PlanCache::lookup`] time).
+    pub fn get(&self, key: &CacheKey) -> Option<&[Relation]> {
+        self.entries.get(key).map(|e| e.parts.as_slice())
+    }
+
+    /// Admit a freshly built entry, evicting LRU entries (ties: the
+    /// smallest key) until it fits the budget. Returns the partitions
+    /// back to the caller when the build alone exceeds the budget (the
+    /// entry is rejected, not admitted); returns an empty `Vec` on
+    /// admission, after which [`PlanCache::get`] owns the parts.
+    ///
+    /// Disabled caches reject everything without counting.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        parts: Vec<Relation>,
+        cost: BuildCost,
+        tick: u64,
+    ) -> Vec<Relation> {
+        if !self.enabled() {
+            return parts;
+        }
+        if cost.tuples > self.budget_tuples {
+            self.stats.rejected += 1;
+            return parts;
+        }
+        while self.stats.resident_tuples + cost.tuples > self.budget_tuples {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, **k))
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            let evicted = self.entries.remove(&victim).map_or(0, |e| e.cost.tuples);
+            self.stats.resident_tuples -= evicted;
+            self.stats.evictions += 1;
+        }
+        self.stats.resident_tuples += cost.tuples;
+        self.stats.peak_resident_tuples = self
+            .stats
+            .peak_resident_tuples
+            .max(self.stats.resident_tuples);
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                parts,
+                cost,
+                last_used: tick,
+            },
+        );
+        Vec::new()
+    }
+
+    /// The exact ledger so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(template: usize, group: u64) -> CacheKey {
+        CacheKey {
+            template,
+            group,
+            shares: 8,
+        }
+    }
+
+    fn parts(tuples: u64) -> (Vec<Relation>, BuildCost) {
+        let mut rel = Relation::new(2);
+        for i in 0..tuples {
+            rel.push(&[i, i]);
+        }
+        (
+            vec![rel],
+            BuildCost {
+                reads: tuples,
+                words: 2 * tuples,
+                tuples,
+            },
+        )
+    }
+
+    #[test]
+    fn hit_miss_ledger_is_exact() {
+        let mut c = PlanCache::new(100);
+        assert!(!c.lookup(&key(0, 1), 0));
+        let (p, cost) = parts(10);
+        assert!(c.insert(key(0, 1), p, cost, 0).is_empty());
+        assert!(c.lookup(&key(0, 1), 1));
+        assert!(!c.lookup(&key(0, 2), 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+        assert_eq!(s.reads_saved, 10);
+        assert_eq!(s.words_saved, 20);
+        assert_eq!(s.resident_tuples, 10);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_by_tick_then_key() {
+        let mut c = PlanCache::new(30);
+        for (i, tick) in [(0usize, 5u64), (1, 3), (2, 3)] {
+            let (p, cost) = parts(10);
+            c.insert(key(i, 1), p, cost, tick);
+        }
+        // Admitting 10 more evicts the LRU tie (tick 3) with the
+        // smallest key: template 1.
+        let (p, cost) = parts(10);
+        c.insert(key(3, 1), p, cost, 6);
+        assert!(c.get(&key(1, 1)).is_none(), "LRU tie-break must evict 1");
+        assert!(c.get(&key(0, 1)).is_some() && c.get(&key(2, 1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().resident_tuples, 30);
+        assert_eq!(c.stats().peak_resident_tuples, 30);
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order() {
+        let mut c = PlanCache::new(20);
+        let (p, cost) = parts(10);
+        c.insert(key(0, 1), p, cost, 0);
+        let (p, cost) = parts(10);
+        c.insert(key(1, 1), p, cost, 1);
+        assert!(c.lookup(&key(0, 1), 2)); // 0 is now the newest
+        let (p, cost) = parts(10);
+        c.insert(key(2, 1), p, cost, 3);
+        assert!(c.get(&key(1, 1)).is_none(), "untouched entry must go");
+        assert!(c.get(&key(0, 1)).is_some());
+    }
+
+    #[test]
+    fn oversized_builds_are_rejected_not_admitted() {
+        let mut c = PlanCache::new(5);
+        let (p, cost) = parts(10);
+        let returned = c.insert(key(0, 1), p, cost, 0);
+        assert_eq!(returned.len(), 1, "rejected build returns to caller");
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().insertions, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut c = PlanCache::new(0);
+        assert!(!c.enabled());
+        assert!(!c.lookup(&key(0, 1), 0));
+        let (p, cost) = parts(10);
+        assert_eq!(c.insert(key(0, 1), p, cost, 0).len(), 1);
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -1,0 +1,547 @@
+//! The replay driver: one long-lived cluster, one query stream, exact
+//! per-query accounting.
+//!
+//! [`replay`] schedules the stream, then runs every arrival against a
+//! single [`Cluster`] under captured store/metrics/fault runtimes. Each
+//! query is two phases: *build* (scatter + hash-partition the
+//! template's base — skipped entirely on a cache hit) and *probe*
+//! (route the per-query probe relation with the same hash, then join
+//! locally against the resident partitions). A ledger mark taken before
+//! each query turns the cluster's cumulative ledger into exact
+//! per-query deltas via [`Cluster::report_since`], so tenant totals
+//! reconcile with the global registry to the tuple.
+
+use parqp_data::paged::{self, IoStats, RouteScan, StoreConfig};
+use parqp_data::{Relation, Value};
+use parqp_faults::{FaultPlan, FaultSpec, RecoveryStrategy};
+use parqp_join::common::{joined_arity, local_hash_join, scatter};
+use parqp_mpc::{faults, metrics, Cluster, HashFamily, LoadReport};
+
+use crate::cache::{BuildCost, CacheKey, CacheStats, PlanCache};
+use crate::report::{digest_relation, QueryRecord, ServeReport, TenantStats};
+use crate::templates::{self, TEMPLATES};
+use crate::workload::{self, QueryArrival};
+
+/// Fault injection for a replay: a seeded plan over the first
+/// `horizon` algorithm rounds, recovered by `strategy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSetup {
+    /// How many faults of each kind to schedule.
+    pub spec: FaultSpec,
+    /// How crashes are recovered.
+    pub strategy: RecoveryStrategy,
+    /// Rounds the schedule may place faults in (the plan's grid).
+    pub horizon: usize,
+}
+
+impl Default for FaultSetup {
+    fn default() -> Self {
+        Self {
+            spec: FaultSpec::default(),
+            strategy: RecoveryStrategy::default(),
+            horizon: 8,
+        }
+    }
+}
+
+/// Everything a replay is a pure function of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Cluster width `p`.
+    pub servers: usize,
+    /// Number of tenants issuing queries.
+    pub tenants: usize,
+    /// Templates in play (a prefix of [`TEMPLATES`]).
+    pub templates: usize,
+    /// Data-key groups per template.
+    pub groups: usize,
+    /// Length of the logical tick clock.
+    pub ticks: u64,
+    /// The replay seed: workload, inputs, hashing, and fault plan.
+    pub seed: u64,
+    /// Zipf exponent over templates (query skew).
+    pub zipf_q: f64,
+    /// Zipf exponent over data-key groups (data skew).
+    pub zipf_data: f64,
+    /// Plan-cache budget in resident tuples; 0 disables the cache.
+    pub cache_budget: u64,
+    /// Paged-store shape the replay runs under.
+    pub store: StoreConfig,
+    /// Optional fault injection under load.
+    pub faults: Option<FaultSetup>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            servers: 8,
+            tenants: 4,
+            templates: 3,
+            groups: 12,
+            ticks: 120,
+            seed: 42,
+            zipf_q: 1.1,
+            zipf_data: 1.2,
+            cache_budget: 120_000,
+            store: StoreConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("serve: need at least one server".into());
+        }
+        if self.tenants == 0 {
+            return Err("serve: need at least one tenant".into());
+        }
+        if self.ticks == 0 {
+            return Err("serve: need at least one tick".into());
+        }
+        if self.templates == 0 || self.templates > TEMPLATES.len() {
+            return Err(format!(
+                "serve: --templates must be in 1..={} (the catalog size), got {}",
+                TEMPLATES.len(),
+                self.templates
+            ));
+        }
+        if self.groups == 0 {
+            return Err("serve: need at least one data-key group".into());
+        }
+        for (name, alpha) in [("--zipf-q", self.zipf_q), ("--zipf-data", self.zipf_data)] {
+            if !alpha.is_finite() || alpha < 0.0 {
+                return Err(format!("serve: {name} must be a finite exponent >= 0"));
+            }
+        }
+        if let Some(f) = &self.faults {
+            if f.horizon == 0 {
+                return Err("serve: fault horizon must be at least one round".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the streamed portion of a replay produces (everything measured
+/// inside the captured runtimes).
+struct StreamOut {
+    records: Vec<QueryRecord>,
+    cache: CacheStats,
+    totals: LoadReport,
+}
+
+/// Per-tenant accumulation while the stream replays. Fabricating one
+/// of these outside `parqp-serve` is a layering violation (lint rule
+/// PQ110): tenant counters must come out of the cluster's ledger
+/// deltas, never be invented.
+#[derive(Debug, Clone, Default)]
+struct TenantLedger {
+    served: u64,
+    rounds: u64,
+    tuples: u64,
+    words: u64,
+    hits: u64,
+    misses: u64,
+    l_samples: Vec<u64>,
+}
+
+/// Replay `cfg`'s query stream and return the full report.
+///
+/// Deterministic end to end: equal configurations produce byte-equal
+/// reports (records, ledgers, digests), under any execution mode and
+/// any fault plan.
+pub fn replay(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    cfg.validate()?;
+    let arrivals = workload::schedule(cfg);
+    let (io_parts, (mut registry, (fault_log, out))) = paged::capture(cfg.store, || {
+        metrics::capture(|| match &cfg.faults {
+            Some(f) => {
+                let plan = FaultPlan::random(cfg.seed, cfg.servers, f.horizon, &f.spec);
+                let (log, out) = faults::capture(plan, f.strategy, || run_stream(cfg, &arrivals));
+                (Some(log), out)
+            }
+            None => (None, run_stream(cfg, &arrivals)),
+        })
+    });
+    let mut io = IoStats::default();
+    for part in &io_parts {
+        io.merge(part);
+    }
+    let tenants = tally_tenants(cfg, &out.records);
+    annotate_registry(&mut registry, &tenants, &out.cache, cfg.ticks);
+    Ok(ServeReport {
+        config: cfg.clone(),
+        records: out.records,
+        tenants,
+        cache: out.cache,
+        totals: out.totals,
+        io,
+        registry,
+        fault_log,
+    })
+}
+
+/// Run every arrival against one long-lived cluster.
+fn run_stream(cfg: &ServeConfig, arrivals: &[QueryArrival]) -> StreamOut {
+    let p = cfg.servers;
+    let mut cluster = Cluster::new(p);
+    let mut cache = PlanCache::new(cfg.cache_budget);
+    let mut records = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        let key = CacheKey {
+            template: a.template,
+            group: a.group,
+            shares: p,
+        };
+        let h = HashFamily::new(templates::partition_seed(a.template, a.group, cfg.seed), 1);
+        let mark = cluster.rounds_so_far();
+        let mut owned: Vec<Relation> = Vec::new();
+        let cache_state = if !cache.enabled() {
+            owned = build_partitions(&mut cluster, &h, a, cfg.seed).0;
+            "off"
+        } else if cache.lookup(&key, a.tick) {
+            "hit"
+        } else {
+            let (parts, cost) = build_partitions(&mut cluster, &h, a, cfg.seed);
+            owned = cache.insert(key, parts, cost, a.tick);
+            "miss"
+        };
+        let parts: &[Relation] = if owned.is_empty() {
+            cache
+                .get(&key)
+                .expect("a hit or admitted build must be resident")
+        } else {
+            &owned
+        };
+
+        // Probe phase: route this query's probe rows with the *same*
+        // hash that partitioned the base, then join locally.
+        let probe = templates::probe_relation(a.template, a.group, a.serial, cfg.seed);
+        let frags = scatter(&probe, p);
+        let mut ex = cluster.exchange::<Vec<Value>>();
+        for (sid, frag) in frags.iter().enumerate() {
+            ex.set_sender(sid);
+            let scan = RouteScan::new(sid, frag);
+            for row in scan.iter() {
+                ex.send(h.hash(0, row[0], p), row.to_vec());
+            }
+        }
+        let inboxes = ex.finish();
+        let arity = joined_arity(2, 2);
+        let outputs = cluster.map(inboxes, |s, probes| {
+            let build_rows: Vec<Vec<Value>> = parts[s].iter().map(<[Value]>::to_vec).collect();
+            let mut out = Relation::new(arity);
+            local_hash_join(&build_rows, 0, &probes, 0, &mut out);
+            out
+        });
+
+        let mut gathered = Relation::new(arity);
+        for part in &outputs {
+            gathered.extend_from(part);
+        }
+        let delta = cluster.report_since(mark);
+        records.push(QueryRecord {
+            serial: a.serial,
+            tick: a.tick,
+            tenant: a.tenant,
+            template: TEMPLATES[a.template].name,
+            group: a.group,
+            cache: cache_state,
+            l: delta.max_load_tuples(),
+            rounds: delta.num_rounds() as u64,
+            tuples: delta.total_tuples(),
+            words: delta.total_words(),
+            out_rows: gathered.len() as u64,
+            digest: digest_relation(&gathered),
+        });
+    }
+    StreamOut {
+        records,
+        cache: cache.stats(),
+        totals: cluster.report(),
+    }
+}
+
+/// Build phase: scatter the base and hash-partition it across the
+/// cluster (one exchange round), returning the per-server partitions
+/// and what the build cost — the charges a cache hit skips.
+fn build_partitions(
+    cluster: &mut Cluster,
+    h: &HashFamily,
+    a: &QueryArrival,
+    seed: u64,
+) -> (Vec<Relation>, BuildCost) {
+    let p = cluster.p();
+    let base = templates::base_relation(a.template, a.group, seed);
+    let frags = scatter(&base, p);
+    let mut ex = cluster.exchange::<Vec<Value>>();
+    for (sid, frag) in frags.iter().enumerate() {
+        ex.set_sender(sid);
+        let scan = RouteScan::new(sid, frag);
+        for row in scan.iter() {
+            ex.send(h.hash(0, row[0], p), row.to_vec());
+        }
+    }
+    let inboxes = ex.finish();
+    let parts = cluster.map(inboxes, |_, rows| {
+        let mut rel = Relation::new(2);
+        for row in &rows {
+            rel.push(row);
+        }
+        rel
+    });
+    let n = base.len() as u64;
+    (
+        parts,
+        BuildCost {
+            reads: n,
+            words: 2 * n,
+            tuples: n,
+        },
+    )
+}
+
+/// Fold the per-query records into per-tenant stats.
+fn tally_tenants(cfg: &ServeConfig, records: &[QueryRecord]) -> Vec<TenantStats> {
+    let mut ledgers = vec![TenantLedger::default(); cfg.tenants];
+    for r in records {
+        let t = &mut ledgers[r.tenant];
+        t.served += 1;
+        t.rounds += r.rounds;
+        t.tuples += r.tuples;
+        t.words += r.words;
+        match r.cache {
+            "hit" => t.hits += 1,
+            "miss" => t.misses += 1,
+            _ => {}
+        }
+        t.l_samples.push(r.l);
+    }
+    ledgers
+        .into_iter()
+        .enumerate()
+        .map(|(tenant, mut t)| {
+            t.l_samples.sort_unstable();
+            TenantStats {
+                tenant,
+                served: t.served,
+                rounds: t.rounds,
+                tuples: t.tuples,
+                words: t.words,
+                hits: t.hits,
+                misses: t.misses,
+                l_p50: percentile(&t.l_samples, 50),
+                l_p99: percentile(&t.l_samples, 99),
+                throughput_per_kticks: t.served * 1000 / cfg.ticks,
+            }
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+pub(crate) fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1);
+    sorted[((rank - 1) as usize).min(sorted.len() - 1)]
+}
+
+/// Mirror the per-tenant and cache ledgers into registry gauges, so
+/// `parqp metrics`-style consumers see serving health next to the
+/// event-derived counters.
+fn annotate_registry(
+    registry: &mut parqp_metrics::MetricsRegistry,
+    tenants: &[TenantStats],
+    cache: &CacheStats,
+    ticks: u64,
+) {
+    let mut served = 0u64;
+    for t in tenants {
+        served += t.served;
+        let base = format!("serve.tenant.{}", t.tenant);
+        registry.set_gauge(format!("{base}.served"), t.served as f64);
+        registry.set_gauge(format!("{base}.rounds"), t.rounds as f64);
+        registry.set_gauge(format!("{base}.p50_l"), t.l_p50 as f64);
+        registry.set_gauge(format!("{base}.p99_l"), t.l_p99 as f64);
+        registry.set_gauge(format!("{base}.cache_hit_rate"), t.hit_rate());
+        registry.set_gauge(
+            format!("{base}.throughput_per_kticks"),
+            t.throughput_per_kticks as f64,
+        );
+    }
+    registry.set_gauge("serve.queries_served", served as f64);
+    registry.set_gauge(
+        "serve.throughput_per_kticks",
+        (served * 1000 / ticks) as f64,
+    );
+    registry.set_gauge("serve.cache.hits", cache.hits as f64);
+    registry.set_gauge("serve.cache.misses", cache.misses as f64);
+    registry.set_gauge("serve.cache.insertions", cache.insertions as f64);
+    registry.set_gauge("serve.cache.evictions", cache.evictions as f64);
+    registry.set_gauge("serve.cache.hit_rate", cache.hit_rate());
+    registry.set_gauge(
+        "serve.cache.peak_resident_tuples",
+        cache.peak_resident_tuples as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeConfig {
+        ServeConfig {
+            servers: 4,
+            tenants: 2,
+            templates: 2,
+            groups: 4,
+            ticks: 20,
+            cache_budget: 50_000,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = replay(&small()).expect("valid config");
+        let b = replay(&small()).expect("valid config");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.tenants, b.tenants);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.io, b.io);
+    }
+
+    #[test]
+    fn skewed_stream_hits_the_cache() {
+        let r = replay(&small()).expect("valid config");
+        assert!(
+            r.cache.hits > 0,
+            "no cache hits on a Zipf stream: {:?}",
+            r.cache
+        );
+        assert!(r.cache.insertions > 0);
+        assert!(r.records.iter().any(|q| q.cache == "hit"));
+        assert!(r.records.iter().any(|q| q.cache == "miss"));
+    }
+
+    #[test]
+    fn cache_off_marks_every_query_off() {
+        let r = replay(&ServeConfig {
+            cache_budget: 0,
+            ..small()
+        })
+        .expect("valid config");
+        assert!(r.records.iter().all(|q| q.cache == "off"));
+        assert_eq!(r.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn per_query_deltas_cover_the_whole_ledger() {
+        let r = replay(&small()).expect("valid config");
+        let rounds: u64 = r.records.iter().map(|q| q.rounds).sum();
+        assert_eq!(rounds, r.totals.num_rounds() as u64);
+        let words: u64 = r.records.iter().map(|q| q.words).sum();
+        assert_eq!(words, r.totals.total_words());
+    }
+
+    #[test]
+    fn hits_skip_the_build_round() {
+        let r = replay(&small()).expect("valid config");
+        for q in &r.records {
+            match q.cache {
+                "hit" => assert_eq!(q.rounds, 1, "hit must be probe-only: {q:?}"),
+                _ => assert_eq!(q.rounds, 2, "miss must build + probe: {q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_forces_evictions() {
+        let r = replay(&ServeConfig {
+            cache_budget: 8000,
+            ..small()
+        })
+        .expect("valid config");
+        assert!(
+            r.cache.evictions > 0,
+            "8k-tuple budget must evict: {:?}",
+            r.cache
+        );
+        assert!(r.cache.resident_tuples <= 8000);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for bad in [
+            ServeConfig {
+                servers: 0,
+                ..small()
+            },
+            ServeConfig {
+                tenants: 0,
+                ..small()
+            },
+            ServeConfig {
+                ticks: 0,
+                ..small()
+            },
+            ServeConfig {
+                templates: 0,
+                ..small()
+            },
+            ServeConfig {
+                templates: TEMPLATES.len() + 1,
+                ..small()
+            },
+            ServeConfig {
+                groups: 0,
+                ..small()
+            },
+            ServeConfig {
+                zipf_q: -1.0,
+                ..small()
+            },
+            ServeConfig {
+                zipf_data: f64::NAN,
+                ..small()
+            },
+        ] {
+            assert!(replay(&bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 99), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 100), 4);
+    }
+
+    #[test]
+    fn faulted_replay_reproduces_faultfree_digests() {
+        let clean = replay(&small()).expect("valid config");
+        let faulted = replay(&ServeConfig {
+            faults: Some(FaultSetup::default()),
+            ..small()
+        })
+        .expect("valid config");
+        let log = faulted.fault_log.as_ref().expect("fault log present");
+        assert!(log.fired() > 0, "default plan must fire inside the horizon");
+        let digests = |r: &ServeReport| r.records.iter().map(|q| q.digest).collect::<Vec<_>>();
+        assert_eq!(
+            digests(&clean),
+            digests(&faulted),
+            "fault injection must be transparent to query outputs"
+        );
+        assert!(
+            faulted.totals.total_tuples() > clean.totals.total_tuples(),
+            "recovery overhead must be charged to the ledger"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded multi-tenant arrival schedules on a logical tick clock.
+//!
+//! The schedule is a pure function of the configuration: each
+//! `(tenant, tick)` slot derives its own RNG from the seed, draws how
+//! many queries arrive in that slot (a periodic per-tenant burst plus a
+//! sparse baseline), and then draws each query's template and data-key
+//! group through the two Zipf samplers. No slot's draws consume another
+//! slot's stream, so inserting a tenant or extending the horizon never
+//! perturbs existing slots — the tick-clock determinism argument in
+//! DESIGN.md § "Serving workloads".
+
+use parqp_data::zipf::Zipf;
+use parqp_testkit::Rng;
+
+use crate::driver::ServeConfig;
+
+/// One query arrival in a replayed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryArrival {
+    /// Position in the global replay order (tick-major, then tenant,
+    /// then draw order within the slot).
+    pub serial: u64,
+    /// Logical tick the query arrived on.
+    pub tick: u64,
+    /// Tenant that issued it.
+    pub tenant: usize,
+    /// Index into [`crate::templates::TEMPLATES`].
+    pub template: usize,
+    /// Data-key group (1-based, Zipf-skewed over `1..=groups`).
+    pub group: u64,
+}
+
+/// Per-slot RNG seed: decorrelate `(seed, tenant, tick)`.
+fn slot_seed(seed: u64, tenant: usize, tick: u64) -> u64 {
+    let mut state = seed
+        ^ (tenant as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ tick.wrapping_mul(0x94d0_49bb_1331_11eb);
+    parqp_testkit::splitmix64(&mut state)
+}
+
+/// Generate the full arrival schedule for `cfg`, in replay order.
+///
+/// Each tenant bursts on its own period (`3 + tenant mod 5` ticks,
+/// offset by its id): a burst slot admits 1–3 queries, any other slot
+/// admits one query with probability 0.15. Templates are drawn
+/// Zipf(`zipf_q`) over the first `cfg.templates` catalog entries and
+/// groups Zipf(`zipf_data`) over `1..=cfg.groups`, so a skewed stream
+/// revisits its head keys constantly — the repetition the plan cache
+/// feeds on.
+///
+/// # Panics
+/// Panics if `cfg.templates == 0` or `cfg.groups == 0` (the driver
+/// validates configurations before scheduling).
+pub fn schedule(cfg: &ServeConfig) -> Vec<QueryArrival> {
+    let zipf_templates = Zipf::new(cfg.templates, cfg.zipf_q);
+    let zipf_groups = Zipf::new(cfg.groups, cfg.zipf_data);
+    let mut out = Vec::new();
+    let mut serial = 0u64;
+    for tick in 0..cfg.ticks {
+        for tenant in 0..cfg.tenants {
+            let mut rng = Rng::seed_from_u64(slot_seed(cfg.seed, tenant, tick));
+            let period = 3 + tenant as u64 % 5;
+            let arrivals = if tick % period == tenant as u64 % period {
+                1 + rng.gen_below(3)
+            } else {
+                u64::from(rng.gen_bool(0.15))
+            };
+            for _ in 0..arrivals {
+                let template = (zipf_templates.sample(&mut rng) - 1) as usize;
+                let group = zipf_groups.sample(&mut rng);
+                out.push(QueryArrival {
+                    serial,
+                    tick,
+                    tenant,
+                    template,
+                    group,
+                });
+                serial += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            tenants: 4,
+            templates: 3,
+            groups: 12,
+            ticks: 60,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let a = schedule(&cfg());
+        let b = schedule(&cfg());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for (i, q) in a.iter().enumerate() {
+            assert_eq!(q.serial, i as u64, "serials must enumerate replay order");
+            assert!(q.tenant < 4 && q.template < 3);
+            assert!((1..=12).contains(&q.group));
+        }
+        assert!(a.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn every_tenant_bursts() {
+        let arrivals = schedule(&cfg());
+        for tenant in 0..4 {
+            let per_tick = |tick| {
+                arrivals
+                    .iter()
+                    .filter(|q| q.tenant == tenant && q.tick == tick)
+                    .count()
+            };
+            let max = (0..60).map(per_tick).max().unwrap_or(0);
+            assert!(max >= 2, "tenant {tenant} never burst (max {max}/tick)");
+        }
+    }
+
+    #[test]
+    fn extending_the_horizon_preserves_the_prefix() {
+        let short = schedule(&cfg());
+        let long = schedule(&ServeConfig {
+            ticks: 120,
+            ..cfg()
+        });
+        assert_eq!(short[..], long[..short.len()]);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_groups() {
+        let arrivals = schedule(&ServeConfig {
+            ticks: 200,
+            zipf_data: 1.4,
+            ..cfg()
+        });
+        let head = arrivals.iter().filter(|q| q.group == 1).count();
+        let tail = arrivals.iter().filter(|q| q.group == 12).count();
+        assert!(
+            head > 4 * tail.max(1),
+            "group 1 ({head}) not clearly hotter than group 12 ({tail})"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = schedule(&cfg());
+        let b = schedule(&ServeConfig { seed: 43, ..cfg() });
+        assert_ne!(a, b);
+    }
+}

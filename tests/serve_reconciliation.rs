@@ -1,0 +1,125 @@
+//! Per-tenant metrics reconciliation: the serving layer invents no
+//! numbers. Tenant stats are folded from per-query ledger deltas
+//! (`Cluster::report_since`), so their sums must equal the whole-replay
+//! `(L, r, C)` ledger *exactly*; the captured `MetricsRegistry` counts
+//! the same event stream, so its counters must match both; and the
+//! `serve.*` gauges must mirror the tenant stats they annotate.
+
+use parqp::serve::{replay, FaultSetup, ServeConfig, ServeReport};
+
+fn stream() -> ServeConfig {
+    ServeConfig {
+        servers: 4,
+        tenants: 3,
+        templates: 3,
+        groups: 5,
+        ticks: 24,
+        seed: 42,
+        cache_budget: 60_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Sum one per-tenant field across all tenants.
+fn tenant_sum(r: &ServeReport, f: impl Fn(&parqp::serve::TenantStats) -> u64) -> u64 {
+    r.tenants.iter().map(f).sum()
+}
+
+#[test]
+fn tenant_sums_equal_the_cluster_ledger_exactly() {
+    let r = replay(&stream()).expect("valid config");
+    assert_eq!(tenant_sum(&r, |t| t.served), r.served());
+    assert_eq!(tenant_sum(&r, |t| t.rounds), r.totals.num_rounds() as u64);
+    assert_eq!(tenant_sum(&r, |t| t.tuples), r.totals.total_tuples());
+    assert_eq!(tenant_sum(&r, |t| t.words), r.totals.total_words());
+    // Every tenant actually served something in this stream.
+    assert!(r.tenants.iter().all(|t| t.served > 0));
+}
+
+#[test]
+fn tenant_cache_counters_equal_the_cache_ledger_exactly() {
+    let r = replay(&stream()).expect("valid config");
+    assert!(r.cache.hits > 0, "stream must exercise the cache");
+    assert_eq!(tenant_sum(&r, |t| t.hits), r.cache.hits);
+    assert_eq!(tenant_sum(&r, |t| t.misses), r.cache.misses);
+}
+
+#[test]
+fn tenant_sums_equal_the_query_records_exactly() {
+    let r = replay(&stream()).expect("valid config");
+    for t in &r.tenants {
+        let records: Vec<_> = r.records.iter().filter(|q| q.tenant == t.tenant).collect();
+        assert_eq!(t.served, records.len() as u64);
+        assert_eq!(t.rounds, records.iter().map(|q| q.rounds).sum::<u64>());
+        assert_eq!(t.tuples, records.iter().map(|q| q.tuples).sum::<u64>());
+        assert_eq!(t.words, records.iter().map(|q| q.words).sum::<u64>());
+        // Percentiles come from the same per-query L samples.
+        let mut l: Vec<u64> = records.iter().map(|q| q.l).collect();
+        l.sort_unstable();
+        assert!(t.l_p50 <= t.l_p99);
+        assert!(l.contains(&t.l_p50) && l.contains(&t.l_p99));
+    }
+}
+
+#[test]
+fn registry_counters_match_the_report_ledgers() {
+    let r = replay(&stream()).expect("valid config");
+    // The registry counted the same event stream the LoadReport sums.
+    assert_eq!(r.registry.rounds(), r.totals.num_rounds() as u64);
+    assert_eq!(r.registry.counter("tuples"), r.totals.total_tuples());
+    assert_eq!(r.registry.counter("words"), r.totals.total_words());
+    // And the same drained page-IO ledger the paged capture summed.
+    assert_eq!(r.registry.io_reads(), r.io.reads);
+    assert_eq!(r.registry.counter("io_misses"), r.io.misses);
+    assert_eq!(r.registry.counter("io_evictions"), r.io.evictions);
+}
+
+#[test]
+fn registry_gauges_mirror_tenant_stats() {
+    let r = replay(&stream()).expect("valid config");
+    let gauge = |name: &str| {
+        r.registry
+            .gauge(name)
+            .unwrap_or_else(|| panic!("gauge {name}"))
+    };
+    for t in &r.tenants {
+        let base = format!("serve.tenant.{}", t.tenant);
+        assert_eq!(gauge(&format!("{base}.served")), t.served as f64);
+        assert_eq!(gauge(&format!("{base}.rounds")), t.rounds as f64);
+        assert_eq!(gauge(&format!("{base}.p50_l")), t.l_p50 as f64);
+        assert_eq!(gauge(&format!("{base}.p99_l")), t.l_p99 as f64);
+        assert_eq!(gauge(&format!("{base}.cache_hit_rate")), t.hit_rate());
+        assert_eq!(
+            gauge(&format!("{base}.throughput_per_kticks")),
+            t.throughput_per_kticks as f64
+        );
+    }
+    assert_eq!(gauge("serve.queries_served"), r.served() as f64);
+    assert_eq!(gauge("serve.cache.hits"), r.cache.hits as f64);
+    assert_eq!(gauge("serve.cache.misses"), r.cache.misses as f64);
+    assert_eq!(gauge("serve.cache.evictions"), r.cache.evictions as f64);
+    assert_eq!(gauge("serve.cache.hit_rate"), r.cache.hit_rate());
+}
+
+#[test]
+fn reconciliation_holds_under_injected_faults() {
+    let r = replay(&ServeConfig {
+        faults: Some(FaultSetup::default()),
+        ..stream()
+    })
+    .expect("valid config");
+    let log = r.fault_log.as_ref().expect("fault log present");
+    assert!(log.fired() > 0, "plan must fire under load");
+    // Recovery rounds land inside some query's report_since window, so
+    // the tenant sums still tile the inflated ledger exactly.
+    assert_eq!(tenant_sum(&r, |t| t.rounds), r.totals.num_rounds() as u64);
+    assert_eq!(tenant_sum(&r, |t| t.tuples), r.totals.total_tuples());
+    assert_eq!(tenant_sum(&r, |t| t.words), r.totals.total_words());
+    // The registry saw the recovery events the fault log tallied.
+    assert_eq!(
+        r.registry.counter("recovery_rounds"),
+        log.recovery_rounds as u64
+    );
+    assert_eq!(r.registry.counter("recovery_tuples"), log.recovery_tuples);
+    assert_eq!(r.registry.counter("recovery_words"), log.recovery_words);
+}
