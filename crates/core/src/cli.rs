@@ -42,7 +42,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     // `--page-size`/`--pool-pages` install a paged store the same way;
     // `store` and `serve` manage their own (store runs both modes to
     // compare them, serve captures per-replay IO ledgers).
-    let _store = if cmd == "store" || cmd == "serve" {
+    let _store = if cmd == "store" || cmd == "serve" || cmd == "dash" {
         None
     } else {
         opts.store_config().map(parqp_data::paged::install)
@@ -58,6 +58,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "metrics" => metrics_cmd(&opts),
         "store" => store_cmd(&opts),
         "serve" => serve_cmd(&opts),
+        "dash" => dash_cmd(&opts),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -138,7 +139,7 @@ pub fn lint_main(args: &[String]) -> i32 {
 }
 
 fn usage() -> String {
-    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|store|serve|lint> [options]\n\
+    "usage: parqp <analyze|plan|run|stats|generate|trace|faults|metrics|store|serve|dash|lint> [options]\n\
      \n\
      analyze  --query Q                         τ*, ψ*, acyclicity, bounds\n\
      plan     --query Q --data F... [--servers P]   planner decision only\n\
@@ -174,7 +175,17 @@ fn usage() -> String {
               --faults injects a seeded fault plan under load (same\n\
               --strategy/--crashes/... flags as `faults`), --verify\n\
               re-runs cache-off and fails on any per-query digest\n\
-              divergence\n\
+              divergence; --obs records a per-window time series\n\
+              (--window W ticks each, default 8) — table format appends\n\
+              the ASCII dashboard, jsonl appends the window series, and\n\
+              --format prom emits Prometheus text exposition; --slo F\n\
+              evaluates the rules file against the series and exits\n\
+              nonzero on a burn-rate alert (implies --obs)\n\
+     dash     [--preset steady|cold|faulted] [--window W] [--seed S]\n\
+              [--format dash|jsonl|prom] [--out F]\n\
+              render the serving dashboard (sparklines + per-server\n\
+              heatmap) for a named serve preset — the same presets the\n\
+              metrics gate measures\n\
      lint     [--format text|json]\n\
               run the in-tree static analyzer (determinism, layering,\n\
               worker-purity rules PQ401-PQ408) over the workspace;\n\
@@ -226,6 +237,10 @@ struct Opts {
     cache_budget: u64,
     faults: bool,
     verify: bool,
+    obs: bool,
+    window: u64,
+    slo: Option<String>,
+    preset: Option<String>,
 }
 
 impl Opts {
@@ -264,6 +279,10 @@ impl Opts {
             cache_budget: 120_000,
             faults: false,
             verify: false,
+            obs: false,
+            window: 8,
+            slo: None,
+            preset: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -372,6 +391,14 @@ impl Opts {
                 }
                 "--faults" => o.faults = true,
                 "--verify" => o.verify = true,
+                "--obs" => o.obs = true,
+                "--window" => {
+                    o.window = value("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?;
+                }
+                "--slo" => o.slo = Some(value("--slo")?),
+                "--preset" => o.preset = Some(value("--preset")?),
                 "--every" | "--replicas" | "--crashes" | "--drops" | "--duplicates"
                 | "--stragglers" | "--horizon" => {
                     let parsed: usize = value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -824,7 +851,7 @@ fn store_cmd(o: &Opts) -> Result<String, String> {
 /// digest is compared — caching must be a pure cost optimization, never
 /// observable in results.
 fn serve_cmd(o: &Opts) -> Result<String, String> {
-    use parqp_serve::{replay, FaultSetup, ServeConfig};
+    use parqp_serve::{replay, replay_observed, FaultSetup, ServeConfig};
 
     let faults = if o.faults {
         Some(FaultSetup {
@@ -848,7 +875,15 @@ fn serve_cmd(o: &Opts) -> Result<String, String> {
         store: o.store_config().unwrap_or_default(),
         faults,
     };
-    let report = replay(&cfg)?;
+    // `--slo` and `--format prom` need the window series, so they imply
+    // `--obs`; a plain replay records nothing extra.
+    let observed = o.obs || o.slo.is_some() || o.format.as_deref() == Some("prom");
+    let (report, series) = if observed {
+        let (report, series) = replay_observed(&cfg, o.window)?;
+        (report, Some(series))
+    } else {
+        (replay(&cfg)?, None)
+    };
     let mut verified = String::new();
     if o.verify {
         let off = replay(&ServeConfig {
@@ -875,14 +910,78 @@ fn serve_cmd(o: &Opts) -> Result<String, String> {
             report.served()
         );
     }
+    // Evaluate the SLO rules before rendering: a burn-rate alert is an
+    // error (nonzero exit), whatever format was asked for.
+    let mut slo_text = String::new();
+    if let (Some(path), Some(series)) = (&o.slo, &series) {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let rules = parqp_obs::SloRules::parse(&src)?;
+        let verdict = rules.evaluate(series);
+        verdict
+            .gate()
+            .map_err(|e| format!("slo gate {path}:\n{}{e}", verdict.table()))?;
+        slo_text = verdict.table();
+    }
     let body = match o.format.as_deref().unwrap_or("table") {
-        "table" => format!("{}{verified}", report.table()),
-        "jsonl" => report.jsonl(),
-        other => return Err(format!("unknown --format {other:?} (table|jsonl)")),
+        "table" => match &series {
+            Some(series) => format!(
+                "{}{verified}\n{}{slo_text}",
+                report.table(),
+                series.dashboard()
+            ),
+            None => format!("{}{verified}", report.table()),
+        },
+        "jsonl" => match &series {
+            Some(series) => format!("{}{}", report.jsonl(), series.jsonl()),
+            None => report.jsonl(),
+        },
+        // `observed` covers this arm, but stay typed rather than assert.
+        "prom" => match &series {
+            Some(series) => series.prometheus(),
+            None => return Err("--format prom records a series; pass --obs".into()),
+        },
+        other => return Err(format!("unknown --format {other:?} (table|jsonl|prom)")),
     };
     if let Some(out) = &o.out {
         std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
-        Ok(format!("wrote {} bytes to {out}\n{verified}", body.len()))
+        Ok(format!(
+            "wrote {} bytes to {out}\n{verified}{slo_text}",
+            body.len()
+        ))
+    } else {
+        Ok(body)
+    }
+}
+
+/// `parqp dash`: render the serving dashboard — sparklines over the
+/// window series plus the servers × windows heatmap — for one of the
+/// named serve presets the metrics gate measures.
+fn dash_cmd(o: &Opts) -> Result<String, String> {
+    let preset = o.preset.as_deref().unwrap_or("steady");
+    let presets = crate::metrics::serve_presets(o.seed);
+    let names: Vec<&str> = presets
+        .iter()
+        .map(|(name, _)| name.split('/').next().unwrap_or(name))
+        .collect();
+    let Some((_, cfg)) = presets
+        .iter()
+        .find(|(name, _)| name.split('/').next() == Some(preset))
+    else {
+        return Err(format!(
+            "unknown --preset {preset:?} (one of: {})",
+            names.join("|")
+        ));
+    };
+    let (_, series) = parqp_serve::replay_observed(cfg, o.window)?;
+    let body = match o.format.as_deref().unwrap_or("dash") {
+        "dash" => series.dashboard(),
+        "jsonl" => series.jsonl(),
+        "prom" => series.prometheus(),
+        other => return Err(format!("unknown --format {other:?} (dash|jsonl|prom)")),
+    };
+    if let Some(out) = &o.out {
+        std::fs::write(out, &body).map_err(|e| format!("{out}: {e}"))?;
+        Ok(format!("wrote {} bytes to {out}\n", body.len()))
     } else {
         Ok(body)
     }
@@ -1406,6 +1505,104 @@ mod tests {
         assert!(h.contains("serve"), "got: {h}");
         assert!(h.contains("--cache-budget"), "got: {h}");
         assert!(h.contains("--zipf-q"), "got: {h}");
+    }
+
+    #[test]
+    fn serve_obs_appends_dashboard_and_window_series() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--obs", "--window", "4"]);
+        let out = dispatch(&argv(&args)).expect("observed serve runs");
+        assert!(out.contains("serve replay: p=4"), "got: {out}");
+        assert!(out.contains("serve series: p=4 windows=4x4"), "got: {out}");
+        assert!(out.contains("heatmap: tuples received"), "got: {out}");
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--obs", "--format", "jsonl"]);
+        let a = dispatch(&argv(&args)).expect("observed jsonl works");
+        let b = dispatch(&argv(&args)).expect("observed jsonl works");
+        assert_eq!(a, b, "observed replay must stay deterministic");
+        assert!(a.contains("\"type\":\"query\""), "got: {a}");
+        assert!(a.contains("\"type\":\"window\""), "got: {a}");
+        assert!(a.contains("\"type\":\"series_totals\""), "got: {a}");
+    }
+
+    #[test]
+    fn serve_prom_format_exports_window_gauges() {
+        let mut args = SERVE_SMALL.to_vec();
+        args.extend(["--format", "prom"]);
+        let out = dispatch(&argv(&args)).expect("prom format works");
+        assert!(
+            out.contains("# TYPE parqp_serve_window_served gauge"),
+            "got: {out}"
+        );
+        assert!(out.contains("parqp_serve_served_total"), "got: {out}");
+    }
+
+    #[test]
+    fn serve_slo_gate_passes_and_trips() {
+        let dir = tmpdir("serve_slo");
+        let rules = dir.join("rules.slo");
+        // Generous thresholds pass and report the verdict table.
+        std::fs::write(&rules, "p99_l_budget = 1000000\n").expect("write rules");
+        let mut args = SERVE_SMALL.to_vec();
+        let path = rules.to_str().expect("utf8").to_string();
+        args.extend(["--slo", &path]);
+        let out = dispatch(&argv(&args)).expect("slo gate passes");
+        assert!(out.contains("verdict: PASS"), "got: {out}");
+        // An impossible budget burns every window: fast-burn alert,
+        // nonzero exit, alert text in the error.
+        std::fs::write(&rules, "p99_l_budget = 0\n").expect("write rules");
+        let err = dispatch(&argv(&args)).expect_err("slo gate must trip");
+        assert!(err.contains("slo gate"), "got: {err}");
+        assert!(err.contains("fast burn"), "got: {err}");
+        // A malformed rules file is a setup error, not a pass.
+        std::fs::write(&rules, "p99_l_budget = banana\n").expect("write rules");
+        assert!(dispatch(&argv(&args)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dash_renders_sparklines_for_presets() {
+        let out = dispatch(&argv(&["dash"])).expect("dash runs");
+        assert!(out.contains("serve series: p=8 windows=6x8"), "got: {out}");
+        assert!(out.contains("p99(L)"), "got: {out}");
+        assert!(out.contains("heatmap: tuples received"), "got: {out}");
+        let cold = dispatch(&argv(&["dash", "--preset", "cold"])).expect("cold preset runs");
+        assert!(cold.contains("hit_rate"), "got: {cold}");
+        let err = dispatch(&argv(&["dash", "--preset", "wat"])).expect_err("unknown preset");
+        assert!(err.contains("steady|cold|faulted"), "got: {err}");
+        assert!(dispatch(&argv(&["dash", "--format", "wat"])).is_err());
+    }
+
+    #[test]
+    fn dash_out_writes_snapshot_artifacts() {
+        let dir = tmpdir("dash_out");
+        let f = dir.join("dash.txt");
+        let out = dispatch(&argv(&["dash", "--out", f.to_str().expect("utf8")]))
+            .expect("dash --out works");
+        assert!(out.contains("wrote"), "got: {out}");
+        let body = std::fs::read_to_string(&f).expect("file written");
+        assert!(body.contains("serve series"), "got: {body}");
+        let j = dir.join("dash.jsonl");
+        dispatch(&argv(&[
+            "dash",
+            "--format",
+            "jsonl",
+            "--out",
+            j.to_str().expect("utf8"),
+        ]))
+        .expect("dash jsonl works");
+        let body = std::fs::read_to_string(&j).expect("file written");
+        assert!(body.contains("\"type\":\"window\""), "got: {body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn help_mentions_obs_and_dash() {
+        let h = dispatch(&argv(&["help"])).expect("help");
+        assert!(h.contains("--obs"), "got: {h}");
+        assert!(h.contains("--slo"), "got: {h}");
+        assert!(h.contains("dash"), "got: {h}");
+        assert!(h.contains("--preset"), "got: {h}");
     }
 
     #[test]

@@ -52,6 +52,10 @@
 //! * [`serve`] — the multi-tenant workload driver (`parqp serve`):
 //!   seeded bursty query streams against one long-lived cluster, with
 //!   shared-plan caching and per-tenant ledgers;
+//! * [`obs`] — deterministic time-series telemetry over serving runs
+//!   (`parqp dash`): tick-windowed throughput/latency/cache series,
+//!   log₂-sketched percentiles, SLO burn-rate gates, JSONL/Prometheus
+//!   exporters;
 //! * [`cli`] — the `parqp` command-line tool (plan/run/analyze/stats/
 //!   generate/trace/faults/metrics over CSV relations).
 
@@ -61,6 +65,7 @@ pub use parqp_join as join;
 pub use parqp_lp as lp;
 pub use parqp_matmul as matmul;
 pub use parqp_mpc as mpc;
+pub use parqp_obs as obs;
 pub use parqp_query as query;
 pub use parqp_serve as serve;
 pub use parqp_sort as sort;

@@ -85,6 +85,21 @@ pub struct ServePoint {
     pub cache_hit_rate: f64,
 }
 
+/// SLO verdict of one serve preset's window series, evaluated against
+/// the committed [`parqp_obs::SloRules::serve_steady`] objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPoint {
+    /// Windows in the recorded series ([`SLO_WINDOW_TICKS`] ticks each).
+    pub windows: u64,
+    /// Burning windows summed across all enabled rules.
+    pub burned: u64,
+    /// Worst per-window p99 load `L` (tuples, log₂-bucket sketch).
+    pub p99_l_worst: u64,
+    /// Minimum per-window cache hit rate over windows with lookups,
+    /// rounded to 4 decimals (1 when the preset never looks up).
+    pub hit_rate_min: f64,
+}
+
 /// Metrics of every experiment × cluster-size point, keyed
 /// `"<experiment>/p<P>"`.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -98,7 +113,15 @@ pub struct MetricsReport {
     /// omits the section entirely then, and [`compare`] treats an
     /// empty baseline section as unmeasured.
     pub serve: BTreeMap<String, ServePoint>,
+    /// SLO verdicts per serve preset, keyed like [`serve`](Self::serve).
+    /// Same back-compat rule: omitted when empty, skipped by the gate
+    /// until the baseline is regenerated.
+    pub slo: BTreeMap<String, SloPoint>,
 }
+
+/// Window width (ticks) of the series behind the [`SloPoint`]s — the
+/// same width `parqp dash` and the CI SLO gate default to.
+pub const SLO_WINDOW_TICKS: u64 = 8;
 
 /// The `parqp serve` workload presets measured by [`collect`], keyed by
 /// the `"<preset>/p<P>"` name they get in the report: a steady cached
@@ -176,8 +199,13 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
         }
     }
     let mut serve = BTreeMap::new();
+    let mut slo = BTreeMap::new();
+    let rules = parqp_obs::SloRules::serve_steady();
     for (name, cfg) in serve_presets(seed) {
-        let report = parqp_serve::replay(&cfg)?;
+        // One observed replay feeds both the serve row and the SLO
+        // verdict (replay + replay_observed would double the work and
+        // the two must agree anyway — the series tiles the report).
+        let (report, series) = parqp_serve::replay_observed(&cfg, SLO_WINDOW_TICKS)?;
         serve.insert(
             name.to_string(),
             ServePoint {
@@ -186,11 +214,22 @@ pub fn collect_with(seed: u64, clock: Option<&dyn Fn() -> u64>) -> Result<Metric
                 cache_hit_rate: (report.cache.hit_rate() * 10_000.0).round() / 10_000.0,
             },
         );
+        let verdict = rules.evaluate(&series);
+        slo.insert(
+            name.to_string(),
+            SloPoint {
+                windows: series.windows.len() as u64,
+                burned: verdict.outcomes.iter().map(|o| o.burned.len() as u64).sum(),
+                p99_l_worst: series.p99_l_worst(),
+                hit_rate_min: (series.hit_rate_min() * 10_000.0).round() / 10_000.0,
+            },
+        );
     }
     Ok(MetricsReport {
         seed,
         experiments,
         serve,
+        slo,
     })
 }
 
@@ -287,6 +326,22 @@ pub fn to_json(report: &MetricsReport) -> String {
         }
         s.push_str("  }");
     }
+    // The slo section follows the serve rule: omitted when empty so
+    // older documents stay canonical round-trips.
+    if !report.slo.is_empty() {
+        s.push_str(",\n  \"slo\": {\n");
+        let last = report.slo.len().saturating_sub(1);
+        for (i, (key, pt)) in report.slo.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    \"{key}\": {{\"windows\": {}, \"burned\": {}, \"p99_l_worst\": {}, \
+                 \"hit_rate_min\": {:.4}}}",
+                pt.windows, pt.burned, pt.p99_l_worst, pt.hit_rate_min
+            );
+            s.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        s.push_str("  }");
+    }
     s.push_str("\n}\n");
     s
 }
@@ -328,6 +383,27 @@ pub fn from_json(src: &str) -> Result<MetricsReport, String> {
                     .map_err(|e| format!("{key} cache_hit_rate: {e}"))?,
             };
             report.serve.insert(key.to_string(), point);
+        } else if t.starts_with('"') && t.contains("\"p99_l_worst\":") {
+            // An slo-verdict entry (absent in pre-obs baselines).
+            let key = t
+                .split('"')
+                .nth(1)
+                .ok_or_else(|| format!("malformed slo entry: {t}"))?;
+            let point = SloPoint {
+                windows: field(t, "windows")?
+                    .parse()
+                    .map_err(|e| format!("{key} windows: {e}"))?,
+                burned: field(t, "burned")?
+                    .parse()
+                    .map_err(|e| format!("{key} burned: {e}"))?,
+                p99_l_worst: field(t, "p99_l_worst")?
+                    .parse()
+                    .map_err(|e| format!("{key} p99_l_worst: {e}"))?,
+                hit_rate_min: field(t, "hit_rate_min")?
+                    .parse()
+                    .map_err(|e| format!("{key} hit_rate_min: {e}"))?,
+            };
+            report.slo.insert(key.to_string(), point);
         } else if t.starts_with('"') && t.contains("\"L\":") {
             let key = t
                 .split('"')
@@ -493,6 +569,47 @@ pub fn compare(baseline: &MetricsReport, current: &MetricsReport) -> Vec<String>
             }
         }
     }
+    // SLO verdicts are deterministic; pre-obs baselines carry no
+    // section and skip the family, like serve.
+    if !baseline.slo.is_empty() {
+        for (key, b) in &baseline.slo {
+            let Some(c) = current.slo.get(key) else {
+                out.push(format!("slo {key}: missing from current run"));
+                continue;
+            };
+            if b.windows != c.windows {
+                out.push(format!(
+                    "slo {key}: windows changed {} → {}",
+                    b.windows, c.windows
+                ));
+            }
+            if b.burned != c.burned {
+                out.push(format!(
+                    "slo {key}: burned windows changed {} → {}",
+                    b.burned, c.burned
+                ));
+            }
+            if b.p99_l_worst != c.p99_l_worst {
+                out.push(format!(
+                    "slo {key}: p99_l_worst changed {} → {}",
+                    b.p99_l_worst, c.p99_l_worst
+                ));
+            }
+            if (b.hit_rate_min - c.hit_rate_min).abs() > 1e-9 {
+                out.push(format!(
+                    "slo {key}: hit_rate_min changed {:.4} → {:.4}",
+                    b.hit_rate_min, c.hit_rate_min
+                ));
+            }
+        }
+        for key in current.slo.keys() {
+            if !baseline.slo.contains_key(key) {
+                out.push(format!(
+                    "slo {key}: not in baseline (regenerate it to admit new points)"
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -542,6 +659,17 @@ pub fn table(report: &MetricsReport) -> String {
                 s,
                 "{name:<21} {p:>4} {:>18} {:>8} {:>10.4}",
                 pt.throughput, pt.p99_l, pt.cache_hit_rate
+            );
+        }
+    }
+    if !report.slo.is_empty() {
+        s.push_str("\nslo verdict             p    windows   burned  p99(L)worst  hit_rate_min\n");
+        for (key, pt) in &report.slo {
+            let (name, p) = key.rsplit_once("/p").unwrap_or((key.as_str(), "?"));
+            let _ = writeln!(
+                s,
+                "{name:<21} {p:>4} {:>10} {:>8} {:>12} {:>13.4}",
+                pt.windows, pt.burned, pt.p99_l_worst, pt.hit_rate_min
             );
         }
     }
@@ -597,10 +725,30 @@ mod tests {
                 cache_hit_rate: 0.0,
             },
         );
+        let mut slo = BTreeMap::new();
+        slo.insert(
+            "steady/p8".to_string(),
+            SloPoint {
+                windows: 6,
+                burned: 1,
+                p99_l_worst: 1024,
+                hit_rate_min: 0.5,
+            },
+        );
+        slo.insert(
+            "cold/p8".to_string(),
+            SloPoint {
+                windows: 6,
+                burned: 6,
+                p99_l_worst: 1024,
+                hit_rate_min: 0.0,
+            },
+        );
         MetricsReport {
             seed: 42,
             experiments,
             serve,
+            slo,
         }
     }
 
@@ -684,6 +832,7 @@ mod tests {
         // compare must skip the whole family.
         let mut old = sample();
         old.serve.clear();
+        old.slo.clear();
         let json = to_json(&old);
         assert!(!json.contains("serve"), "section really omitted");
         let parsed = from_json(&json).expect("old schema parses");
@@ -718,6 +867,59 @@ mod tests {
         assert!(msgs
             .iter()
             .any(|m| m.contains("serve new/p8: not in baseline")));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_slo_section() {
+        let report = sample();
+        let parsed = from_json(&to_json(&report)).expect("own output parses");
+        assert_eq!(parsed.slo.len(), 2);
+        let steady = parsed.slo["steady/p8"];
+        assert_eq!(steady.windows, 6);
+        assert_eq!(steady.burned, 1);
+        assert_eq!(steady.p99_l_worst, 1024);
+        assert!((steady.hit_rate_min - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_accepts_pre_obs_baselines() {
+        // A v1 document written before the obs layer existed has no slo
+        // section; it parses empty and the gate skips the family.
+        let mut old = sample();
+        old.slo.clear();
+        let json = to_json(&old);
+        assert!(!json.contains("slo"), "section really omitted");
+        let parsed = from_json(&json).expect("old schema parses");
+        assert!(parsed.slo.is_empty());
+        assert!(compare(&parsed, &sample()).is_empty());
+        assert_eq!(to_json(&parsed), json);
+    }
+
+    #[test]
+    fn compare_flags_slo_drift_exactly() {
+        let baseline = sample();
+        let mut current = sample();
+        {
+            let pt = current.slo.get_mut("steady/p8").expect("point");
+            pt.windows += 1;
+            pt.burned += 1;
+            pt.p99_l_worst *= 2;
+            pt.hit_rate_min -= 0.1;
+        }
+        let msgs = compare(&baseline, &current);
+        assert_eq!(msgs.len(), 4, "got: {msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("windows changed")));
+        assert!(msgs.iter().any(|m| m.contains("burned windows changed")));
+        assert!(msgs.iter().any(|m| m.contains("p99_l_worst changed")));
+        assert!(msgs.iter().any(|m| m.contains("hit_rate_min changed")));
+        let mut current = sample();
+        let moved = current.slo.remove("cold/p8").expect("point");
+        current.slo.insert("new/p8".to_string(), moved);
+        let msgs = compare(&baseline, &current);
+        assert!(msgs.iter().any(|m| m.contains("slo cold/p8: missing")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("slo new/p8: not in baseline")));
     }
 
     #[test]
@@ -863,15 +1065,16 @@ mod tests {
     fn table_renders_one_row_per_point() {
         let s = sample();
         let t = table(&s);
-        // Experiment header (2 lines) + rows, then a blank line, the
-        // serve header, and one row per serve preset.
+        // Experiment header (2 lines) + rows, then blank-line-headed
+        // serve and slo sections with one row per preset each.
         assert_eq!(
             t.lines().count(),
-            2 + s.experiments.len() + 2 + s.serve.len()
+            2 + s.experiments.len() + 2 + s.serve.len() + 2 + s.slo.len()
         );
         assert!(t.contains("bound_ratio"));
         assert!(t.contains("psrs"));
         assert!(t.contains("serve preset"));
+        assert!(t.contains("slo verdict"));
         assert!(t.contains("steady"));
         // Unmeasured wall-clock renders as "-".
         assert!(t.lines().any(|l| l.contains("psrs") && l.ends_with('-')));
@@ -914,6 +1117,24 @@ mod tests {
         // The cached presets hit, the cold preset cannot.
         assert!(report.serve["steady/p8"].cache_hit_rate > 0.0);
         assert_eq!(report.serve["cold/p8"].cache_hit_rate, 0.0);
+        // Every serve preset carries an SLO verdict over the same
+        // replay, windowed on the tick clock.
+        assert_eq!(
+            report.slo.keys().collect::<Vec<_>>(),
+            report.serve.keys().collect::<Vec<_>>()
+        );
+        for (key, pt) in &report.slo {
+            let cfg = &serve_presets(7)
+                .into_iter()
+                .find(|(name, _)| name == key)
+                .expect("preset exists")
+                .1;
+            assert_eq!(pt.windows, cfg.ticks.div_ceil(SLO_WINDOW_TICKS), "{key}");
+            assert!(pt.p99_l_worst > 0, "{key}: zero worst p99");
+        }
+        // The cold preset keeps its cache off all run, so the hit-rate
+        // floor never has lookups to judge: its minimum stays 1.
+        assert!((report.slo["cold/p8"].hit_rate_min - 1.0).abs() < 1e-9);
     }
 
     #[test]

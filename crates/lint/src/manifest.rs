@@ -33,7 +33,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "core",
         &[
             "mpc", "data", "lp", "query", "join", "sort", "matmul", "trace", "metrics", "faults",
-            "serve", "lint",
+            "serve", "obs", "lint",
         ],
     ),
     ("data", &["store", "testkit"]),
@@ -44,10 +44,11 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("matmul", &["mpc", "data", "join", "query", "testkit"]),
     ("metrics", &["trace"]),
     ("mpc", &["trace", "metrics", "faults", "store", "testkit"]),
+    ("obs", &[]),
     ("query", &["data", "lp"]),
     (
         "serve",
-        &["mpc", "data", "join", "metrics", "faults", "testkit"],
+        &["mpc", "data", "join", "metrics", "faults", "obs", "testkit"],
     ),
     ("sort", &["mpc", "data"]),
     ("store", &[]),
@@ -311,17 +312,28 @@ mod tests {
         assert!(find("core").contains(&"metrics"));
         assert!(find("core").contains(&"faults"));
         // The serving layer composes the simulator, the algorithms it
-        // serves, and its observability sinks; only core (the `parqp
-        // serve` front door) may depend on it.
+        // serves, and its observability sinks — including the window
+        // recorder it feeds; only core (the `parqp serve` front door)
+        // may depend on it.
         assert_eq!(
             find("serve"),
-            &["mpc", "data", "join", "metrics", "faults", "testkit"]
+            &["mpc", "data", "join", "metrics", "faults", "obs", "testkit"]
         );
         assert!(find("core").contains(&"serve"));
         for (name, deps) in ALLOWED_DEPS {
             assert!(
                 *name == "core" || !deps.contains(&"serve"),
                 "only core (the `parqp serve` front door) may depend on serve"
+            );
+        }
+        // The observation layer is a leaf like trace: pure data types
+        // and renderers, fed only by serve, consumed by serve and the
+        // `parqp dash`/`parqp serve --obs` front doors in core.
+        assert!(find("obs").is_empty());
+        for (name, deps) in ALLOWED_DEPS {
+            assert!(
+                *name == "core" || *name == "serve" || !deps.contains(&"obs"),
+                "only serve (the emitter) and core (the front door) may depend on obs"
             );
         }
         for (name, deps) in ALLOWED_DEPS {

@@ -42,6 +42,12 @@
 //! |       |             | cluster's ledger deltas, and cache admission/eviction   |
 //! |       |             | must stay inside the serving layer's exact hit/miss     |
 //! |       |             | accounting. Consumers read `ServeReport` instead        |
+//! | PQ111 | layering    | feeding the observation runtime (`obs::emit`,           |
+//! |       |             | `obs::install`, `obs::capture`) or fabricating          |
+//! |       |             | observations (`QueryObs`, `SeriesRecorder`) outside     |
+//! |       |             | `parqp-serve`/`parqp-obs`; window series must come out  |
+//! |       |             | of the serving driver's per-query ledger deltas.        |
+//! |       |             | Consumers read the returned `SeriesReport` instead      |
 //!
 //! Manifest-level rules (`PQ101`, `PQ102`, `PQ301`, `PQ302`) live in
 //! [`crate::manifest`]; the panic-surface ratchet (`PQ201`) lives in
@@ -56,6 +62,7 @@ use crate::Diagnostic;
 /// knobs) and `lint` (this tool) legitimately touch the OS.
 pub const SIDE_CHANNEL_SCOPE: &[&str] = &[
     "mpc", "lp", "query", "join", "sort", "matmul", "trace", "faults", "metrics", "store", "serve",
+    "obs",
 ];
 
 /// The one file in the workspace allowed to touch `std::thread`: the
@@ -302,6 +309,46 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "only parqp-serve folds per-tenant ledgers (from the cluster's per-query report_since deltas); fabricating tenant counters elsewhere desyncs them from the (L, r, C) ledger",
         scope: None,
         exempt: &["serve"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ111",
+        token: "obs::emit",
+        message: "only parqp-serve emits served-query observations, so window series mirror the per-query report_since deltas exactly; read the SeriesReport a replay_observed returns instead",
+        scope: None,
+        exempt: &["serve", "obs"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ111",
+        token: "obs::install",
+        message: "only parqp-serve installs observation recorders (inside replay_observed); capture elsewhere would tear windows away from the replay's tick clock",
+        scope: None,
+        exempt: &["serve", "obs"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ111",
+        token: "obs::capture",
+        message: "only parqp-serve captures observation series (replay_observed wraps the whole replay); consumers take the returned SeriesReport",
+        scope: None,
+        exempt: &["serve", "obs"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ111",
+        token: "QueryObs",
+        message: "only parqp-serve fabricates served-query observations (from Cluster::report_since deltas and the page-IO ledger); inventing them elsewhere desyncs the series from the (L, r, C) ledger",
+        scope: None,
+        exempt: &["serve", "obs"],
+        exempt_paths: &[],
+    },
+    TokenRule {
+        rule: "PQ111",
+        token: "SeriesRecorder",
+        message: "only parqp-obs owns the window recorder (installed by parqp-serve's replay_observed); read the finished SeriesReport instead",
+        scope: None,
+        exempt: &["serve", "obs"],
         exempt_paths: &[],
     },
     TokenRule {
@@ -637,6 +684,47 @@ mod tests {
     fn serve_is_side_channel_scoped() {
         assert_eq!(rules_of("serve", "use std::fs;\n"), vec![("PQ103", 1)]);
         assert_eq!(rules_of("serve", "use std::env;\n"), vec![("PQ103", 1)]);
+    }
+
+    #[test]
+    fn obs_emission_confined_to_serve_and_obs() {
+        let src =
+            "obs::emit(&q);\nlet _g = obs::install(rec);\nlet (s, r) = obs::capture(cfg, f);\n";
+        assert_eq!(
+            rules_of("join", src),
+            vec![("PQ111", 1), ("PQ111", 2), ("PQ111", 3)]
+        );
+        assert_eq!(
+            rules_of("core", src),
+            vec![("PQ111", 1), ("PQ111", 2), ("PQ111", 3)]
+        );
+        assert!(rules_of("serve", src).is_empty());
+        assert!(rules_of("obs", src).is_empty());
+    }
+
+    #[test]
+    fn observation_fabrication_confined_to_serve_and_obs() {
+        let src =
+            "let q = QueryObs { serial, tick, ..dflt };\nlet rec = SeriesRecorder::new(cfg);\n";
+        assert_eq!(rules_of("join", src), vec![("PQ111", 1), ("PQ111", 2)]);
+        assert_eq!(rules_of("core", src), vec![("PQ111", 1), ("PQ111", 2)]);
+        assert!(rules_of("serve", src).is_empty());
+        assert!(rules_of("obs", src).is_empty());
+    }
+
+    #[test]
+    fn series_consumption_allowed_everywhere() {
+        let src = "let (report, series) = parqp_serve::replay_observed(&cfg, window)?;\n\
+                   let dash = series.dashboard();\n\
+                   let gate = parqp_obs::evaluate(&rules, &series).gate();\n";
+        assert!(rules_of("core", src).is_empty());
+        assert!(rules_of("bench", src).is_empty());
+    }
+
+    #[test]
+    fn obs_is_side_channel_scoped() {
+        assert_eq!(rules_of("obs", "use std::fs;\n"), vec![("PQ103", 1)]);
+        assert_eq!(rules_of("obs", "use std::env;\n"), vec![("PQ103", 1)]);
     }
 
     #[test]

@@ -213,6 +213,41 @@ fn serve_report_consumption_passes() {
     assert_eq!(hits(&diags), vec![]);
 }
 
+// --------------------------------------------------------------------- PQ111
+
+#[test]
+fn observation_fabrication_reported_outside_serve_and_obs() {
+    let src = include_str!("fixtures/obs_bad.rs");
+    let diags = lint_source("core", "fixtures/obs_bad.rs", &sanitize(src));
+    assert_eq!(
+        hits(&diags),
+        vec![
+            ("PQ111", 5),  // importing QueryObs / SeriesRecorder
+            ("PQ111", 13), // constructing the recorder
+            ("PQ111", 14), // fabricating an observation
+            ("PQ111", 32), // feeding the runtime
+            ("PQ111", 33), // installing a recorder
+            ("PQ111", 34), // capturing a series
+        ]
+    );
+}
+
+#[test]
+fn serve_and_obs_are_exempt_from_observation_ownership() {
+    let src = include_str!("fixtures/obs_bad.rs");
+    for owner in ["serve", "obs"] {
+        let diags = lint_source(owner, "fixtures/obs_bad.rs", &sanitize(src));
+        assert_eq!(hits(&diags), vec![], "{owner} owns the observation path");
+    }
+}
+
+#[test]
+fn series_consumption_passes() {
+    let src = include_str!("fixtures/obs_ok.rs");
+    let diags = lint_source("core", "fixtures/obs_ok.rs", &sanitize(src));
+    assert_eq!(hits(&diags), vec![]);
+}
+
 // ---------------------------------------------------------------- PQ101/PQ102
 
 #[test]

@@ -1,0 +1,156 @@
+//! The thread-local observation runtime: install a recorder, let the
+//! serving driver feed it, collect the series back.
+//!
+//! Mirrors `parqp_trace::recorder`, `parqp_faults::runtime` and
+//! `parqp_metrics::runtime`: the simulator is single-threaded by design
+//! (PQ004), so a thread-local slot is the whole "global" state.
+//! [`install`] puts a fresh [`SeriesRecorder`] in the slot and returns
+//! an [`ObsGuard`] that restores the previous recorder on drop
+//! (panic-safe). `parqp-serve` is the only caller of [`emit`] (lint
+//! rule PQ111 — the serving twin of PQ107's metrics-emission monopoly);
+//! everything else uses [`capture`] and reads the returned series.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::series::{ObsConfig, QueryObs, SeriesRecorder, SeriesReport};
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<RefCell<SeriesRecorder>>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed recorder when dropped.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct ObsGuard {
+    previous: Option<Rc<RefCell<SeriesRecorder>>>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| {
+            *slot.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Install `recorder` as this thread's observation sink until the
+/// returned guard drops. Nesting is allowed; the innermost install wins
+/// and the outer recorder resumes when the inner guard drops.
+pub fn install(recorder: SeriesRecorder) -> ObsGuard {
+    install_shared(recorder).0
+}
+
+fn install_shared(recorder: SeriesRecorder) -> (ObsGuard, Rc<RefCell<SeriesRecorder>>) {
+    let shared = Rc::new(RefCell::new(recorder));
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(shared.clone()));
+    (ObsGuard { previous }, shared)
+}
+
+/// Whether a recorder is currently installed. The serving driver checks
+/// this to skip building observations entirely on the unobserved path.
+pub fn is_enabled() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Forward one served-query observation to the installed recorder, if
+/// any. Serving-driver-only (lint rule PQ111); a no-op when nothing is
+/// installed.
+pub fn emit(q: &QueryObs) {
+    ACTIVE.with(|slot| {
+        if let Some(rec) = slot.borrow().as_ref() {
+            rec.borrow_mut().record(q);
+        }
+    });
+}
+
+/// Run `f` with a fresh recorder installed and return the finished
+/// series alongside `f`'s result. The previous recorder (if any) is
+/// restored afterwards, even if `f` panics.
+pub fn capture<R>(config: ObsConfig, f: impl FnOnce() -> R) -> (SeriesReport, R) {
+    let (guard, shared) = install_shared(SeriesRecorder::new(config));
+    let result = {
+        let _guard = guard;
+        f()
+    };
+    let recorder = Rc::try_unwrap(shared)
+        .expect("capture's recorder must not be retained past the closure")
+        .into_inner();
+    (recorder.finish(), result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ObsConfig {
+        ObsConfig {
+            window_ticks: 2,
+            ticks: 4,
+            servers: 1,
+        }
+    }
+
+    fn q(tick: u64) -> QueryObs {
+        QueryObs {
+            serial: 0,
+            tick,
+            tenant: 0,
+            lookup: false,
+            hit: false,
+            l: 3,
+            predicted_l: 1,
+            rounds: 2,
+            tuples: 3,
+            words: 6,
+            out_rows: 0,
+            io_reads: 0,
+            io_misses: 0,
+            io_evictions: 0,
+            per_server_tuples: vec![3],
+        }
+    }
+
+    #[test]
+    fn disabled_runtime_is_inert() {
+        assert!(!is_enabled());
+        emit(&q(0)); // must not panic
+    }
+
+    #[test]
+    fn capture_collects_observations() {
+        let (series, out) = capture(cfg(), || {
+            assert!(is_enabled());
+            emit(&q(0));
+            emit(&q(3));
+            7
+        });
+        assert!(!is_enabled());
+        assert_eq!(out, 7);
+        assert_eq!(series.served(), 2);
+        assert_eq!(series.windows[0].served, 1);
+        assert_eq!(series.windows[1].served, 1);
+    }
+
+    #[test]
+    fn nested_capture_restores_outer_recorder() {
+        let (outer, ()) = capture(cfg(), || {
+            emit(&q(0));
+            let (inner, ()) = capture(cfg(), || {
+                emit(&q(0));
+                emit(&q(1));
+            });
+            assert_eq!(inner.served(), 2);
+            emit(&q(1));
+        });
+        assert_eq!(outer.served(), 2, "inner observations must not leak out");
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = capture(cfg(), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!is_enabled(), "panic must not leave a recorder installed");
+    }
+}

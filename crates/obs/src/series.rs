@@ -1,0 +1,466 @@
+//! Fixed-width windows on the logical tick clock.
+//!
+//! The serving driver emits one [`QueryObs`] per served query — the
+//! query's exact ledger delta (`Cluster::report_since`), its cache
+//! outcome, and its page-IO delta. The [`SeriesRecorder`] folds each
+//! observation into the window its arrival tick belongs to, so every
+//! counter *tiles*: summing any field across windows reproduces the
+//! whole-run ledger exactly (`tests/obs_invariants.rs` reconciles them
+//! against `LoadReport`, `CacheStats` and the IO ledger).
+//!
+//! Round accounting separates steady work from recovery: a cache hit is
+//! probe-only (1 round) and a miss/off query builds then probes (2
+//! rounds), so a window's *expected* rounds are `2·served − hits` and
+//! anything above that is recovery overhead appended by a fault plan —
+//! exactly 0 on a fault-free replay, and summing to the fault log's
+//! `recovery_rounds` on a faulted one.
+
+use crate::sketch::LogHistogram;
+
+/// Shape of a recorded series: window width and run horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Window width in ticks (≥ 1).
+    pub window_ticks: u64,
+    /// Length of the replay's tick clock; fixes the window count up
+    /// front so trailing quiet windows still appear in the series.
+    pub ticks: u64,
+    /// Cluster width `p` (per-server load vectors are this long).
+    pub servers: usize,
+}
+
+/// One served query, as the serving driver observed it. Fabricating
+/// one of these outside `parqp-serve`/`parqp-obs` is a layering
+/// violation (lint rule PQ111): observations must come out of the
+/// cluster's ledger deltas, never be invented.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryObs {
+    /// Stream serial (replay order).
+    pub serial: u64,
+    /// Arrival tick (selects the window).
+    pub tick: u64,
+    /// Issuing tenant.
+    pub tenant: usize,
+    /// Whether the plan cache was consulted (false when disabled).
+    pub lookup: bool,
+    /// Whether the lookup hit.
+    pub hit: bool,
+    /// The query's load `L` in tuples (max over its rounds).
+    pub l: u64,
+    /// The skew-free line for this query: its heaviest round's total
+    /// spread evenly over `p` servers (≥ 1). `l / predicted_l` is the
+    /// query's bound ratio.
+    pub predicted_l: u64,
+    /// Ledger rounds attributed to this query (including recovery).
+    pub rounds: u64,
+    /// Total tuples this query's rounds moved.
+    pub tuples: u64,
+    /// Total words this query's rounds moved.
+    pub words: u64,
+    /// Output rows produced.
+    pub out_rows: u64,
+    /// Page-IO delta while this query ran: logical reads.
+    pub io_reads: u64,
+    /// Page-IO delta: pool misses.
+    pub io_misses: u64,
+    /// Page-IO delta: evictions.
+    pub io_evictions: u64,
+    /// Tuples received per server across this query's rounds
+    /// (length = `p`; sums to `tuples`).
+    pub per_server_tuples: Vec<u64>,
+}
+
+/// Everything one window of the series accumulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window index (0-based).
+    pub index: usize,
+    /// First tick in the window.
+    pub start_tick: u64,
+    /// One past the last tick in the window.
+    pub end_tick: u64,
+    /// Queries served.
+    pub served: u64,
+    /// Cache hits / misses among them (`lookup`-true queries only).
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Output rows produced.
+    pub out_rows: u64,
+    /// Ledger rounds (including recovery).
+    pub rounds: u64,
+    /// Tuples moved.
+    pub tuples: u64,
+    /// Words moved.
+    pub words: u64,
+    /// Worst single-query load in the window.
+    pub max_l: u64,
+    /// Log₂ sketch of per-query loads (p50/p99 come from here).
+    pub l_hist: LogHistogram,
+    /// The window's worst bound-ratio query, as an exact
+    /// `(l, predicted_l)` pair (compared by cross-multiplication, so
+    /// no float ever enters recorder state).
+    pub worst_l: u64,
+    /// Denominator of the worst bound ratio (0 until a query lands).
+    pub worst_predicted_l: u64,
+    /// Page-IO reads.
+    pub io_reads: u64,
+    /// Page-IO pool misses.
+    pub io_misses: u64,
+    /// Page-IO evictions.
+    pub io_evictions: u64,
+    /// Tuples received per server over the window (length = `p`).
+    pub per_server_tuples: Vec<u64>,
+}
+
+impl WindowStats {
+    fn new(index: usize, cfg: &ObsConfig) -> Self {
+        let start = index as u64 * cfg.window_ticks;
+        Self {
+            index,
+            start_tick: start,
+            end_tick: (start + cfg.window_ticks).min(cfg.ticks),
+            served: 0,
+            hits: 0,
+            misses: 0,
+            out_rows: 0,
+            rounds: 0,
+            tuples: 0,
+            words: 0,
+            max_l: 0,
+            l_hist: LogHistogram::new(),
+            worst_l: 0,
+            worst_predicted_l: 0,
+            io_reads: 0,
+            io_misses: 0,
+            io_evictions: 0,
+            per_server_tuples: vec![0; cfg.servers],
+        }
+    }
+
+    fn absorb(&mut self, q: &QueryObs) {
+        self.served += 1;
+        if q.lookup {
+            if q.hit {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+        }
+        self.out_rows += q.out_rows;
+        self.rounds += q.rounds;
+        self.tuples += q.tuples;
+        self.words += q.words;
+        self.max_l = self.max_l.max(q.l);
+        self.l_hist.record(q.l);
+        // worst l/pred < q.l/q.pred  ⇔  worst_l · q.pred < q.l · worst_pred
+        let pred = q.predicted_l.max(1);
+        if u128::from(self.worst_l) * u128::from(pred)
+            < u128::from(q.l) * u128::from(self.worst_predicted_l.max(1))
+            || self.worst_predicted_l == 0
+        {
+            self.worst_l = q.l;
+            self.worst_predicted_l = pred;
+        }
+        self.io_reads += q.io_reads;
+        self.io_misses += q.io_misses;
+        self.io_evictions += q.io_evictions;
+        for (acc, t) in self.per_server_tuples.iter_mut().zip(&q.per_server_tuples) {
+            *acc += t;
+        }
+    }
+
+    /// Window width in ticks (the last window may be short).
+    pub fn width_ticks(&self) -> u64 {
+        (self.end_tick - self.start_tick).max(1)
+    }
+
+    /// Queries served per 1000 ticks of this window.
+    pub fn throughput_per_kticks(&self) -> u64 {
+        self.served * 1000 / self.width_ticks()
+    }
+
+    /// `hits / (hits + misses)`; 0 when the cache saw no lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// `1 − io_misses/io_reads`; 0 when nothing was read.
+    pub fn io_hit_rate(&self) -> f64 {
+        if self.io_reads == 0 {
+            0.0
+        } else {
+            1.0 - self.io_misses as f64 / self.io_reads as f64
+        }
+    }
+
+    /// Sketch percentile of per-query load (within one log₂ bucket of
+    /// the exact nearest rank).
+    pub fn l_percentile(&self, pct: u64) -> u64 {
+        self.l_hist.percentile(pct)
+    }
+
+    /// Window-aggregate skew: the hottest server's window total over
+    /// the balanced line `tuples / p`. 1.0 for a perfectly balanced
+    /// (or empty) window.
+    pub fn skew(&self) -> f64 {
+        let p = self.per_server_tuples.len().max(1) as f64;
+        let max = self.per_server_tuples.iter().copied().max().unwrap_or(0);
+        if self.tuples == 0 {
+            1.0
+        } else {
+            max as f64 / (self.tuples as f64 / p)
+        }
+    }
+
+    /// Worst per-query `L / predicted_L` in the window; 1.0 when empty.
+    pub fn bound_ratio(&self) -> f64 {
+        if self.worst_predicted_l == 0 {
+            1.0
+        } else {
+            self.worst_l as f64 / self.worst_predicted_l as f64
+        }
+    }
+
+    /// Steady rounds this window's query mix explains: probe-only for
+    /// hits, build+probe for everything else.
+    pub fn expected_rounds(&self) -> u64 {
+        2 * self.served - self.hits
+    }
+
+    /// Rounds above the steady expectation — the window's share of
+    /// recovery overhead. Exactly 0 on a fault-free replay.
+    pub fn recovery_rounds(&self) -> u64 {
+        self.rounds.saturating_sub(self.expected_rounds())
+    }
+
+    /// `recovery_rounds / expected_rounds`; 0 when the window is empty.
+    pub fn recovery_overhead(&self) -> f64 {
+        let expected = self.expected_rounds();
+        if expected == 0 {
+            0.0
+        } else {
+            self.recovery_rounds() as f64 / expected as f64
+        }
+    }
+}
+
+/// Folds per-query observations into windows. Install one through
+/// [`crate::runtime`] and the serving driver feeds it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRecorder {
+    config: ObsConfig,
+    windows: Vec<WindowStats>,
+}
+
+impl SeriesRecorder {
+    /// A recorder with every window of the horizon pre-allocated (so
+    /// quiet windows still appear, and tiling is total).
+    pub fn new(mut config: ObsConfig) -> Self {
+        config.window_ticks = config.window_ticks.max(1);
+        config.ticks = config.ticks.max(1);
+        let n = config.ticks.div_ceil(config.window_ticks) as usize;
+        let windows = (0..n).map(|i| WindowStats::new(i, &config)).collect();
+        Self { config, windows }
+    }
+
+    /// Fold one observation into its arrival window (ticks past the
+    /// horizon clamp to the last window).
+    pub fn record(&mut self, q: &QueryObs) {
+        let i = ((q.tick / self.config.window_ticks) as usize).min(self.windows.len() - 1);
+        self.windows[i].absorb(q);
+    }
+
+    /// Close the series.
+    pub fn finish(self) -> SeriesReport {
+        SeriesReport {
+            config: self.config,
+            windows: self.windows,
+        }
+    }
+}
+
+/// A finished series: the windows plus the shape they were cut with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    /// The shape the series was recorded under.
+    pub config: ObsConfig,
+    /// One entry per window, in tick order.
+    pub windows: Vec<WindowStats>,
+}
+
+impl SeriesReport {
+    /// Queries served across all windows.
+    pub fn served(&self) -> u64 {
+        self.windows.iter().map(|w| w.served).sum()
+    }
+
+    /// Ledger rounds across all windows.
+    pub fn rounds(&self) -> u64 {
+        self.windows.iter().map(|w| w.rounds).sum()
+    }
+
+    /// Tuples moved across all windows.
+    pub fn tuples(&self) -> u64 {
+        self.windows.iter().map(|w| w.tuples).sum()
+    }
+
+    /// Words moved across all windows.
+    pub fn words(&self) -> u64 {
+        self.windows.iter().map(|w| w.words).sum()
+    }
+
+    /// Recovery rounds across all windows.
+    pub fn recovery_rounds(&self) -> u64 {
+        self.windows.iter().map(WindowStats::recovery_rounds).sum()
+    }
+
+    /// Worst per-window p99 load over the series.
+    pub fn p99_l_worst(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| w.l_percentile(99))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lowest hit rate over windows that saw a cache lookup; 1.0 when
+    /// none did (an uncached run has no hit-rate signal).
+    pub fn hit_rate_min(&self) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.hits + w.misses > 0)
+            .map(WindowStats::hit_rate)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tick: u64, l: u64, hit: bool) -> QueryObs {
+        QueryObs {
+            serial: 0,
+            tick,
+            tenant: 0,
+            lookup: true,
+            hit,
+            l,
+            predicted_l: l.div_ceil(2).max(1),
+            rounds: if hit { 1 } else { 2 },
+            tuples: 2 * l,
+            words: 4 * l,
+            out_rows: 1,
+            io_reads: 10,
+            io_misses: 2,
+            io_evictions: 1,
+            per_server_tuples: vec![l, l],
+        }
+    }
+
+    fn cfg() -> ObsConfig {
+        ObsConfig {
+            window_ticks: 4,
+            ticks: 12,
+            servers: 2,
+        }
+    }
+
+    #[test]
+    fn windows_tile_the_horizon() {
+        let r = SeriesRecorder::new(cfg()).finish();
+        assert_eq!(r.windows.len(), 3);
+        assert_eq!(r.windows[0].start_tick, 0);
+        for w in r.windows.windows(2) {
+            assert_eq!(w[0].end_tick, w[1].start_tick, "windows must abut");
+        }
+        assert_eq!(r.windows.last().expect("non-empty").end_tick, 12);
+    }
+
+    #[test]
+    fn ragged_last_window_is_short() {
+        let r = SeriesRecorder::new(ObsConfig {
+            window_ticks: 5,
+            ticks: 12,
+            servers: 1,
+        })
+        .finish();
+        assert_eq!(r.windows.len(), 3);
+        assert_eq!(r.windows[2].width_ticks(), 2);
+    }
+
+    #[test]
+    fn observations_land_in_their_tick_window() {
+        let mut rec = SeriesRecorder::new(cfg());
+        rec.record(&obs(0, 8, false));
+        rec.record(&obs(3, 16, true));
+        rec.record(&obs(4, 32, true));
+        rec.record(&obs(11, 64, false));
+        let r = rec.finish();
+        assert_eq!(r.windows[0].served, 2);
+        assert_eq!(r.windows[1].served, 1);
+        assert_eq!(r.windows[2].served, 1);
+        assert_eq!(r.windows[0].hits, 1);
+        assert_eq!(r.windows[0].misses, 1);
+        assert_eq!(r.windows[0].max_l, 16);
+        assert_eq!(r.windows[0].per_server_tuples, vec![24, 24]);
+        assert_eq!(r.served(), 4);
+        assert_eq!(r.tuples(), 2 * (8 + 16 + 32 + 64));
+    }
+
+    #[test]
+    fn derived_rates_are_sane() {
+        let mut rec = SeriesRecorder::new(cfg());
+        rec.record(&obs(0, 8, false));
+        rec.record(&obs(1, 8, true));
+        let w = &rec.finish().windows[0];
+        assert_eq!(w.hit_rate(), 0.5);
+        assert_eq!(w.io_reads, 20);
+        assert!((w.io_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(w.skew(), 1.0, "equal per-server loads are balanced");
+        assert_eq!(w.bound_ratio(), 2.0, "pred = l/2 → ratio 2");
+        assert_eq!(w.expected_rounds(), 3);
+        assert_eq!(w.recovery_rounds(), 0);
+    }
+
+    #[test]
+    fn recovery_rounds_are_the_excess_over_the_query_mix() {
+        let mut rec = SeriesRecorder::new(cfg());
+        let mut q = obs(0, 8, false);
+        q.rounds = 5; // build + probe + 3 recovery rounds
+        rec.record(&q);
+        let w = &rec.finish().windows[0];
+        assert_eq!(w.recovery_rounds(), 3);
+        assert!((w.recovery_overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_windows_read_as_neutral() {
+        let r = SeriesRecorder::new(cfg()).finish();
+        let w = &r.windows[1];
+        assert_eq!(w.hit_rate(), 0.0);
+        assert_eq!(w.skew(), 1.0);
+        assert_eq!(w.bound_ratio(), 1.0);
+        assert_eq!(w.recovery_rounds(), 0);
+        assert_eq!(w.l_percentile(99), 0);
+        assert_eq!(r.hit_rate_min(), 1.0, "no lookups → no hit-rate signal");
+    }
+
+    #[test]
+    fn zero_width_config_is_clamped() {
+        let r = SeriesRecorder::new(ObsConfig {
+            window_ticks: 0,
+            ticks: 0,
+            servers: 1,
+        })
+        .finish();
+        assert_eq!(r.windows.len(), 1);
+    }
+}

@@ -16,6 +16,8 @@ use parqp_data::{Relation, Value};
 use parqp_faults::{FaultPlan, FaultSpec, RecoveryStrategy};
 use parqp_join::common::{joined_arity, local_hash_join, scatter};
 use parqp_mpc::{faults, metrics, Cluster, HashFamily, LoadReport};
+use parqp_obs as obs;
+use parqp_obs::{LogHistogram, ObsConfig, QueryObs, SeriesReport};
 
 use crate::cache::{BuildCost, CacheKey, CacheStats, PlanCache};
 use crate::report::{digest_relation, QueryRecord, ServeReport, TenantStats};
@@ -132,10 +134,22 @@ struct StreamOut {
     totals: LoadReport,
 }
 
+/// Exact load samples a tenant ledger retains before falling back to
+/// its log₂ sketch: short streams keep byte-exact percentiles, long
+/// streams stay O(buckets) instead of O(queries).
+pub(crate) const MAX_EXACT_L_SAMPLES: usize = 512;
+
 /// Per-tenant accumulation while the stream replays. Fabricating one
 /// of these outside `parqp-serve` is a layering violation (lint rule
 /// PQ110): tenant counters must come out of the cluster's ledger
 /// deltas, never be invented.
+///
+/// Load percentiles come from a bounded pair: up to
+/// [`MAX_EXACT_L_SAMPLES`] exact samples (exact nearest-rank while the
+/// tenant's stream is short) plus a [`LogHistogram`] sketch that
+/// absorbs every sample — so state is O(buckets + cap) however long
+/// the stream runs, and sketch percentiles stay within one log₂ bucket
+/// of exact (`percentile_cap_keeps_state_bounded` below).
 #[derive(Debug, Clone, Default)]
 struct TenantLedger {
     served: u64,
@@ -144,7 +158,37 @@ struct TenantLedger {
     words: u64,
     hits: u64,
     misses: u64,
-    l_samples: Vec<u64>,
+    l_hist: LogHistogram,
+    l_exact: Vec<u64>,
+}
+
+impl TenantLedger {
+    /// Fold one served query into the ledger.
+    fn observe(&mut self, r: &QueryRecord) {
+        self.served += 1;
+        self.rounds += r.rounds;
+        self.tuples += r.tuples;
+        self.words += r.words;
+        match r.cache {
+            "hit" => self.hits += 1,
+            "miss" => self.misses += 1,
+            _ => {}
+        }
+        self.l_hist.record(r.l);
+        if self.l_exact.len() < MAX_EXACT_L_SAMPLES {
+            self.l_exact.push(r.l);
+        }
+    }
+
+    /// Nearest-rank load percentile: exact while every sample is
+    /// retained, sketched (within one log₂ bucket) beyond the cap.
+    fn l_percentile(&self, sorted_exact: &[u64], pct: u64) -> u64 {
+        if self.served as usize <= MAX_EXACT_L_SAMPLES {
+            percentile(sorted_exact, pct)
+        } else {
+            self.l_hist.percentile(pct)
+        }
+    }
 }
 
 /// Replay `cfg`'s query stream and return the full report.
@@ -190,6 +234,12 @@ fn run_stream(cfg: &ServeConfig, arrivals: &[QueryArrival]) -> StreamOut {
     let mut cache = PlanCache::new(cfg.cache_budget);
     let mut records = Vec::with_capacity(arrivals.len());
     for a in arrivals {
+        let observed = obs::is_enabled();
+        let io_before = if observed {
+            io_totals()
+        } else {
+            IoStats::default()
+        };
         let key = CacheKey {
             template: a.template,
             group: a.group,
@@ -242,6 +292,34 @@ fn run_stream(cfg: &ServeConfig, arrivals: &[QueryArrival]) -> StreamOut {
             gathered.extend_from(part);
         }
         let delta = cluster.report_since(mark);
+        if observed {
+            let io = io_totals().since(&io_before);
+            let mut per_server = vec![0u64; p];
+            let mut heaviest_round = 0u64;
+            for round in &delta.rounds {
+                heaviest_round = heaviest_round.max(round.total_tuples());
+                for (acc, t) in per_server.iter_mut().zip(&round.tuples) {
+                    *acc += t;
+                }
+            }
+            obs::emit(&QueryObs {
+                serial: a.serial,
+                tick: a.tick,
+                tenant: a.tenant,
+                lookup: cache_state != "off",
+                hit: cache_state == "hit",
+                l: delta.max_load_tuples(),
+                predicted_l: heaviest_round.div_ceil(p as u64).max(1),
+                rounds: delta.num_rounds() as u64,
+                tuples: delta.total_tuples(),
+                words: delta.total_words(),
+                out_rows: gathered.len() as u64,
+                io_reads: io.reads,
+                io_misses: io.misses,
+                io_evictions: io.evictions,
+                per_server_tuples: per_server,
+            });
+        }
         records.push(QueryRecord {
             serial: a.serial,
             tick: a.tick,
@@ -261,6 +339,64 @@ fn run_stream(cfg: &ServeConfig, arrivals: &[QueryArrival]) -> StreamOut {
         records,
         cache: cache.stats(),
         totals: cluster.report(),
+    }
+}
+
+/// The paged store's cumulative IO totals summed across servers — a
+/// pure read of `paged::io_report`, monotone over a replay (nothing in
+/// the serving path resets the ledger), so two snapshots bracket a
+/// query's exact IO delta.
+fn io_totals() -> IoStats {
+    let mut sum = IoStats::default();
+    for part in &paged::io_report() {
+        sum.merge(part);
+    }
+    sum
+}
+
+/// [`replay`], observed: record the per-query stream into fixed-width
+/// tick windows and return the series beside the report. The registry
+/// additionally carries `serve.window.*` gauges. Same determinism
+/// contract as [`replay`]: equal configurations (and equal window
+/// widths) produce byte-equal series under any execution mode and any
+/// fault plan's recovery (`tests/obs_invariants.rs`).
+pub fn replay_observed(
+    cfg: &ServeConfig,
+    window_ticks: u64,
+) -> Result<(ServeReport, SeriesReport), String> {
+    cfg.validate()?;
+    if window_ticks == 0 {
+        return Err("serve: --window must be at least one tick".into());
+    }
+    let obs_cfg = ObsConfig {
+        window_ticks,
+        ticks: cfg.ticks,
+        servers: cfg.servers,
+    };
+    let (series, report) = obs::capture(obs_cfg, || replay(cfg));
+    let mut report = report?;
+    annotate_window_gauges(&mut report.registry, &series);
+    Ok((report, series))
+}
+
+/// Mirror the window series into registry gauges, beside the tenant
+/// and cache gauges [`annotate_registry`] sets.
+fn annotate_window_gauges(registry: &mut parqp_metrics::MetricsRegistry, series: &SeriesReport) {
+    registry.set_gauge("serve.windows", series.windows.len() as f64);
+    registry.set_gauge(
+        "serve.window.width_ticks",
+        series.config.window_ticks as f64,
+    );
+    registry.set_gauge("serve.recovery_rounds", series.recovery_rounds() as f64);
+    for w in &series.windows {
+        let base = format!("serve.window.{}", w.index);
+        registry.set_gauge(format!("{base}.served"), w.served as f64);
+        registry.set_gauge(format!("{base}.p99_l"), w.l_percentile(99) as f64);
+        registry.set_gauge(format!("{base}.hit_rate"), w.hit_rate());
+        registry.set_gauge(
+            format!("{base}.recovery_rounds"),
+            w.recovery_rounds() as f64,
+        );
     }
 }
 
@@ -307,23 +443,13 @@ fn build_partitions(
 fn tally_tenants(cfg: &ServeConfig, records: &[QueryRecord]) -> Vec<TenantStats> {
     let mut ledgers = vec![TenantLedger::default(); cfg.tenants];
     for r in records {
-        let t = &mut ledgers[r.tenant];
-        t.served += 1;
-        t.rounds += r.rounds;
-        t.tuples += r.tuples;
-        t.words += r.words;
-        match r.cache {
-            "hit" => t.hits += 1,
-            "miss" => t.misses += 1,
-            _ => {}
-        }
-        t.l_samples.push(r.l);
+        ledgers[r.tenant].observe(r);
     }
     ledgers
         .into_iter()
         .enumerate()
         .map(|(tenant, mut t)| {
-            t.l_samples.sort_unstable();
+            t.l_exact.sort_unstable();
             TenantStats {
                 tenant,
                 served: t.served,
@@ -332,8 +458,8 @@ fn tally_tenants(cfg: &ServeConfig, records: &[QueryRecord]) -> Vec<TenantStats>
                 words: t.words,
                 hits: t.hits,
                 misses: t.misses,
-                l_p50: percentile(&t.l_samples, 50),
-                l_p99: percentile(&t.l_samples, 99),
+                l_p50: t.l_percentile(&t.l_exact, 50),
+                l_p99: t.l_percentile(&t.l_exact, 99),
                 throughput_per_kticks: t.served * 1000 / cfg.ticks,
             }
         })
@@ -341,12 +467,16 @@ fn tally_tenants(cfg: &ServeConfig, records: &[QueryRecord]) -> Vec<TenantStats>
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+/// Rank arithmetic is u128 so no `pct`/length combination can overflow.
 pub(crate) fn percentile(sorted: &[u64], pct: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1);
-    sorted[((rank - 1) as usize).min(sorted.len() - 1)]
+    let rank = (u128::from(pct) * sorted.len() as u128)
+        .div_ceil(100)
+        .max(1);
+    let idx = (rank - 1).min(sorted.len() as u128 - 1) as usize;
+    sorted[idx]
 }
 
 /// Mirror the per-tenant and cache ledgers into registry gauges, so
@@ -521,6 +651,144 @@ mod tests {
         assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
         assert_eq!(percentile(&[1, 2, 3, 4], 99), 4);
         assert_eq!(percentile(&[1, 2, 3, 4], 100), 4);
+    }
+
+    /// Naive nearest-rank reference for the percentile property test:
+    /// count how many samples each candidate dominates.
+    fn percentile_reference(sorted: &[u64], pct: u64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (u128::from(pct) * sorted.len() as u128)
+            .div_ceil(100)
+            .max(1) as usize;
+        let mut taken = 0usize;
+        for &v in sorted {
+            taken += 1;
+            if taken >= rank {
+                return v;
+            }
+        }
+        *sorted.last().expect("non-empty")
+    }
+
+    #[test]
+    fn percentile_matches_naive_reference_on_random_samples() {
+        let mut state = 0x5EEDu64;
+        for len in [1usize, 2, 3, 7, 100, 101, 997] {
+            let mut samples: Vec<u64> = (0..len)
+                .map(|_| parqp_testkit::splitmix64(&mut state) % 1_000_000)
+                .collect();
+            samples.sort_unstable();
+            for pct in [0u64, 1, 33, 50, 99, 100] {
+                assert_eq!(
+                    percentile(&samples, pct),
+                    percentile_reference(&samples, pct),
+                    "len={len} pct={pct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_pct_zero_is_the_minimum() {
+        // rank clamps to 1: pct=0 reads the smallest sample, not a
+        // panic or an out-of-range index.
+        assert_eq!(percentile(&[5, 9, 12], 0), 5);
+        assert_eq!(percentile(&[], 0), 0);
+    }
+
+    #[test]
+    fn percentile_rank_arithmetic_cannot_overflow() {
+        // u64::MAX · len would overflow the old u64 rank arithmetic;
+        // the u128 path clamps to the top sample instead.
+        let sorted: Vec<u64> = (0..1000).collect();
+        assert_eq!(percentile(&sorted, u64::MAX), 999);
+        assert_eq!(percentile(&[u64::MAX], u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn tenant_ledger_state_is_bounded_by_the_cap() {
+        // Regression for the unbounded l_samples vector: however many
+        // queries a tenant serves, the ledger retains at most the cap
+        // of exact samples plus the fixed-size sketch.
+        let mut ledger = TenantLedger::default();
+        for serial in 0..(MAX_EXACT_L_SAMPLES as u64 * 20) {
+            ledger.observe(&QueryRecord {
+                serial,
+                tick: serial,
+                tenant: 0,
+                template: "t",
+                group: 1,
+                cache: "hit",
+                l: serial % 4096,
+                rounds: 1,
+                tuples: 2,
+                words: 4,
+                out_rows: 0,
+                digest: 0,
+            });
+        }
+        assert_eq!(ledger.served, MAX_EXACT_L_SAMPLES as u64 * 20);
+        assert!(ledger.l_exact.len() <= MAX_EXACT_L_SAMPLES);
+        assert_eq!(ledger.l_hist.count(), ledger.served);
+    }
+
+    #[test]
+    fn capped_ledger_percentiles_stay_within_one_bucket() {
+        let mut ledger = TenantLedger::default();
+        let mut all = Vec::new();
+        let mut state = 0xABu64;
+        for serial in 0..10_000u64 {
+            let l = parqp_testkit::splitmix64(&mut state) % 100_000;
+            all.push(l);
+            ledger.observe(&QueryRecord {
+                serial,
+                tick: serial,
+                tenant: 0,
+                template: "t",
+                group: 1,
+                cache: "miss",
+                l,
+                rounds: 2,
+                tuples: 2 * l,
+                words: 4 * l,
+                out_rows: 0,
+                digest: 0,
+            });
+        }
+        all.sort_unstable();
+        let mut sorted_exact = ledger.l_exact.clone();
+        sorted_exact.sort_unstable();
+        for pct in [50u64, 99] {
+            let exact = percentile(&all, pct);
+            let sketched = ledger.l_percentile(&sorted_exact, pct);
+            let bucket = |v: u64| 64 - v.leading_zeros();
+            assert_eq!(
+                bucket(exact),
+                bucket(sketched),
+                "pct {pct}: exact {exact} vs sketch {sketched}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_replay_matches_plain_replay() {
+        let plain = replay(&small()).expect("valid config");
+        let (observed, series) = replay_observed(&small(), 4).expect("valid config");
+        assert_eq!(plain.records, observed.records);
+        assert_eq!(plain.tenants, observed.tenants);
+        assert_eq!(series.served(), plain.served());
+        assert_eq!(series.rounds(), plain.totals.num_rounds() as u64);
+        assert_eq!(series.windows.len(), 5);
+        let gauges: Vec<&str> = observed.registry.gauges().map(|(name, _)| name).collect();
+        assert!(gauges.contains(&"serve.windows"));
+        assert!(gauges.contains(&"serve.window.0.served"));
+    }
+
+    #[test]
+    fn observed_replay_rejects_zero_window() {
+        assert!(replay_observed(&small(), 0).is_err());
     }
 
     #[test]

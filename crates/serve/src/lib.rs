@@ -44,6 +44,14 @@
 //! (lint rule PQ110 confines `PlanCache`/`TenantLedger` to `serve`, the
 //! way PQ104 confines `LoadReport` fabrication to `mpc`).
 //!
+//! * **Time-series observability** — [`driver::replay_observed`] runs
+//!   the same replay under an installed `parqp_obs` recorder: every
+//!   served query is emitted as a `QueryObs` (its exact ledger delta,
+//!   cache outcome, and page-IO delta) and folded into fixed-width tick
+//!   windows. Only this crate may emit observations (lint rule PQ111);
+//!   consumers read the returned `SeriesReport` — exporters, the `parqp
+//!   dash` dashboard, and SLO burn-rate gates live in `parqp-obs`.
+//!
 //! [`MetricsRegistry`]: parqp_metrics::MetricsRegistry
 
 pub mod cache;
@@ -53,7 +61,7 @@ pub mod templates;
 pub mod workload;
 
 pub use cache::{CacheStats, PlanCache};
-pub use driver::{replay, FaultSetup, ServeConfig};
+pub use driver::{replay, replay_observed, FaultSetup, ServeConfig};
 pub use report::{QueryRecord, ServeReport, TenantStats};
 pub use templates::{Template, TEMPLATES};
 pub use workload::{schedule, QueryArrival};

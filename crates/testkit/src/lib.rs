@@ -13,7 +13,7 @@
 //!   macro, `prop_assert*!`/`prop_assume!`, and counterexample
 //!   shrinking. Failures print a `PARQP_PROPTEST_SEED=… cargo test …`
 //!   line that replays the exact case.
-//! * [`bench`] replaces `criterion`: wall-clock sampling behind the
+//! * [`mod@bench`] replaces `criterion`: wall-clock sampling behind the
 //!   same `Criterion`/`BenchmarkGroup`/`criterion_group!` surface the
 //!   bench targets already used.
 //!

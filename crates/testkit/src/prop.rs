@@ -436,7 +436,7 @@ tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
 pub mod collection {
     use super::*;
 
-    /// Number of elements a [`vec`] strategy may produce (inclusive).
+    /// Number of elements a [`fn@vec`] strategy may produce (inclusive).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         pub(crate) min: usize,
@@ -478,7 +478,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -1,0 +1,49 @@
+//! Golden-file test for the Prometheus text-exposition exporter.
+//!
+//! A fixed-seed observed serving replay must export byte-for-byte the
+//! exposition committed under `tests/golden/`. Prometheus scrapers and
+//! dashboards parse these lines by name and label, so silent format
+//! drift (metric renames, label changes, float formatting) is a
+//! regression even when every unit test passes.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```text
+//! PARQP_UPDATE_GOLDEN=1 cargo test --test obs_golden
+//! ```
+
+use parqp::serve::{replay_observed, ServeConfig};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/serve_windows.prom")
+}
+
+#[test]
+fn prometheus_export_matches_golden_file() {
+    let cfg = ServeConfig {
+        servers: 4,
+        tenants: 2,
+        templates: 2,
+        groups: 4,
+        ticks: 16,
+        seed: 9,
+        cache_budget: 50_000,
+        ..ServeConfig::default()
+    };
+    let (_, series) = replay_observed(&cfg, 4).expect("valid config");
+    let prom = series.prometheus();
+
+    let path = golden_path();
+    if std::env::var_os("PARQP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &prom).expect("write golden file");
+        return;
+    }
+    let expect = std::fs::read_to_string(&path).expect(
+        "golden file missing; regenerate with PARQP_UPDATE_GOLDEN=1 cargo test --test obs_golden",
+    );
+    assert_eq!(
+        prom, expect,
+        "Prometheus exposition drifted from tests/golden/serve_windows.prom; \
+         if intentional, regenerate with PARQP_UPDATE_GOLDEN=1"
+    );
+}
